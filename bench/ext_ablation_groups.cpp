@@ -1,0 +1,122 @@
+// Extension experiment D: ablations on the design choices DESIGN.md calls
+// out.
+//   1. Replication-degree ablation: *measured* makespan vs replication
+//      degree on random workloads (the empirical counterpart of Fig. 3).
+//   2. Phase-1 ablation: LS vs LPT group filling (the paper conjectures
+//      LPT would not help much).
+//   3. Phase-2 ablation: dispatch priority rule (LS vs LPT vs SPT) under
+//      full replication.
+//
+// Usage: ext_ablation_groups [--m=12] [--n=60] [--trials=8]
+#include <cstdlib>
+#include <iostream>
+
+#include "algo/strategy.hpp"
+#include "cli/args.hpp"
+#include "exp/ratio_experiment.hpp"
+#include "io/table.hpp"
+#include "perturb/stochastic.hpp"
+#include "stats/welford.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rdp;
+  const Args args(argc, argv);
+  const auto m = static_cast<MachineId>(args.get("m", std::int64_t{12}));
+  const auto n = static_cast<std::size_t>(args.get("n", std::int64_t{60}));
+  const auto trials = static_cast<std::size_t>(args.get("trials", std::int64_t{8}));
+
+  RatioExperimentConfig config;
+  config.exact_node_budget = 0;  // analytic LB denominators (n is larger here)
+
+  WorkloadParams params;
+  params.num_tasks = n;
+  params.num_machines = m;
+  params.seed = 5;
+
+  std::cout << "=== Ext-D ablations (m=" << m << ", n=" << n << ", " << trials
+            << " two-point trials, ratios vs analytic LB) ===\n\n";
+
+  std::cout << "--- 1. replication degree (LS-Group family) ---\n";
+  TextTable degree_table({"alpha", "r=1 (NoChoice)", "r=m/6", "r=m/3", "r=m/2",
+                          "r=m (NoRestr)"});
+  for (double alpha : {1.1, 1.5, 2.0}) {
+    params.alpha = alpha;
+    const Instance inst = uniform_workload(params, 1.0, 10.0);
+    auto mean_ratio = [&](const TwoPhaseStrategy& s) {
+      const RatioAggregate agg =
+          measure_ratio_batch(s, inst, NoiseModel::kTwoPoint, trials, 17, config);
+      return agg.ratios.mean();
+    };
+    degree_table.add_row({fmt(alpha, 1), fmt(mean_ratio(make_lpt_no_choice())),
+                          fmt(mean_ratio(make_ls_group(6))),
+                          fmt(mean_ratio(make_ls_group(3))),
+                          fmt(mean_ratio(make_ls_group(2))),
+                          fmt(mean_ratio(make_lpt_no_restriction()))});
+  }
+  std::cout << degree_table.render()
+            << "\nShape: ratios fall as replication grows; the drop steepens "
+               "with alpha.\n\n";
+
+  std::cout << "--- 1b. no-replication phase-1 packer: LPT vs MULTIFIT ---\n";
+  TextTable packer_table({"alpha", "LPT-NoChoice", "MULTIFIT-NoChoice"});
+  for (double alpha : {1.5, 2.0}) {
+    params.alpha = alpha;
+    const Instance inst = uniform_workload(params, 1.0, 10.0);
+    auto mean_ratio = [&](const TwoPhaseStrategy& s) {
+      return measure_ratio_batch(s, inst, NoiseModel::kTwoPoint, trials, 17, config)
+          .ratios.mean();
+    };
+    packer_table.add_row({fmt(alpha, 1), fmt(mean_ratio(make_lpt_no_choice())),
+                          fmt(mean_ratio(make_multifit_no_choice()))});
+  }
+  std::cout << packer_table.render()
+            << "\nShape: the *tighter* packer measures WORSE under noise --\n"
+               "squeezing the estimated loads flat leaves no slack diversity,\n"
+               "so perturbations hit the packed plan harder than LPT's looser\n"
+               "one. Plan precision is not robustness; adapting at runtime\n"
+               "(replication) is, which is the paper's whole point.\n\n";
+
+  std::cout << "--- 2. phase-1 group filling: LS vs LPT ---\n";
+  TextTable phase1_table({"alpha", "k", "LS-Group", "LPT-Group"});
+  for (double alpha : {1.5, 2.0}) {
+    params.alpha = alpha;
+    const Instance inst = uniform_workload(params, 1.0, 10.0);
+    for (MachineId k : {2u, 4u}) {
+      const RatioAggregate ls = measure_ratio_batch(
+          make_ls_group(k), inst, NoiseModel::kTwoPoint, trials, 23, config);
+      const RatioAggregate lpt = measure_ratio_batch(
+          make_lpt_group(k), inst, NoiseModel::kTwoPoint, trials, 23, config);
+      phase1_table.add_row({fmt(alpha, 1), std::to_string(k), fmt(ls.ratios.mean()),
+                            fmt(lpt.ratios.mean())});
+    }
+  }
+  std::cout << phase1_table.render()
+            << "\nShape: LPT filling helps only marginally, consistent with the\n"
+               "paper's conjecture that an LPT-based strategy-3 guarantee would\n"
+               "not be much stronger.\n\n";
+
+  std::cout << "--- 3. phase-2 priority rule under full replication ---\n";
+  TextTable phase2_table({"alpha", "LPT priority", "LS (input order)",
+                          "SPT priority"});
+  for (double alpha : {1.5, 2.0}) {
+    params.alpha = alpha;
+    const Instance inst = uniform_workload(params, 1.0, 10.0);
+    auto mean_for_rule = [&](PriorityRule rule, const char* label) {
+      TwoPhaseStrategy s(std::make_shared<ReplicateEverywherePlacement>(), rule,
+                         label);
+      const RatioAggregate agg =
+          measure_ratio_batch(s, inst, NoiseModel::kTwoPoint, trials, 29, config);
+      return agg.ratios.mean();
+    };
+    phase2_table.add_row(
+        {fmt(alpha, 1),
+         fmt(mean_for_rule(PriorityRule::kLongestEstimateFirst, "lpt")),
+         fmt(mean_for_rule(PriorityRule::kInputOrder, "ls")),
+         fmt(mean_for_rule(PriorityRule::kShortestEstimateFirst, "spt"))});
+  }
+  std::cout << phase2_table.render()
+            << "\nShape: LPT priority <= LS <= SPT -- dispatching long tasks\n"
+               "first leaves the short ones to smooth the tail.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,51 @@
+// Extension experiment N: the *measured* memory-makespan Pareto front --
+// the empirical counterpart of Figure 6's guarantee curves. Sweeps Delta
+// for SABO and ABO against one realization and prints the non-dominated
+// points, labelled with the algorithm that owns each front segment.
+//
+// Usage: ext_pareto_front [--m=4] [--n=24] [--alpha=1.8] [--points=17]
+#include <cstdlib>
+#include <iostream>
+
+#include "cli/args.hpp"
+#include "core/realization.hpp"
+#include "io/table.hpp"
+#include "memaware/pareto.hpp"
+#include "perturb/stochastic.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rdp;
+  const Args args(argc, argv);
+  const auto m = static_cast<MachineId>(args.get("m", std::int64_t{4}));
+  const auto n = static_cast<std::size_t>(args.get("n", std::int64_t{24}));
+  const double alpha = args.get("alpha", 1.8);
+  const int points = static_cast<int>(args.get("points", std::int64_t{17}));
+
+  WorkloadParams params;
+  params.num_tasks = n;
+  params.num_machines = m;
+  params.alpha = alpha;
+  params.seed = 59;
+  const Instance inst = independent_sizes_workload(params);
+  const Realization actual = realize(inst, NoiseModel::kTwoPoint, 60);
+
+  std::cout << "=== Ext-N: measured memory-makespan Pareto front (m=" << m
+            << ", n=" << n << ", alpha=" << alpha << ") ===\n\n";
+
+  const auto sweep = measure_tradeoff_sweep(inst, actual, 0.05, 20.0, points);
+  const auto front = pareto_filter(sweep);
+
+  TextTable table({"algorithm", "Delta", "C_max", "Mem_max"});
+  for (const ParetoPoint& pt : front) {
+    table.add_row({pt.algorithm, fmt(pt.delta, 3), fmt(pt.makespan, 2),
+                   fmt(pt.memory, 1)});
+  }
+  std::cout << table.render() << "\n"
+            << sweep.size() << " measured points, " << front.size()
+            << " on the front.\n"
+            << "Shape (the measured version of Figure 6): ABO occupies the\n"
+            << "fast/heavy end (replication buys makespan with memory), SABO\n"
+            << "the lean end; the front is strictly monotone by construction.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,55 @@
+// Extension experiment H: scenario-based robustness (the methodology of
+// the robust-scheduling literature the paper cites). Evaluates every
+// strategy across a mixed scenario set and performs min-max selection.
+//
+// Usage: ext_scenario_robustness [--m=6] [--n=30] [--scenarios=15]
+#include <cstdlib>
+#include <iostream>
+
+#include "algo/strategy.hpp"
+#include "cli/args.hpp"
+#include "exp/scenario.hpp"
+#include "io/table.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rdp;
+  const Args args(argc, argv);
+  const auto m = static_cast<MachineId>(args.get("m", std::int64_t{6}));
+  const auto n = static_cast<std::size_t>(args.get("n", std::int64_t{30}));
+  const auto count =
+      static_cast<std::size_t>(args.get("scenarios", std::int64_t{15}));
+
+  WorkloadParams params;
+  params.num_tasks = n;
+  params.num_machines = m;
+  params.alpha = 1.8;
+  params.seed = 29;
+  const Instance inst = uniform_workload(params, 1.0, 10.0);
+  const ScenarioSet scenarios = make_mixed_scenarios(inst, count, 51);
+
+  std::cout << "=== Ext-H: scenario robustness (m=" << m << ", n=" << n << ", "
+            << count << " mixed scenarios) ===\n\n";
+
+  ScenarioConfig config;
+  config.exact_node_budget = 200'000;
+
+  std::vector<TwoPhaseStrategy> strategies = paper_strategy_family(m);
+  TextTable table({"strategy", "mean", "worst", "CVaR90", "worst regret",
+                   "worst ratio"});
+  for (const TwoPhaseStrategy& s : strategies) {
+    const ScenarioEvaluation eval = evaluate_scenarios(s, inst, scenarios, config);
+    table.add_row({eval.strategy_name, fmt(eval.mean_makespan, 2),
+                   fmt(eval.worst_makespan, 2), fmt(eval.cvar90_makespan, 2),
+                   fmt(eval.worst_regret, 2), fmt(eval.worst_ratio, 3)});
+  }
+  std::cout << table.render() << "\n";
+
+  const std::size_t pick = select_min_max(strategies, inst, scenarios, config);
+  std::cout << "Min-max selection: " << strategies[pick].name() << "\n"
+            << "\nShape: worst regret and worst ratio improve sharply with\n"
+            << "replication (full replication adapts online); raw worst-case\n"
+            << "makespan can tie when a scenario slows every task uniformly,\n"
+            << "which is why selection tie-breaks on regret.\n";
+  return EXIT_SUCCESS;
+}

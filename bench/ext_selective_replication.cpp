@@ -1,0 +1,80 @@
+// Extension experiment E (the paper's future work made concrete):
+// replication with a *cost*. Two sweeps:
+//   1. critical-fraction sweep -- replicate only the f largest tasks;
+//      measures how much of full replication's robustness a few critical
+//      replicas buy, and what they cost in memory.
+//   2. memory-budget sweep -- the same question with the budget as the
+//      independent variable.
+//
+// Usage: ext_selective_replication [--m=8] [--n=40] [--trials=6]
+#include <cstdlib>
+#include <iostream>
+
+#include "algo/selective.hpp"
+#include "algo/strategy.hpp"
+#include "cli/args.hpp"
+#include "core/metrics.hpp"
+#include "exp/ratio_experiment.hpp"
+#include "io/table.hpp"
+#include "perturb/stochastic.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rdp;
+  const Args args(argc, argv);
+  const auto m = static_cast<MachineId>(args.get("m", std::int64_t{8}));
+  const auto n = static_cast<std::size_t>(args.get("n", std::int64_t{40}));
+  const auto trials = static_cast<std::size_t>(args.get("trials", std::int64_t{6}));
+
+  WorkloadParams params;
+  params.num_tasks = n;
+  params.num_machines = m;
+  params.alpha = 2.0;
+  params.seed = 17;
+  const Instance inst = uniform_workload(params, 1.0, 10.0);
+
+  RatioExperimentConfig config;
+  config.exact_node_budget = 200'000;
+
+  std::cout << "=== Ext-E: selective replication (m=" << m << ", n=" << n
+            << ", alpha=2) ===\n\n--- 1. critical-fraction sweep ---\n";
+  TextTable frac_table({"fraction", "adversary ratio", "mean(2pt)", "Mem_max",
+                        "replicas total"});
+  for (double f : {0.0, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0}) {
+    const TwoPhaseStrategy s = make_critical_tasks(f);
+    const Placement placement = s.place(inst);
+    const RatioTrial adv = measure_adversarial_ratio(s, inst, config);
+    const RatioAggregate agg =
+        measure_ratio_batch(s, inst, NoiseModel::kTwoPoint, trials, 3, config);
+    frac_table.add_row({fmt(f, 2), fmt(adv.ratio), fmt(agg.ratios.mean()),
+                        fmt(max_memory(placement, inst), 0),
+                        std::to_string(placement.total_replicas())});
+  }
+  std::cout << frac_table.render()
+            << "\nShape: the first ~10% of (large) tasks buys most of the\n"
+               "adversarial-ratio improvement at a fraction of full\n"
+               "replication's memory.\n\n";
+
+  std::cout << "--- 2. memory-budget sweep (unit task sizes) ---\n";
+  TextTable budget_table({"extra budget", "adversary ratio", "mean(2pt)",
+                          "Mem_max", "widened tasks"});
+  for (double b : {0.0, 7.0, 14.0, 35.0, 70.0, 140.0, 280.0}) {
+    const TwoPhaseStrategy s = make_memory_budget(b);
+    const Placement placement = s.place(inst);
+    std::size_t widened = 0;
+    for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+      widened += placement.replication_degree(j) > 1;
+    }
+    const RatioTrial adv = measure_adversarial_ratio(s, inst, config);
+    const RatioAggregate agg =
+        measure_ratio_batch(s, inst, NoiseModel::kTwoPoint, trials, 3, config);
+    budget_table.add_row({fmt(b, 0), fmt(adv.ratio), fmt(agg.ratios.mean()),
+                          fmt(max_memory(placement, inst), 0),
+                          std::to_string(widened)});
+  }
+  std::cout << budget_table.render()
+            << "\nShape: diminishing returns in the budget -- consistent with\n"
+               "the paper's 'even a small amount of replication improves the\n"
+               "guarantee significantly'.\n";
+  return EXIT_SUCCESS;
+}

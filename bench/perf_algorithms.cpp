@@ -1,0 +1,121 @@
+// Extension experiment C: google-benchmark throughput of the library's
+// kernels -- offline LPT, the online dispatcher across placement shapes,
+// the exact solvers, and MULTIFIT -- to document the cost of each moving
+// part and its scaling in n and m.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "algo/dispatch_policies.hpp"
+#include "algo/lpt.hpp"
+#include "algo/strategy.hpp"
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "exact/dual_approx.hpp"
+#include "perturb/stochastic.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace rdp;
+
+Instance bench_instance(std::size_t n, MachineId m) {
+  WorkloadParams params;
+  params.num_tasks = n;
+  params.num_machines = m;
+  params.alpha = 1.5;
+  params.seed = 42;
+  return uniform_workload(params, 1.0, 100.0);
+}
+
+void BM_LptSchedule(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<MachineId>(state.range(1));
+  const Instance inst = bench_instance(n, m);
+  const auto estimates = inst.estimates();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lpt_schedule(estimates, m));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LptSchedule)
+    ->Args({1000, 16})
+    ->Args({10000, 16})
+    ->Args({100000, 16})
+    ->Args({100000, 256});
+
+void BM_ListSchedule(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = bench_instance(n, 16);
+  const auto estimates = inst.estimates();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list_schedule(estimates, 16));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ListSchedule)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DispatchEverywhere(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<MachineId>(state.range(1));
+  const Instance inst = bench_instance(n, m);
+  const Placement placement = Placement::everywhere(n, m);
+  const Realization actual = realize(inst, NoiseModel::kUniform, 7);
+  const auto priority = make_priority(inst, PriorityRule::kLongestEstimateFirst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dispatch_online(inst, placement, actual, priority));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DispatchEverywhere)->Args({1000, 16})->Args({10000, 16})->Args({10000, 64});
+
+void BM_DispatchGroups(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const MachineId m = 16;
+  const auto k = static_cast<MachineId>(state.range(1));
+  const Instance inst = bench_instance(n, m);
+  const Placement placement = LsGroupPlacement(k).place(inst);
+  const Realization actual = realize(inst, NoiseModel::kUniform, 7);
+  const auto priority = make_priority(inst, PriorityRule::kInputOrder);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dispatch_online(inst, placement, actual, priority));
+  }
+}
+BENCHMARK(BM_DispatchGroups)->Args({10000, 2})->Args({10000, 4})->Args({10000, 16});
+
+void BM_BranchAndBound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = bench_instance(n, 4);
+  const auto estimates = inst.estimates();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(branch_and_bound_cmax(estimates, 4));
+  }
+}
+BENCHMARK(BM_BranchAndBound)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_Multifit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = bench_instance(n, 16);
+  const auto estimates = inst.estimates();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multifit_cmax(estimates, 16));
+  }
+}
+BENCHMARK(BM_Multifit)->Arg(1000)->Arg(10000);
+
+void BM_FullStrategyRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = bench_instance(n, 16);
+  const Realization actual = realize(inst, NoiseModel::kUniform, 3);
+  const TwoPhaseStrategy strategy = make_ls_group(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy.run(inst, actual));
+  }
+}
+BENCHMARK(BM_FullStrategyRun)->Arg(1000)->Arg(10000);
+
+}  // namespace

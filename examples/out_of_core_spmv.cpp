@@ -1,0 +1,83 @@
+// Out-of-core sparse solver scenario (the paper's motivating application,
+// cf. its citations to out-of-core sparse linear algebra): an iterative
+// solver sweeps the same matrix blocks many times. Block times are
+// predicted from nonzero counts with a model error of up to alpha; block
+// data is large, so a task can only run where its blocks are staged.
+//
+// Replication is paid ONCE (staging) but pays off EVERY sweep, so this
+// example measures total time over `iters` sweeps -- the amortization
+// argument from the paper's introduction.
+//
+//   $ ./out_of_core_spmv [--blocks=64] [--m=8] [--iters=20] [--alpha=1.6]
+#include <cstdlib>
+#include <iostream>
+
+#include "algo/strategy.hpp"
+#include "cli/args.hpp"
+#include "core/metrics.hpp"
+#include "exact/lower_bounds.hpp"
+#include "io/table.hpp"
+#include "perturb/stochastic.hpp"
+#include "workload/matrix_block.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rdp;
+  const Args args(argc, argv);
+
+  MatrixBlockParams mp;
+  mp.num_blocks = static_cast<std::size_t>(args.get("blocks", std::int64_t{64}));
+  mp.num_machines = static_cast<MachineId>(args.get("m", std::int64_t{8}));
+  mp.alpha = args.get("alpha", 1.6);
+  mp.seed = 99;
+  const auto iters = static_cast<std::size_t>(args.get("iters", std::int64_t{20}));
+
+  const MatrixBlockWorkload workload = make_matrix_block_workload(mp);
+  const Instance& inst = workload.instance;
+
+  std::cout << "=== Out-of-core SpMV: " << mp.num_blocks << " blocks on "
+            << mp.num_machines << " machines, " << iters << " solver sweeps ===\n"
+            << "Block time model: seconds = " << mp.seconds_per_nnz
+            << " * nnz, trusted within x" << mp.alpha << ".\n\n";
+
+  TextTable table({"strategy", "total time", "vs best", "staged bytes/machine",
+                   "replicas"});
+  struct Row {
+    std::string name;
+    double total = 0;
+    double mem = 0;
+    std::size_t replicas = 0;
+  };
+  std::vector<Row> rows;
+
+  for (const TwoPhaseStrategy& strategy :
+       {make_lpt_no_choice(), make_ls_group(4), make_ls_group(2),
+        make_lpt_no_restriction()}) {
+    // Phase 1 once: stage the data.
+    const Placement placement = strategy.place(inst);
+    Row row;
+    row.name = strategy.name();
+    row.mem = max_memory(placement, inst);
+    row.replicas = placement.max_replication_degree();
+    // Each sweep realizes fresh actual times (cache state, NUMA, I/O).
+    for (std::size_t it = 0; it < iters; ++it) {
+      const Realization actual = realize(inst, NoiseModel::kLogUniform, 1000 + it);
+      const DispatchResult sweep =
+          dispatch_with_rule(inst, placement, actual, strategy.rule());
+      row.total += sweep.schedule.makespan();
+    }
+    rows.push_back(row);
+  }
+
+  double best = rows.front().total;
+  for (const Row& r : rows) best = std::min(best, r.total);
+  for (const Row& r : rows) {
+    table.add_row({r.name, fmt(r.total, 3), fmt(r.total / best, 3), fmt(r.mem, 0),
+                   std::to_string(r.replicas)});
+  }
+  std::cout << table.render() << "\n"
+            << "The one-off staging cost of replication buys a faster sweep\n"
+            << "every iteration; with " << iters
+            << " sweeps, group replication recovers most of the full-\n"
+            << "replication speedup at a fraction of the memory.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,53 @@
+// Profile tour: every built-in workload profile (the application shapes
+// from the paper's motivation) against the full paper strategy family --
+// a one-screen answer to "which replication strategy fits my workload?".
+//
+//   $ ./profile_tour [--n=48] [--m=8] [--seed=5]
+#include <cstdlib>
+#include <iostream>
+
+#include "algo/strategy.hpp"
+#include "cli/args.hpp"
+#include "exact/optimal.hpp"
+#include "io/table.hpp"
+#include "workload/profiles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rdp;
+  const Args args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get("n", std::int64_t{48}));
+  const auto m = static_cast<MachineId>(args.get("m", std::int64_t{8}));
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{5}));
+
+  std::cout << "=== Workload profile tour (n=" << n << ", m=" << m << ") ===\n\n";
+
+  for (const WorkloadProfile& profile : builtin_profiles()) {
+    const ProfiledWorkload w = make_profiled_workload(profile.name, n, m, seed);
+    const CertifiedCmax opt =
+        certified_cmax(w.actual.actual, m, /*node_budget=*/200'000);
+
+    std::cout << profile.name << " -- " << profile.description << "\n"
+              << "  (alpha " << profile.alpha << ", typical noise "
+              << to_string(profile.typical_noise) << ")\n";
+    TextTable table({"strategy", "C_max", "ratio vs OPT-LB", "replicas"});
+    std::string best_name;
+    double best_ratio = 1e300;
+    for (const TwoPhaseStrategy& s : paper_strategy_family(m)) {
+      const StrategyResult r = s.run(w.instance, w.actual);
+      const double ratio = r.makespan / opt.lower;
+      table.add_row({s.name(), fmt(r.makespan, 2), fmt(ratio, 3),
+                     std::to_string(r.max_replication)});
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best_name = s.name();
+      }
+    }
+    std::cout << table.render() << "  winner: " << best_name << "\n\n";
+  }
+  std::cout << "Pattern: noisy profiles (stragglers, out-of-core) reward\n"
+            << "replication strongly; well-calibrated ones (web requests)\n"
+            << "barely distinguish the strategies -- alpha is the knob that\n"
+            << "decides how much replication is worth, exactly as Figure 3's\n"
+            << "guarantee curves predict.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,76 @@
+// Straggler mitigation shoot-out: the two coping mechanisms from the
+// paper's introduction -- data replication (this paper's subject) and
+// speculative task duplication (its cited alternative) -- head to head
+// and combined, on a cluster with slow machines and noisy estimates.
+//
+//   $ ./straggler_mitigation [--m=8] [--n=48] [--slow=0.3] [--jobs=10]
+#include <cstdlib>
+#include <iostream>
+
+#include "algo/dispatch_policies.hpp"
+#include "algo/strategy.hpp"
+#include "cli/args.hpp"
+#include "io/table.hpp"
+#include "perturb/stochastic.hpp"
+#include "sim/speculative.hpp"
+#include "stats/welford.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rdp;
+  const Args args(argc, argv);
+  const auto m = static_cast<MachineId>(args.get("m", std::int64_t{8}));
+  const auto n = static_cast<std::size_t>(args.get("n", std::int64_t{48}));
+  const double slow = args.get("slow", 0.3);
+  const auto jobs = static_cast<std::size_t>(args.get("jobs", std::int64_t{10}));
+
+  WorkloadParams params;
+  params.num_tasks = n;
+  params.num_machines = m;
+  params.alpha = 1.6;
+  params.seed = 71;
+  const Instance inst = uniform_workload(params, 1.0, 10.0);
+  const SpeedProfile speeds = SpeedProfile::with_stragglers(m, 2, slow);
+
+  std::cout << "=== Straggler mitigation: replication vs speculation (m=" << m
+            << ", 2 machines at " << slow << "x speed) ===\n\n";
+
+  struct Mechanism {
+    const char* label;
+    TwoPhaseStrategy strategy;
+    bool speculate;
+  };
+  const Mechanism mechanisms[] = {
+      {"neither (pin everything)", make_lpt_no_choice(), false},
+      {"speculation only", make_lpt_no_choice(), true},
+      {"replication only (k=2)", make_ls_group(2), false},
+      {"both (k=2 + speculation)", make_ls_group(2), true},
+      {"full replication", make_lpt_no_restriction(), false},
+      {"full replication + speculation", make_lpt_no_restriction(), true},
+  };
+
+  TextTable table({"mechanism", "mean C_max", "backups/job", "waste/job"});
+  for (const Mechanism& mech : mechanisms) {
+    const Placement placement = mech.strategy.place(inst);
+    const auto priority = make_priority(inst, mech.strategy.rule());
+    SpeculationPolicy policy;
+    policy.enabled = mech.speculate;
+    Welford cmax, backups, waste;
+    for (std::size_t job = 0; job < jobs; ++job) {
+      const Realization actual = realize(inst, NoiseModel::kUniform, 300 + job);
+      const SpeculativeResult r =
+          dispatch_speculative(inst, placement, actual, priority, speeds, policy);
+      cmax.add(r.makespan);
+      backups.add(static_cast<double>(r.duplicates_launched));
+      waste.add(r.wasted_time);
+    }
+    table.add_row({mech.label, fmt(cmax.mean(), 2), fmt(backups.mean(), 1),
+                   fmt(waste.mean(), 1)});
+  }
+  std::cout << table.render() << "\n"
+            << "Reading: speculation alone is useless without replicas to host\n"
+            << "the backups (pinning gates it); replication alone adapts but\n"
+            << "cannot cancel a task already crawling on a straggler; combined\n"
+            << "they stack -- at the price of duplicated (wasted) work.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,39 @@
+// Phase-2 policies: the priority rule fed to the online dispatcher.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/online_dispatcher.hpp"
+
+namespace rdp {
+
+class Instance;
+class Placement;
+struct Realization;
+
+/// Order in which the semi-clairvoyant dispatcher offers tasks to idle
+/// machines. Only estimates may inform the order (actual times are
+/// unknown until completion).
+enum class PriorityRule {
+  kInputOrder,            ///< Graham's List Scheduling
+  kLongestEstimateFirst,  ///< online LPT over estimates
+  kShortestEstimateFirst, ///< SPT baseline (extension)
+};
+
+/// Printable name of a rule ("ls", "lpt", "spt").
+[[nodiscard]] std::string to_string(PriorityRule rule);
+
+/// Builds the task permutation realizing `rule` on `instance`.
+[[nodiscard]] std::vector<TaskId> make_priority(const Instance& instance,
+                                                PriorityRule rule);
+
+/// Convenience wrapper: build the priority for `rule` and run phase 2.
+[[nodiscard]] DispatchResult dispatch_with_rule(const Instance& instance,
+                                                const Placement& placement,
+                                                const Realization& actual,
+                                                PriorityRule rule,
+                                                std::vector<Time> initial_ready = {});
+
+}  // namespace rdp

@@ -1,0 +1,74 @@
+#include "algo/list_scheduling.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace rdp {
+
+namespace {
+
+struct MachineSlot {
+  Time load;
+  MachineId id;
+  // Min-heap on (load, id): std::priority_queue is a max-heap, so invert.
+  bool operator<(const MachineSlot& other) const noexcept {
+    if (load != other.load) return load > other.load;
+    return id > other.id;
+  }
+};
+
+GreedyScheduleResult greedy_over(std::span<const Time> weights,
+                                 std::span<const TaskId> order,
+                                 std::vector<Time> initial_loads) {
+  const auto m = static_cast<MachineId>(initial_loads.size());
+  if (m == 0) throw std::invalid_argument("list_schedule: need at least one machine");
+
+  GreedyScheduleResult result;
+  result.assignment = Assignment(weights.size());
+  result.loads = std::move(initial_loads);
+
+  std::priority_queue<MachineSlot> heap;
+  for (MachineId i = 0; i < m; ++i) heap.push({result.loads[i], i});
+
+  for (TaskId j : order) {
+    if (j >= weights.size()) {
+      throw std::out_of_range("list_schedule: task id out of range");
+    }
+    if (result.assignment[j] != kNoMachine) {
+      throw std::invalid_argument("list_schedule: duplicate task in order");
+    }
+    MachineSlot slot = heap.top();
+    heap.pop();
+    result.assignment.machine_of[j] = slot.id;
+    slot.load += weights[j];
+    result.loads[slot.id] = slot.load;
+    heap.push(slot);
+  }
+  result.makespan =
+      result.loads.empty() ? 0 : *std::max_element(result.loads.begin(), result.loads.end());
+  return result;
+}
+
+}  // namespace
+
+GreedyScheduleResult list_schedule(std::span<const Time> weights,
+                                   MachineId num_machines) {
+  std::vector<TaskId> order(weights.size());
+  for (TaskId j = 0; j < weights.size(); ++j) order[j] = j;
+  return greedy_over(weights, order, std::vector<Time>(num_machines, 0));
+}
+
+GreedyScheduleResult list_schedule(std::span<const Time> weights, MachineId num_machines,
+                                   std::span<const TaskId> order) {
+  return greedy_over(weights, order, std::vector<Time>(num_machines, 0));
+}
+
+GreedyScheduleResult list_schedule_onto(std::span<const Time> weights,
+                                        std::span<const TaskId> order,
+                                        std::vector<Time> initial_loads) {
+  return greedy_over(weights, order, std::move(initial_loads));
+}
+
+}  // namespace rdp

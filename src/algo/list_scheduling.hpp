@@ -1,0 +1,41 @@
+// Graham's List Scheduling kernel (offline form): take tasks one at a time
+// in a given order and put each on the currently least-loaded machine.
+// This is the building block of every phase-1 policy in the library.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+/// Result of an offline greedy schedule over a weight vector.
+struct GreedyScheduleResult {
+  Assignment assignment;    ///< task -> machine
+  std::vector<Time> loads;  ///< final per-machine load
+  Time makespan = 0;        ///< max load
+};
+
+/// List Scheduling in input order (task 0 first). Ties between equally
+/// loaded machines break toward the smallest machine id, which makes the
+/// kernel fully deterministic.
+[[nodiscard]] GreedyScheduleResult list_schedule(std::span<const Time> weights,
+                                                 MachineId num_machines);
+
+/// List Scheduling in an explicit order (a permutation of task ids).
+/// `order` may be a prefix (only those tasks get assigned; the rest stay
+/// kNoMachine and contribute no load).
+[[nodiscard]] GreedyScheduleResult list_schedule(std::span<const Time> weights,
+                                                 MachineId num_machines,
+                                                 std::span<const TaskId> order);
+
+/// List Scheduling that starts from pre-existing machine loads (used by
+/// ABO phase 2, where replicated tasks are dispatched after the pinned
+/// memory-intensive tasks).
+[[nodiscard]] GreedyScheduleResult list_schedule_onto(std::span<const Time> weights,
+                                                      std::span<const TaskId> order,
+                                                      std::vector<Time> initial_loads);
+
+}  // namespace rdp

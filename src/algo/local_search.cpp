@@ -1,0 +1,109 @@
+#include "algo/local_search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "algo/lpt.hpp"
+
+namespace rdp {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+MachineId argmax_load(const std::vector<Time>& loads) {
+  return static_cast<MachineId>(
+      std::max_element(loads.begin(), loads.end()) - loads.begin());
+}
+
+}  // namespace
+
+LocalSearchResult improve_assignment(std::span<const Time> p, MachineId m,
+                                     const Assignment& start,
+                                     std::size_t max_steps) {
+  if (m == 0) throw std::invalid_argument("improve_assignment: m must be >= 1");
+  if (start.num_tasks() != p.size() || !start.complete()) {
+    throw std::invalid_argument("improve_assignment: start must be complete");
+  }
+
+  LocalSearchResult result;
+  result.assignment = start;
+  std::vector<Time> loads(m, 0);
+  std::vector<std::vector<TaskId>> tasks_on(m);
+  for (TaskId j = 0; j < p.size(); ++j) {
+    const MachineId i = start[j];
+    if (i >= m) throw std::out_of_range("improve_assignment: machine out of range");
+    loads[i] += p[j];
+    tasks_on[i].push_back(j);
+  }
+
+  auto relocate = [&](TaskId j, MachineId from, MachineId to) {
+    auto& source = tasks_on[from];
+    source.erase(std::find(source.begin(), source.end(), j));
+    tasks_on[to].push_back(j);
+    loads[from] -= p[j];
+    loads[to] += p[j];
+    result.assignment.machine_of[j] = to;
+  };
+
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const MachineId critical = argmax_load(loads);
+    const Time cmax = loads[critical];
+    bool improved = false;
+
+    // Moves: push a task off the critical machine wherever the pair's
+    // new maximum is strictly smaller.
+    for (TaskId j : tasks_on[critical]) {
+      for (MachineId to = 0; to < m && !improved; ++to) {
+        if (to == critical) continue;
+        const Time new_pair_max =
+            std::max(loads[critical] - p[j], loads[to] + p[j]);
+        if (new_pair_max < cmax - kEps) {
+          relocate(j, critical, to);
+          ++result.moves;
+          improved = true;
+        }
+      }
+      if (improved) break;
+    }
+    if (improved) continue;
+
+    // Swaps: exchange a critical task with a smaller task elsewhere.
+    for (std::size_t a = 0; a < tasks_on[critical].size() && !improved; ++a) {
+      const TaskId j = tasks_on[critical][a];
+      for (MachineId other = 0; other < m && !improved; ++other) {
+        if (other == critical) continue;
+        for (std::size_t b = 0; b < tasks_on[other].size(); ++b) {
+          const TaskId k = tasks_on[other][b];
+          const Time delta = p[j] - p[k];
+          if (delta <= kEps) continue;  // must unload the critical machine
+          const Time new_pair_max =
+              std::max(loads[critical] - delta, loads[other] + delta);
+          if (new_pair_max < cmax - kEps) {
+            relocate(j, critical, other);
+            relocate(k, other, critical);
+            ++result.swaps;
+            improved = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!improved) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.makespan = *std::max_element(loads.begin(), loads.end());
+  return result;
+}
+
+LocalSearchResult lpt_plus_local_search(std::span<const Time> p, MachineId m,
+                                        std::size_t max_steps) {
+  const GreedyScheduleResult lpt = lpt_schedule(p, m);
+  return improve_assignment(p, m, lpt.assignment, max_steps);
+}
+
+}  // namespace rdp

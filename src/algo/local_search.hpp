@@ -1,0 +1,39 @@
+// Local-search improvement for P||Cmax assignments: first-improvement
+// move/swap descent from any starting assignment. Used to tighten upper
+// bounds beyond LPT/MULTIFIT (the incumbent fed to branch-and-bound) and
+// as an any-time "polish" pass for large instances where exact search is
+// out of reach.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+struct LocalSearchResult {
+  Assignment assignment;
+  Time makespan = 0;
+  std::size_t moves = 0;   ///< single-task relocations applied
+  std::size_t swaps = 0;   ///< pairwise exchanges applied
+  bool converged = false;  ///< true when no improving move/swap remains
+};
+
+/// Descends from `start` (must be complete). A *move* relocates one task
+/// off a critical machine; a *swap* exchanges tasks between a critical
+/// machine and another. Each accepted step strictly reduces the makespan
+/// (lexicographically: makespan, then the critical machine's load), so
+/// termination is guaranteed; `max_steps` additionally caps the work.
+[[nodiscard]] LocalSearchResult improve_assignment(std::span<const Time> p,
+                                                   MachineId m,
+                                                   const Assignment& start,
+                                                   std::size_t max_steps = 100'000);
+
+/// Convenience: LPT start + descent.
+[[nodiscard]] LocalSearchResult lpt_plus_local_search(std::span<const Time> p,
+                                                      MachineId m,
+                                                      std::size_t max_steps = 100'000);
+
+}  // namespace rdp

@@ -1,0 +1,32 @@
+#include "algo/lpt.hpp"
+
+#include <algorithm>
+
+namespace rdp {
+
+std::vector<TaskId> lpt_order(std::span<const Time> weights) {
+  std::vector<TaskId> order(weights.size());
+  for (TaskId j = 0; j < weights.size(); ++j) order[j] = j;
+  std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    return weights[a] > weights[b];
+  });
+  return order;
+}
+
+GreedyScheduleResult lpt_schedule(std::span<const Time> weights,
+                                  MachineId num_machines) {
+  const std::vector<TaskId> order = lpt_order(weights);
+  return list_schedule(weights, num_machines, order);
+}
+
+double lpt_guarantee(MachineId num_machines) {
+  const double m = static_cast<double>(num_machines);
+  return 4.0 / 3.0 - 1.0 / (3.0 * m);
+}
+
+double list_scheduling_guarantee(MachineId num_machines) {
+  const double m = static_cast<double>(num_machines);
+  return 2.0 - 1.0 / m;
+}
+
+}  // namespace rdp

@@ -1,0 +1,104 @@
+#include "algo/overlap.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "rng/rng.hpp"
+
+namespace rdp {
+
+SlidingWindowPlacement::SlidingWindowPlacement(MachineId window) : window_(window) {
+  if (window_ == 0) {
+    throw std::invalid_argument("SlidingWindowPlacement: window must be >= 1");
+  }
+}
+
+Placement SlidingWindowPlacement::place(const Instance& instance) const {
+  const MachineId m = instance.num_machines();
+  if (window_ > m) {
+    throw std::invalid_argument("SlidingWindowPlacement: window exceeds m");
+  }
+  const std::size_t n = instance.num_tasks();
+  const double r = static_cast<double>(window_);
+
+  // Greedy anchor choice: each machine carries an accumulated fractional
+  // load (estimate/r for every window covering it); a task anchors at the
+  // start position whose window currently has the smallest total load.
+  std::vector<double> load(m, 0.0);
+  std::vector<std::vector<MachineId>> sets(n);
+  for (TaskId j = 0; j < n; ++j) {
+    MachineId best_anchor = 0;
+    double best_load = std::numeric_limits<double>::infinity();
+    for (MachineId a = 0; a < m; ++a) {
+      double window_load = 0;
+      for (MachineId o = 0; o < window_; ++o) {
+        window_load += load[(a + o) % m];
+      }
+      if (window_load < best_load) {
+        best_load = window_load;
+        best_anchor = a;
+      }
+    }
+    std::vector<MachineId> set(window_);
+    for (MachineId o = 0; o < window_; ++o) {
+      const MachineId machine = (best_anchor + o) % m;
+      set[o] = machine;
+      load[machine] += instance.estimate(j) / r;
+    }
+    sets[j] = std::move(set);
+  }
+  return Placement(std::move(sets), m);
+}
+
+std::string SlidingWindowPlacement::name() const {
+  return "sliding-window(r=" + std::to_string(window_) + ")";
+}
+
+RandomSubsetPlacement::RandomSubsetPlacement(MachineId degree, std::uint64_t seed)
+    : degree_(degree), seed_(seed) {
+  if (degree_ == 0) {
+    throw std::invalid_argument("RandomSubsetPlacement: degree must be >= 1");
+  }
+}
+
+Placement RandomSubsetPlacement::place(const Instance& instance) const {
+  const MachineId m = instance.num_machines();
+  if (degree_ > m) {
+    throw std::invalid_argument("RandomSubsetPlacement: degree exceeds m");
+  }
+  Xoshiro256 rng(seed_);
+  std::vector<std::vector<MachineId>> sets(instance.num_tasks());
+  std::vector<MachineId> pool(m);
+  for (MachineId i = 0; i < m; ++i) pool[i] = i;
+  for (auto& set : sets) {
+    // Partial Fisher-Yates: first `degree_` entries become the subset.
+    for (MachineId d = 0; d < degree_; ++d) {
+      const auto pick =
+          d + static_cast<MachineId>(rng.next_below(m - d));
+      std::swap(pool[d], pool[pick]);
+    }
+    set.assign(pool.begin(), pool.begin() + degree_);
+  }
+  return Placement(std::move(sets), m);
+}
+
+std::string RandomSubsetPlacement::name() const {
+  return "random-subset(r=" + std::to_string(degree_) + ")";
+}
+
+TwoPhaseStrategy make_sliding_window(MachineId window) {
+  return TwoPhaseStrategy(std::make_shared<SlidingWindowPlacement>(window),
+                          PriorityRule::kInputOrder,
+                          "SlidingWindow(r=" + std::to_string(window) + ")");
+}
+
+TwoPhaseStrategy make_random_subset(MachineId degree, std::uint64_t seed) {
+  return TwoPhaseStrategy(std::make_shared<RandomSubsetPlacement>(degree, seed),
+                          PriorityRule::kInputOrder,
+                          "RandomSubset(r=" + std::to_string(degree) + ")");
+}
+
+}  // namespace rdp

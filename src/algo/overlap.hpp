@@ -1,0 +1,55 @@
+// General (non-partition) replication policies -- the paper's future-work
+// observation that "more general replication policies can certainly lead
+// to better guarantees". Partition groups isolate load imbalance inside a
+// group; overlapping windows let neighbouring groups share slack.
+//
+//  * SlidingWindowPlacement(r): task j's replica set is a window of r
+//    consecutive machines {a, a+1, ..., a+r-1 (mod m)}; anchors are
+//    chosen greedily so the estimated load spread over window members is
+//    balanced. r may be any value in [1, m] -- no divisibility needed.
+//  * RandomSubsetPlacement(r, seed): r machines drawn uniformly per task;
+//    the random baseline for degree-r policies.
+#pragma once
+
+#include <cstdint>
+
+#include "algo/placement_policies.hpp"
+#include "algo/strategy.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+class SlidingWindowPlacement final : public PlacementPolicy {
+ public:
+  /// \param window replication degree r in [1, m] (checked at place()).
+  explicit SlidingWindowPlacement(MachineId window);
+
+  [[nodiscard]] Placement place(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] MachineId window() const noexcept { return window_; }
+
+ private:
+  MachineId window_;
+};
+
+class RandomSubsetPlacement final : public PlacementPolicy {
+ public:
+  RandomSubsetPlacement(MachineId degree, std::uint64_t seed);
+
+  [[nodiscard]] Placement place(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  MachineId degree_;
+  std::uint64_t seed_;
+};
+
+/// Sliding-window strategy with online LS dispatch (the natural analogue
+/// of LS-Group for overlapping sets).
+[[nodiscard]] TwoPhaseStrategy make_sliding_window(MachineId window);
+
+/// Random-subset strategy with online LS dispatch.
+[[nodiscard]] TwoPhaseStrategy make_random_subset(MachineId degree,
+                                                  std::uint64_t seed);
+
+}  // namespace rdp

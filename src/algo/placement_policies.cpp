@@ -1,0 +1,91 @@
+#include "algo/placement_policies.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "algo/list_scheduling.hpp"
+#include "algo/lpt.hpp"
+#include "core/instance.hpp"
+#include "exact/dual_approx.hpp"
+#include "rng/rng.hpp"
+
+namespace rdp {
+
+namespace {
+
+void require_divides(MachineId k, MachineId m) {
+  if (k == 0 || m % k != 0) {
+    throw std::invalid_argument("group placement: k must divide m (k=" +
+                                std::to_string(k) + ", m=" + std::to_string(m) + ")");
+  }
+}
+
+}  // namespace
+
+Placement LptNoChoicePlacement::place(const Instance& instance) const {
+  const auto estimates = instance.estimates();
+  const GreedyScheduleResult lpt = lpt_schedule(estimates, instance.num_machines());
+  return Placement::singleton(lpt.assignment.machine_of, instance.num_machines());
+}
+
+Placement ReplicateEverywherePlacement::place(const Instance& instance) const {
+  return Placement::everywhere(instance.num_tasks(), instance.num_machines());
+}
+
+LsGroupPlacement::LsGroupPlacement(MachineId num_groups) : k_(num_groups) {
+  if (k_ == 0) throw std::invalid_argument("LsGroupPlacement: k must be >= 1");
+}
+
+Placement LsGroupPlacement::place(const Instance& instance) const {
+  require_divides(k_, instance.num_machines());
+  const auto estimates = instance.estimates();
+  // List Scheduling over k "virtual machines" = the groups, input order.
+  const GreedyScheduleResult groups = list_schedule(estimates, k_);
+  return Placement::in_groups(groups.assignment.machine_of, k_,
+                              instance.num_machines());
+}
+
+std::string LsGroupPlacement::name() const {
+  return "ls-group(k=" + std::to_string(k_) + ")";
+}
+
+LptGroupPlacement::LptGroupPlacement(MachineId num_groups) : k_(num_groups) {
+  if (k_ == 0) throw std::invalid_argument("LptGroupPlacement: k must be >= 1");
+}
+
+Placement LptGroupPlacement::place(const Instance& instance) const {
+  require_divides(k_, instance.num_machines());
+  const auto estimates = instance.estimates();
+  const GreedyScheduleResult groups = lpt_schedule(estimates, k_);
+  return Placement::in_groups(groups.assignment.machine_of, k_,
+                              instance.num_machines());
+}
+
+std::string LptGroupPlacement::name() const {
+  return "lpt-group(k=" + std::to_string(k_) + ")";
+}
+
+Placement MultifitNoChoicePlacement::place(const Instance& instance) const {
+  const auto estimates = instance.estimates();
+  const MultifitResult mf = multifit_cmax(estimates, instance.num_machines());
+  return Placement::singleton(mf.assignment.machine_of, instance.num_machines());
+}
+
+Placement RandomSingletonPlacement::place(const Instance& instance) const {
+  Xoshiro256 rng(seed_);
+  std::vector<MachineId> machine_of(instance.num_tasks());
+  for (auto& i : machine_of) {
+    i = static_cast<MachineId>(rng.next_below(instance.num_machines()));
+  }
+  return Placement::singleton(machine_of, instance.num_machines());
+}
+
+Placement RoundRobinPlacement::place(const Instance& instance) const {
+  std::vector<MachineId> machine_of(instance.num_tasks());
+  for (TaskId j = 0; j < machine_of.size(); ++j) {
+    machine_of[j] = static_cast<MachineId>(j % instance.num_machines());
+  }
+  return Placement::singleton(machine_of, instance.num_machines());
+}
+
+}  // namespace rdp

@@ -1,0 +1,101 @@
+// Phase-1 policies: decide the replica sets M_j from the estimates alone.
+// The three policies of the paper (LPT-NoChoice, replicate-everywhere,
+// LS-Group) plus baseline policies used by the experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/placement.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+class Instance;
+
+/// Interface for phase-1 data placement.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Computes M_j for every task of `instance` using only estimates.
+  [[nodiscard]] virtual Placement place(const Instance& instance) const = 0;
+
+  /// Stable identifier, e.g. "lpt-no-choice".
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Strategy 1 placement: LPT over the estimates, each task pinned to a
+/// single machine (|M_j| = 1).
+class LptNoChoicePlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] Placement place(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override { return "lpt-no-choice"; }
+};
+
+/// Strategy 2 placement: every task replicated on every machine
+/// (|M_j| = m); all decisions deferred to phase 2.
+class ReplicateEverywherePlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] Placement place(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override { return "replicate-everywhere"; }
+};
+
+/// Strategy 3 placement: machines partitioned into k equal groups; tasks
+/// distributed to groups by List Scheduling over the estimates
+/// (|M_j| = m/k). Requires k to divide m.
+class LsGroupPlacement final : public PlacementPolicy {
+ public:
+  explicit LsGroupPlacement(MachineId num_groups);
+  [[nodiscard]] Placement place(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] MachineId num_groups() const noexcept { return k_; }
+
+ private:
+  MachineId k_;
+};
+
+/// Extension the paper speculates about ("a LPT-based algorithm may have
+/// better guarantee"): groups filled by LPT instead of LS.
+class LptGroupPlacement final : public PlacementPolicy {
+ public:
+  explicit LptGroupPlacement(MachineId num_groups);
+  [[nodiscard]] Placement place(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] MachineId num_groups() const noexcept { return k_; }
+
+ private:
+  MachineId k_;
+};
+
+/// Extension ablation: phase 1 packs with MULTIFIT (13/11) instead of
+/// LPT (4/3 - 1/(3m)); still |M_j| = 1. Probes how much a sharper
+/// offline packer improves the no-replication strategy in practice --
+/// a question the paper leaves open (its Theorem 2 analysis is tied to
+/// LPT's structure).
+class MultifitNoChoicePlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] Placement place(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override { return "multifit-no-choice"; }
+};
+
+/// Baseline: each task pinned to a uniformly random machine (seeded).
+class RandomSingletonPlacement final : public PlacementPolicy {
+ public:
+  explicit RandomSingletonPlacement(std::uint64_t seed) : seed_(seed) {}
+  [[nodiscard]] Placement place(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override { return "random-singleton"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Baseline: task j pinned to machine j mod m (estimate-oblivious).
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] Placement place(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+};
+
+}  // namespace rdp

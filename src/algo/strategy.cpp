@@ -1,0 +1,186 @@
+#include "algo/strategy.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "algo/overlap.hpp"
+#include "algo/selective.hpp"
+
+#include "core/instance.hpp"
+#include "core/metrics.hpp"
+#include "core/realization.hpp"
+#include "core/validate.hpp"
+
+namespace rdp {
+
+TwoPhaseStrategy::TwoPhaseStrategy(std::shared_ptr<const PlacementPolicy> placement,
+                                   PriorityRule rule, std::string name)
+    : placement_(std::move(placement)), rule_(rule), name_(std::move(name)) {
+  if (!placement_) {
+    throw std::invalid_argument("TwoPhaseStrategy: null placement policy");
+  }
+}
+
+Placement TwoPhaseStrategy::place(const Instance& instance) const {
+  Placement placement = placement_->place(instance);
+  throw_if_invalid(check_placement(instance, placement));
+  return placement;
+}
+
+StrategyResult TwoPhaseStrategy::run(const Instance& instance,
+                                     const Realization& actual) const {
+  StrategyResult result;
+  result.placement = place(instance);
+  DispatchResult dispatched = dispatch_with_rule(instance, result.placement, actual,
+                                                 rule_);
+  result.schedule = std::move(dispatched.schedule);
+  result.trace = std::move(dispatched.trace);
+  result.makespan = result.schedule.makespan();
+  result.max_memory = max_memory(result.placement, instance);
+  result.max_replication = result.placement.max_replication_degree();
+  return result;
+}
+
+TwoPhaseStrategy make_lpt_no_choice() {
+  return TwoPhaseStrategy(std::make_shared<LptNoChoicePlacement>(),
+                          PriorityRule::kInputOrder, "LPT-NoChoice");
+}
+
+TwoPhaseStrategy make_lpt_no_restriction() {
+  return TwoPhaseStrategy(std::make_shared<ReplicateEverywherePlacement>(),
+                          PriorityRule::kLongestEstimateFirst, "LPT-NoRestriction");
+}
+
+TwoPhaseStrategy make_ls_group(MachineId k) {
+  return TwoPhaseStrategy(std::make_shared<LsGroupPlacement>(k),
+                          PriorityRule::kInputOrder,
+                          "LS-Group(k=" + std::to_string(k) + ")");
+}
+
+TwoPhaseStrategy make_lpt_group(MachineId k) {
+  return TwoPhaseStrategy(std::make_shared<LptGroupPlacement>(k),
+                          PriorityRule::kLongestEstimateFirst,
+                          "LPT-Group(k=" + std::to_string(k) + ")");
+}
+
+TwoPhaseStrategy make_multifit_no_choice() {
+  return TwoPhaseStrategy(std::make_shared<MultifitNoChoicePlacement>(),
+                          PriorityRule::kInputOrder, "MULTIFIT-NoChoice");
+}
+
+TwoPhaseStrategy make_random_no_choice(std::uint64_t seed) {
+  return TwoPhaseStrategy(std::make_shared<RandomSingletonPlacement>(seed),
+                          PriorityRule::kInputOrder, "Random-NoChoice");
+}
+
+TwoPhaseStrategy make_round_robin_no_choice() {
+  return TwoPhaseStrategy(std::make_shared<RoundRobinPlacement>(),
+                          PriorityRule::kInputOrder, "RoundRobin-NoChoice");
+}
+
+TwoPhaseStrategy make_ls_no_restriction() {
+  return TwoPhaseStrategy(std::make_shared<ReplicateEverywherePlacement>(),
+                          PriorityRule::kInputOrder, "LS-NoRestriction");
+}
+
+namespace {
+
+// Splits "name:arg1:arg2" into pieces.
+std::vector<std::string> split_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t colon = spec.find(':', begin);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(begin));
+      break;
+    }
+    parts.push_back(spec.substr(begin, colon - begin));
+    begin = colon + 1;
+  }
+  return parts;
+}
+
+double parse_spec_number(const std::vector<std::string>& parts, std::size_t index,
+                         const std::string& spec) {
+  if (index >= parts.size() || parts[index].empty()) {
+    throw std::invalid_argument("strategy_from_spec: '" + spec +
+                                "' is missing a parameter");
+  }
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(parts[index], &consumed);
+    if (consumed != parts[index].size()) throw std::invalid_argument("junk");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("strategy_from_spec: bad parameter in '" + spec +
+                                "'");
+  }
+}
+
+}  // namespace
+
+TwoPhaseStrategy strategy_from_spec(const std::string& spec) {
+  const std::vector<std::string> parts = split_spec(spec);
+  const std::string& name = parts.front();
+  if (name == "lpt-no-choice") return make_lpt_no_choice();
+  if (name == "multifit-no-choice") return make_multifit_no_choice();
+  if (name == "lpt-no-restriction") return make_lpt_no_restriction();
+  if (name == "ls-no-restriction") return make_ls_no_restriction();
+  if (name == "round-robin") return make_round_robin_no_choice();
+  if (name == "random") {
+    const std::uint64_t seed =
+        parts.size() > 1 ? static_cast<std::uint64_t>(
+                               parse_spec_number(parts, 1, spec))
+                         : 1;
+    return make_random_no_choice(seed);
+  }
+  if (name == "ls-group") {
+    return make_ls_group(static_cast<MachineId>(parse_spec_number(parts, 1, spec)));
+  }
+  if (name == "lpt-group") {
+    return make_lpt_group(static_cast<MachineId>(parse_spec_number(parts, 1, spec)));
+  }
+  if (name == "sliding-window") {
+    return make_sliding_window(
+        static_cast<MachineId>(parse_spec_number(parts, 1, spec)));
+  }
+  if (name == "random-subset") {
+    const auto degree = static_cast<MachineId>(parse_spec_number(parts, 1, spec));
+    const std::uint64_t seed =
+        parts.size() > 2 ? static_cast<std::uint64_t>(
+                               parse_spec_number(parts, 2, spec))
+                         : 7;
+    return make_random_subset(degree, seed);
+  }
+  if (name == "critical-tasks") {
+    return make_critical_tasks(parse_spec_number(parts, 1, spec));
+  }
+  if (name == "memory-budget") {
+    return make_memory_budget(parse_spec_number(parts, 1, spec));
+  }
+  throw std::invalid_argument("strategy_from_spec: unknown strategy '" + spec +
+                              "'");
+}
+
+std::vector<std::string> known_strategy_specs() {
+  return {"lpt-no-choice",     "multifit-no-choice", "lpt-no-restriction",
+          "ls-no-restriction",
+          "ls-group:K",        "lpt-group:K",        "sliding-window:R",
+          "random-subset:R[:SEED]", "critical-tasks:F", "memory-budget:B",
+          "round-robin",       "random[:SEED]"};
+}
+
+std::vector<TwoPhaseStrategy> paper_strategy_family(MachineId m) {
+  std::vector<TwoPhaseStrategy> out;
+  out.push_back(make_lpt_no_choice());
+  for (MachineId k = m; k >= 1; --k) {
+    if (m % k == 0 && k != 1) {
+      out.push_back(make_ls_group(k));
+    }
+  }
+  out.push_back(make_lpt_no_restriction());
+  return out;
+}
+
+}  // namespace rdp

@@ -1,0 +1,100 @@
+// Two-phase strategies: a phase-1 placement policy paired with a phase-2
+// priority rule. The factories at the bottom construct exactly the
+// algorithms named in the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/dispatch_policies.hpp"
+#include "algo/placement_policies.hpp"
+#include "core/placement.hpp"
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+#include "sim/online_dispatcher.hpp"
+
+namespace rdp {
+
+class Instance;
+struct Realization;
+
+/// Everything a strategy run produces, ready for metric extraction.
+struct StrategyResult {
+  Placement placement;     ///< phase-1 output
+  Schedule schedule;       ///< phase-2 output (timed)
+  DispatchTrace trace;     ///< phase-2 decision log
+  Time makespan = 0;       ///< C_max under the realization
+  double max_memory = 0;   ///< Mem_max of the placement (replica sizes)
+  std::size_t max_replication = 0;  ///< max_j |M_j|
+};
+
+/// A named (placement policy, priority rule) pair.
+class TwoPhaseStrategy {
+ public:
+  TwoPhaseStrategy(std::shared_ptr<const PlacementPolicy> placement,
+                   PriorityRule rule, std::string name);
+
+  /// Runs phase 1 only.
+  [[nodiscard]] Placement place(const Instance& instance) const;
+
+  /// Runs both phases against a realization of the actual times.
+  [[nodiscard]] StrategyResult run(const Instance& instance,
+                                   const Realization& actual) const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] PriorityRule rule() const noexcept { return rule_; }
+  [[nodiscard]] const PlacementPolicy& placement_policy() const noexcept {
+    return *placement_;
+  }
+
+ private:
+  std::shared_ptr<const PlacementPolicy> placement_;
+  PriorityRule rule_;
+  std::string name_;
+};
+
+/// Strategy 1 of the paper: LPT placement on a single machine per task;
+/// phase 2 has no decisions (Theorem 2 guarantee).
+[[nodiscard]] TwoPhaseStrategy make_lpt_no_choice();
+
+/// Strategy 2 of the paper: replicate everywhere, online LPT dispatch
+/// (Theorem 3 guarantee).
+[[nodiscard]] TwoPhaseStrategy make_lpt_no_restriction();
+
+/// Strategy 3 of the paper: LS to k groups, online LS within groups
+/// (Theorem 4 guarantee). k must divide m at run time.
+[[nodiscard]] TwoPhaseStrategy make_ls_group(MachineId k);
+
+/// Extension: LPT in both phases over k groups.
+[[nodiscard]] TwoPhaseStrategy make_lpt_group(MachineId k);
+
+/// Ablation: MULTIFIT phase-1 packing, no replication.
+[[nodiscard]] TwoPhaseStrategy make_multifit_no_choice();
+
+/// Baselines for experiments.
+[[nodiscard]] TwoPhaseStrategy make_random_no_choice(std::uint64_t seed);
+[[nodiscard]] TwoPhaseStrategy make_round_robin_no_choice();
+
+/// Graham's plain online List Scheduling with full replication -- the
+/// classical 2 - 1/m competitive baseline the paper compares against.
+[[nodiscard]] TwoPhaseStrategy make_ls_no_restriction();
+
+/// The strategies of the paper's Table 1, for sweep harnesses:
+/// LPT-NoChoice, LS-Group for each divisor k of m, LPT-NoRestriction.
+[[nodiscard]] std::vector<TwoPhaseStrategy> paper_strategy_family(MachineId m);
+
+/// Resolves a strategy from a textual spec (CLI / config files):
+///   "lpt-no-choice" | "lpt-no-restriction" | "ls-no-restriction" |
+///   "ls-group:K" | "lpt-group:K" | "sliding-window:R" |
+///   "random-subset:R[:SEED]" | "critical-tasks:F" | "memory-budget:B" |
+///   "round-robin" | "random[:SEED]"
+/// Throws std::invalid_argument on an unknown name or malformed
+/// parameter.
+[[nodiscard]] TwoPhaseStrategy strategy_from_spec(const std::string& spec);
+
+/// All specs strategy_from_spec understands (for usage messages).
+[[nodiscard]] std::vector<std::string> known_strategy_specs();
+
+}  // namespace rdp

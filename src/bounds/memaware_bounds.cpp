@@ -1,0 +1,77 @@
+#include "bounds/memaware_bounds.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rdp {
+
+namespace {
+void require_params(double delta, double rho1, double rho2) {
+  if (!(delta > 0.0)) throw std::invalid_argument("memaware bounds: Delta must be > 0");
+  if (!(rho1 >= 1.0) || !(rho2 >= 1.0)) {
+    throw std::invalid_argument("memaware bounds: rho factors must be >= 1");
+  }
+}
+}  // namespace
+
+BiObjectiveGuarantee sbo_guarantee(double delta, double rho1, double rho2) {
+  require_params(delta, rho1, rho2);
+  return {(1.0 + delta) * rho1, (1.0 + 1.0 / delta) * rho2};
+}
+
+BiObjectiveGuarantee sabo_guarantee(double delta, double alpha, double rho1,
+                                    double rho2) {
+  require_params(delta, rho1, rho2);
+  if (!(alpha >= 1.0)) throw std::invalid_argument("memaware bounds: alpha >= 1");
+  return {(1.0 + delta) * alpha * alpha * rho1, (1.0 + 1.0 / delta) * rho2};
+}
+
+BiObjectiveGuarantee abo_guarantee(double delta, double alpha, MachineId m, double rho1,
+                                   double rho2) {
+  require_params(delta, rho1, rho2);
+  if (!(alpha >= 1.0)) throw std::invalid_argument("memaware bounds: alpha >= 1");
+  if (m == 0) throw std::invalid_argument("memaware bounds: m >= 1");
+  const double dm = static_cast<double>(m);
+  return {2.0 - 1.0 / dm + delta * alpha * alpha * rho1, (1.0 + dm / delta) * rho2};
+}
+
+double impossibility_memory_for_makespan(double makespan_factor) {
+  if (!(makespan_factor > 1.0)) {
+    throw std::invalid_argument(
+        "impossibility frontier: makespan factor must be > 1");
+  }
+  return 1.0 + 1.0 / (makespan_factor - 1.0);
+}
+
+std::vector<GuaranteeCurvePoint> guarantee_curve(MemAwareAlgorithm algorithm,
+                                                 double alpha, MachineId m, double rho1,
+                                                 double rho2, double delta_min,
+                                                 double delta_max, int points) {
+  if (!(delta_min > 0.0) || delta_min > delta_max || points < 2) {
+    throw std::invalid_argument("guarantee_curve: bad sweep parameters");
+  }
+  std::vector<GuaranteeCurvePoint> curve;
+  curve.reserve(static_cast<std::size_t>(points));
+  const double log_lo = std::log(delta_min);
+  const double log_hi = std::log(delta_max);
+  for (int i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    const double delta = std::exp(log_lo + t * (log_hi - log_lo));
+    BiObjectiveGuarantee g;
+    switch (algorithm) {
+      case MemAwareAlgorithm::kSbo:
+        g = sbo_guarantee(delta, rho1, rho2);
+        break;
+      case MemAwareAlgorithm::kSabo:
+        g = sabo_guarantee(delta, alpha, rho1, rho2);
+        break;
+      case MemAwareAlgorithm::kAbo:
+        g = abo_guarantee(delta, alpha, m, rho1, rho2);
+        break;
+    }
+    curve.push_back({delta, g});
+  }
+  return curve;
+}
+
+}  // namespace rdp

@@ -1,0 +1,52 @@
+// Closed-form guarantees of the memory-aware model (the paper's Table 2
+// and Figure 6). A bi-objective guarantee is a (makespan factor, memory
+// factor) pair; sweeping the knob Delta traces each algorithm's guarantee
+// curve in that plane.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rdp {
+
+/// A point in the (makespan approximation, memory approximation) plane.
+struct BiObjectiveGuarantee {
+  double makespan = 0;
+  double memory = 0;
+};
+
+/// SBO_Delta (substrate, certain processing times, no replication):
+/// [(1+Delta) rho1, (1+1/Delta) rho2].
+[[nodiscard]] BiObjectiveGuarantee sbo_guarantee(double delta, double rho1, double rho2);
+
+/// Theorems 5 & 6 -- SABO_Delta: [(1+Delta) alpha^2 rho1, (1+1/Delta) rho2].
+[[nodiscard]] BiObjectiveGuarantee sabo_guarantee(double delta, double alpha,
+                                                  double rho1, double rho2);
+
+/// Theorems 7 & 8 -- ABO_Delta:
+/// [2 - 1/m + Delta alpha^2 rho1, (1 + m/Delta) rho2].
+[[nodiscard]] BiObjectiveGuarantee abo_guarantee(double delta, double alpha, MachineId m,
+                                                 double rho1, double rho2);
+
+/// The impossibility frontier of the bi-objective (makespan, memory)
+/// problem from the SBO paper the text cites: no algorithm guarantees
+/// better than memory < 1 + 1/(makespan - 1) simultaneously with the
+/// given makespan factor -- equivalently the (1+Delta, 1+1/Delta) curve.
+/// Returns the minimal achievable memory factor for a makespan factor > 1.
+[[nodiscard]] double impossibility_memory_for_makespan(double makespan_factor);
+
+/// Sweeps Delta log-uniformly over [delta_min, delta_max] and returns the
+/// guarantee curve of an algorithm; used by the Figure 6 bench.
+enum class MemAwareAlgorithm { kSbo, kSabo, kAbo };
+
+struct GuaranteeCurvePoint {
+  double delta;
+  BiObjectiveGuarantee guarantee;
+};
+
+[[nodiscard]] std::vector<GuaranteeCurvePoint> guarantee_curve(
+    MemAwareAlgorithm algorithm, double alpha, MachineId m, double rho1, double rho2,
+    double delta_min, double delta_max, int points);
+
+}  // namespace rdp

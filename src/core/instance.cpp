@@ -1,0 +1,76 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace rdp {
+
+Instance::Instance(std::vector<Task> tasks, MachineId machines, double alpha)
+    : tasks_(std::move(tasks)), machines_(machines), alpha_(alpha) {
+  if (machines_ == 0) {
+    throw std::invalid_argument("Instance: need at least one machine");
+  }
+  if (!(alpha_ >= 1.0)) {
+    throw std::invalid_argument("Instance: alpha must be >= 1 (got " +
+                                std::to_string(alpha_) + ")");
+  }
+  for (const Task& t : tasks_) {
+    if (!(t.estimate > 0.0)) {
+      throw std::invalid_argument("Instance: task estimates must be positive");
+    }
+    if (!(t.size >= 0.0)) {
+      throw std::invalid_argument("Instance: task sizes must be non-negative");
+    }
+  }
+}
+
+Instance Instance::from_estimates(std::vector<Time> estimates, MachineId machines,
+                                  double alpha) {
+  std::vector<Task> tasks;
+  tasks.reserve(estimates.size());
+  for (Time p : estimates) {
+    tasks.push_back(Task{p, 1.0});
+  }
+  return Instance(std::move(tasks), machines, alpha);
+}
+
+std::vector<Time> Instance::estimates() const {
+  std::vector<Time> out;
+  out.reserve(tasks_.size());
+  for (const Task& t : tasks_) out.push_back(t.estimate);
+  return out;
+}
+
+std::vector<double> Instance::sizes() const {
+  std::vector<double> out;
+  out.reserve(tasks_.size());
+  for (const Task& t : tasks_) out.push_back(t.size);
+  return out;
+}
+
+Time Instance::total_estimate() const noexcept {
+  return std::accumulate(tasks_.begin(), tasks_.end(), Time{0},
+                         [](Time acc, const Task& t) { return acc + t.estimate; });
+}
+
+Time Instance::max_estimate() const noexcept {
+  Time best = 0;
+  for (const Task& t : tasks_) best = std::max(best, t.estimate);
+  return best;
+}
+
+double Instance::total_size() const noexcept {
+  return std::accumulate(tasks_.begin(), tasks_.end(), 0.0,
+                         [](double acc, const Task& t) { return acc + t.size; });
+}
+
+std::string Instance::summary() const {
+  std::ostringstream os;
+  os << "n=" << tasks_.size() << " m=" << machines_ << " alpha=" << alpha_;
+  return os.str();
+}
+
+}  // namespace rdp

@@ -1,0 +1,73 @@
+// Problem instance: n independent tasks, m identical machines, and the
+// multiplicative uncertainty factor alpha of the paper's Equation (1):
+//   p_j / alpha <= actual_j <= alpha * p_j   (estimates p_j known offline).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rdp {
+
+/// One task: an estimated processing time (the only time information the
+/// scheduler has before completion) and a data size used by the
+/// memory-aware model. Size is ignored by the replication-bound model.
+struct Task {
+  Time estimate = 0.0;  ///< \f$\tilde p_j\f$, must be > 0
+  double size = 1.0;    ///< \f$s_j\f$, must be >= 0
+};
+
+/// An immutable scheduling instance. Construction validates the model
+/// preconditions (positive estimates, alpha >= 1, at least one machine)
+/// and throws std::invalid_argument on violation.
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Builds an instance from explicit tasks.
+  Instance(std::vector<Task> tasks, MachineId machines, double alpha);
+
+  /// Convenience: tasks with unit sizes from a vector of estimates.
+  static Instance from_estimates(std::vector<Time> estimates, MachineId machines,
+                                 double alpha);
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept { return tasks_.size(); }
+  [[nodiscard]] MachineId num_machines() const noexcept { return machines_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept { return tasks_; }
+  [[nodiscard]] const Task& task(TaskId j) const { return tasks_.at(j); }
+
+  /// \f$\tilde p_j\f$ of task j.
+  [[nodiscard]] Time estimate(TaskId j) const { return tasks_.at(j).estimate; }
+
+  /// \f$s_j\f$ of task j.
+  [[nodiscard]] double size(TaskId j) const { return tasks_.at(j).size; }
+
+  /// All estimates as a dense vector (copy), convenient for kernels that
+  /// operate on raw processing-time arrays.
+  [[nodiscard]] std::vector<Time> estimates() const;
+
+  /// All sizes as a dense vector (copy).
+  [[nodiscard]] std::vector<double> sizes() const;
+
+  /// Sum of estimated processing times.
+  [[nodiscard]] Time total_estimate() const noexcept;
+
+  /// Largest estimated processing time (0 for an empty instance).
+  [[nodiscard]] Time max_estimate() const noexcept;
+
+  /// Sum of task sizes.
+  [[nodiscard]] double total_size() const noexcept;
+
+  /// Human-readable one-line summary, e.g. "n=100 m=8 alpha=1.5".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Task> tasks_;
+  MachineId machines_ = 1;
+  double alpha_ = 1.0;
+};
+
+}  // namespace rdp

@@ -1,0 +1,98 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/instance.hpp"
+#include "core/placement.hpp"
+#include "core/realization.hpp"
+#include "core/schedule.hpp"
+
+namespace rdp {
+
+namespace {
+
+template <typename GetWeight>
+std::vector<double> accumulate_by_machine(const Assignment& a, MachineId m,
+                                          std::size_t num_tasks, GetWeight weight) {
+  if (a.num_tasks() != num_tasks) {
+    throw std::invalid_argument("metrics: assignment size mismatch");
+  }
+  std::vector<double> acc(m, 0.0);
+  for (TaskId j = 0; j < num_tasks; ++j) {
+    const MachineId i = a[j];
+    if (i == kNoMachine) {
+      throw std::invalid_argument("metrics: assignment is incomplete");
+    }
+    if (i >= m) {
+      throw std::out_of_range("metrics: machine id out of range");
+    }
+    acc[i] += weight(j);
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<Time> machine_loads(const Assignment& a, const Realization& actual,
+                                MachineId num_machines) {
+  return accumulate_by_machine(a, num_machines, actual.size(),
+                               [&](TaskId j) { return actual[j]; });
+}
+
+Time makespan(const Assignment& a, const Realization& actual, MachineId num_machines) {
+  const auto loads = machine_loads(a, actual, num_machines);
+  return loads.empty() ? 0.0 : *std::max_element(loads.begin(), loads.end());
+}
+
+std::vector<Time> estimated_loads(const Assignment& a, const Instance& instance) {
+  return accumulate_by_machine(a, instance.num_machines(), instance.num_tasks(),
+                               [&](TaskId j) { return instance.estimate(j); });
+}
+
+Time estimated_makespan(const Assignment& a, const Instance& instance) {
+  const auto loads = estimated_loads(a, instance);
+  return loads.empty() ? 0.0 : *std::max_element(loads.begin(), loads.end());
+}
+
+std::vector<double> memory_per_machine(const Placement& placement,
+                                       const Instance& instance) {
+  if (placement.num_tasks() != instance.num_tasks()) {
+    throw std::invalid_argument("metrics: placement size mismatch");
+  }
+  if (placement.num_machines() != instance.num_machines()) {
+    throw std::invalid_argument("metrics: placement machine count mismatch");
+  }
+  std::vector<double> mem(instance.num_machines(), 0.0);
+  for (TaskId j = 0; j < placement.num_tasks(); ++j) {
+    for (MachineId i : placement.machines_for(j)) {
+      mem[i] += instance.size(j);
+    }
+  }
+  return mem;
+}
+
+double max_memory(const Placement& placement, const Instance& instance) {
+  const auto mem = memory_per_machine(placement, instance);
+  return mem.empty() ? 0.0 : *std::max_element(mem.begin(), mem.end());
+}
+
+std::vector<double> memory_per_machine(const Assignment& a, const Instance& instance) {
+  return accumulate_by_machine(a, instance.num_machines(), instance.num_tasks(),
+                               [&](TaskId j) { return instance.size(j); });
+}
+
+double max_memory(const Assignment& a, const Instance& instance) {
+  const auto mem = memory_per_machine(a, instance);
+  return mem.empty() ? 0.0 : *std::max_element(mem.begin(), mem.end());
+}
+
+double imbalance(const Assignment& a, const Realization& actual,
+                 MachineId num_machines) {
+  const Time total = total_actual(actual);
+  if (total <= 0) return 0.0;
+  const Time avg = total / static_cast<double>(num_machines);
+  return makespan(a, actual, num_machines) / avg;
+}
+
+}  // namespace rdp

@@ -1,0 +1,54 @@
+// Objective evaluation: makespan C_max over actual times, and the
+// memory-aware model's per-machine occupation Mem_i / Mem_max.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rdp {
+
+class Instance;
+class Placement;
+struct Assignment;
+struct Realization;
+
+/// Load (sum of actual processing times) of every machine under `a`.
+[[nodiscard]] std::vector<Time> machine_loads(const Assignment& a,
+                                              const Realization& actual,
+                                              MachineId num_machines);
+
+/// C_max = max_i sum_{j in E_i} p_j. Requires a complete assignment.
+[[nodiscard]] Time makespan(const Assignment& a, const Realization& actual,
+                            MachineId num_machines);
+
+/// Loads using *estimated* processing times (the planned makespan
+/// \f$\tilde C_{max}\f$ of the proofs).
+[[nodiscard]] std::vector<Time> estimated_loads(const Assignment& a,
+                                                const Instance& instance);
+
+/// Planned makespan on estimates.
+[[nodiscard]] Time estimated_makespan(const Assignment& a, const Instance& instance);
+
+/// Memory occupation Mem_i of every machine under a placement:
+/// Mem_i = sum of sizes of tasks replicated on machine i.
+[[nodiscard]] std::vector<double> memory_per_machine(const Placement& placement,
+                                                     const Instance& instance);
+
+/// Mem_max = max_i Mem_i of a placement.
+[[nodiscard]] double max_memory(const Placement& placement, const Instance& instance);
+
+/// Memory occupation of a replication-free assignment (each task's data
+/// only on its execution machine).
+[[nodiscard]] std::vector<double> memory_per_machine(const Assignment& a,
+                                                     const Instance& instance);
+
+/// Mem_max of a replication-free assignment.
+[[nodiscard]] double max_memory(const Assignment& a, const Instance& instance);
+
+/// Load imbalance: C_max divided by average load (1.0 = perfectly balanced).
+/// Returns 0 for an empty instance.
+[[nodiscard]] double imbalance(const Assignment& a, const Realization& actual,
+                               MachineId num_machines);
+
+}  // namespace rdp

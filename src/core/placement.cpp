@@ -1,0 +1,87 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace rdp {
+
+Placement::Placement(std::vector<std::vector<MachineId>> sets, MachineId num_machines)
+    : sets_(std::move(sets)), machines_(num_machines) {
+  if (machines_ == 0) {
+    throw std::invalid_argument("Placement: need at least one machine");
+  }
+  for (auto& set : sets_) {
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    if (set.empty()) {
+      throw std::invalid_argument("Placement: every task needs at least one replica");
+    }
+    if (set.back() >= machines_) {
+      throw std::invalid_argument("Placement: machine id " +
+                                  std::to_string(set.back()) + " out of range");
+    }
+  }
+}
+
+Placement Placement::singleton(const std::vector<MachineId>& machine_of,
+                               MachineId num_machines) {
+  std::vector<std::vector<MachineId>> sets;
+  sets.reserve(machine_of.size());
+  for (MachineId i : machine_of) sets.push_back({i});
+  return Placement(std::move(sets), num_machines);
+}
+
+Placement Placement::everywhere(std::size_t num_tasks, MachineId num_machines) {
+  std::vector<MachineId> all(num_machines);
+  for (MachineId i = 0; i < num_machines; ++i) all[i] = i;
+  std::vector<std::vector<MachineId>> sets(num_tasks, all);
+  return Placement(std::move(sets), num_machines);
+}
+
+Placement Placement::in_groups(const std::vector<MachineId>& group_of, MachineId k,
+                               MachineId num_machines) {
+  if (k == 0 || num_machines % k != 0) {
+    throw std::invalid_argument("Placement::in_groups: k must divide m");
+  }
+  const MachineId group_size = num_machines / k;
+  std::vector<std::vector<MachineId>> sets;
+  sets.reserve(group_of.size());
+  for (MachineId g : group_of) {
+    if (g >= k) {
+      throw std::invalid_argument("Placement::in_groups: group id out of range");
+    }
+    std::vector<MachineId> set(group_size);
+    for (MachineId i = 0; i < group_size; ++i) set[i] = g * group_size + i;
+    sets.push_back(std::move(set));
+  }
+  return Placement(std::move(sets), num_machines);
+}
+
+std::size_t Placement::max_replication_degree() const noexcept {
+  std::size_t best = 0;
+  for (const auto& set : sets_) best = std::max(best, set.size());
+  return best;
+}
+
+bool Placement::allows(TaskId j, MachineId i) const {
+  const auto& set = sets_.at(j);
+  return std::binary_search(set.begin(), set.end(), i);
+}
+
+std::size_t Placement::total_replicas() const noexcept {
+  std::size_t sum = 0;
+  for (const auto& set : sets_) sum += set.size();
+  return sum;
+}
+
+std::vector<std::vector<TaskId>> Placement::tasks_per_machine() const {
+  std::vector<std::vector<TaskId>> out(machines_);
+  for (TaskId j = 0; j < sets_.size(); ++j) {
+    for (MachineId i : sets_[j]) out[i].push_back(j);
+  }
+  return out;
+}
+
+}  // namespace rdp

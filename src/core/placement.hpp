@@ -1,0 +1,68 @@
+// Phase-1 output: for every task j, the set M_j of machines holding a
+// replica of its data. Phase 2 may only run j on a machine in M_j.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rdp {
+
+class Instance;
+
+/// Replication sets M_j for every task. Each set is stored sorted and
+/// duplicate-free. A Placement is only meaningful relative to the Instance
+/// it was built for (same task count, machine ids < m).
+class Placement {
+ public:
+  Placement() = default;
+
+  /// Builds from raw sets; sorts and deduplicates each. Throws
+  /// std::invalid_argument if any set is empty or contains a machine >= m.
+  Placement(std::vector<std::vector<MachineId>> sets, MachineId num_machines);
+
+  /// |M_j| = 1 for all j: task j pinned to `machine_of[j]`.
+  static Placement singleton(const std::vector<MachineId>& machine_of,
+                             MachineId num_machines);
+
+  /// |M_j| = m for all j: every task replicated on every machine.
+  static Placement everywhere(std::size_t num_tasks, MachineId num_machines);
+
+  /// Group replication: machines are partitioned into `k` equal contiguous
+  /// groups (k must divide m); task j is replicated on every machine of
+  /// group `group_of[j]` (values in [0, k)).
+  static Placement in_groups(const std::vector<MachineId>& group_of, MachineId k,
+                             MachineId num_machines);
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept { return sets_.size(); }
+  [[nodiscard]] MachineId num_machines() const noexcept { return machines_; }
+
+  /// The sorted replica set M_j.
+  [[nodiscard]] const std::vector<MachineId>& machines_for(TaskId j) const {
+    return sets_.at(j);
+  }
+
+  /// |M_j|.
+  [[nodiscard]] std::size_t replication_degree(TaskId j) const {
+    return sets_.at(j).size();
+  }
+
+  /// max_j |M_j| (0 for an empty placement).
+  [[nodiscard]] std::size_t max_replication_degree() const noexcept;
+
+  /// True iff machine i holds a replica of task j (binary search).
+  [[nodiscard]] bool allows(TaskId j, MachineId i) const;
+
+  /// Total number of replicas, sum_j |M_j|.
+  [[nodiscard]] std::size_t total_replicas() const noexcept;
+
+  /// Tasks replicated on each machine, as per-machine sorted task lists.
+  [[nodiscard]] std::vector<std::vector<TaskId>> tasks_per_machine() const;
+
+ private:
+  std::vector<std::vector<MachineId>> sets_;
+  MachineId machines_ = 0;
+};
+
+}  // namespace rdp

@@ -1,0 +1,25 @@
+// Fundamental identifier and quantity types shared by every rdp module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rdp {
+
+/// Index of a task within an Instance (dense, 0-based).
+using TaskId = std::uint32_t;
+
+/// Index of a machine within an Instance (dense, 0-based).
+using MachineId = std::uint32_t;
+
+/// Processing time / wall-clock quantity. All model quantities are
+/// non-negative; negative values indicate a programming error.
+using Time = double;
+
+/// Sentinel for "no machine" (e.g. an unassigned task).
+inline constexpr MachineId kNoMachine = std::numeric_limits<MachineId>::max();
+
+/// Sentinel for "no task".
+inline constexpr TaskId kNoTask = std::numeric_limits<TaskId>::max();
+
+}  // namespace rdp

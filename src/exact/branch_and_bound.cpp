@@ -1,0 +1,126 @@
+#include "exact/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "algo/lpt.hpp"
+#include "exact/lower_bounds.hpp"
+
+namespace rdp {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+struct SearchState {
+  std::span<const Time> p;       // sorted non-increasing
+  MachineId m;
+  std::uint64_t node_budget;
+  std::uint64_t nodes = 0;
+  bool budget_exhausted = false;
+  Time incumbent = std::numeric_limits<Time>::infinity();
+  Time root_lb = 0;
+  std::vector<Time> loads;
+  std::vector<Time> suffix_sum;  // suffix_sum[j] = sum of p[j..n)
+  std::vector<MachineId> current;
+  std::vector<MachineId> best;
+};
+
+void dfs(SearchState& st, TaskId j) {
+  if (st.budget_exhausted) return;
+  if (++st.nodes > st.node_budget) {
+    st.budget_exhausted = true;
+    return;
+  }
+  if (j == st.p.size()) {
+    const Time cmax = *std::max_element(st.loads.begin(), st.loads.end());
+    if (cmax < st.incumbent - kEps) {
+      st.incumbent = cmax;
+      st.best = st.current;
+    }
+    return;
+  }
+  // Node lower bound: max load so far vs average over remaining capacity.
+  const Time max_load = *std::max_element(st.loads.begin(), st.loads.end());
+  Time total = st.suffix_sum[j];
+  for (Time l : st.loads) total += l;
+  const Time avg = total / static_cast<double>(st.m);
+  if (std::max(max_load, avg) >= st.incumbent - kEps) return;
+
+  // Branch: try machines in load order, skipping equal-load duplicates
+  // (assigning the next task to either of two equally loaded machines
+  // yields symmetric subtrees).
+  Time tried_loads[64];
+  std::size_t num_tried = 0;
+  for (MachineId i = 0; i < st.m; ++i) {
+    const Time load = st.loads[i];
+    const bool seen =
+        std::find(tried_loads, tried_loads + num_tried, load) != tried_loads + num_tried;
+    if (seen) continue;
+    if (num_tried < 64) tried_loads[num_tried++] = load;
+    if (load + st.p[j] >= st.incumbent - kEps) continue;
+    st.loads[i] = load + st.p[j];
+    st.current[j] = i;
+    dfs(st, j + 1);
+    st.loads[i] = load;
+    if (st.budget_exhausted) return;
+    // Optimality fathoming: nothing can beat the root lower bound.
+    if (st.incumbent <= st.root_lb + kEps) return;
+  }
+}
+
+}  // namespace
+
+BnbResult branch_and_bound_cmax(std::span<const Time> p, MachineId m,
+                                std::uint64_t node_budget) {
+  if (m == 0) throw std::invalid_argument("branch_and_bound_cmax: m must be >= 1");
+  BnbResult result;
+  result.assignment = Assignment(p.size());
+  if (p.empty()) {
+    result.proven = true;
+    return result;
+  }
+
+  // Work on tasks sorted by non-increasing time; map back at the end.
+  const std::vector<TaskId> order = lpt_order(p);
+  std::vector<Time> sorted(p.size());
+  for (std::size_t r = 0; r < order.size(); ++r) sorted[r] = p[order[r]];
+
+  SearchState st;
+  st.p = sorted;
+  st.m = m;
+  st.node_budget = node_budget;
+  st.loads.assign(m, 0);
+  st.current.assign(p.size(), 0);
+  st.best.assign(p.size(), 0);
+  st.suffix_sum.assign(p.size() + 1, 0);
+  for (std::size_t j = p.size(); j-- > 0;) {
+    st.suffix_sum[j] = st.suffix_sum[j + 1] + sorted[j];
+  }
+  st.root_lb = makespan_lower_bound(sorted, m);
+
+  // LPT incumbent (indices in sorted space are just 0..n-1 in order).
+  const GreedyScheduleResult lpt = lpt_schedule(sorted, m);
+  st.incumbent = lpt.makespan;
+  for (std::size_t r = 0; r < sorted.size(); ++r) {
+    st.best[r] = lpt.assignment.machine_of[r];
+  }
+
+  if (st.incumbent > st.root_lb + kEps) {
+    dfs(st, 0);
+  }
+
+  result.best = st.incumbent;
+  result.nodes = st.nodes;
+  result.proven = !st.budget_exhausted;
+  result.lower_bound = result.proven ? st.incumbent : st.root_lb;
+  for (std::size_t r = 0; r < order.size(); ++r) {
+    result.assignment.machine_of[order[r]] = st.best[r];
+  }
+  return result;
+}
+
+}  // namespace rdp

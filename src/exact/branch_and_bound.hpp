@@ -1,0 +1,29 @@
+// Exact P||Cmax via depth-first branch-and-bound: LPT incumbent, analytic
+// lower bounds, dominance pruning, and machine-symmetry breaking. Solves
+// instances of a few dozen tasks in well under a second; a node budget
+// caps the worst case and downgrades the result to certified bounds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+struct BnbResult {
+  Time best = 0;           ///< best makespan found (upper bound on OPT)
+  Time lower_bound = 0;    ///< certified lower bound on OPT
+  bool proven = false;     ///< true when best == OPT is certified
+  std::uint64_t nodes = 0; ///< search nodes expanded
+  Assignment assignment;   ///< assignment achieving `best`
+};
+
+/// Solves (or bounds) min-makespan scheduling of `p` on `m` machines.
+/// `node_budget` caps the search; on exhaustion `proven` is false and
+/// [lower_bound, best] brackets the optimum.
+[[nodiscard]] BnbResult branch_and_bound_cmax(std::span<const Time> p, MachineId m,
+                                              std::uint64_t node_budget = 20'000'000);
+
+}  // namespace rdp

@@ -1,0 +1,58 @@
+#include "exact/brute_force.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace rdp {
+
+namespace {
+
+void recurse(std::span<const Time> p, MachineId m, TaskId j,
+             std::vector<Time>& loads, std::vector<MachineId>& current,
+             Time& best, std::vector<MachineId>& best_assignment) {
+  if (j == p.size()) {
+    const Time cmax = *std::max_element(loads.begin(), loads.end());
+    if (cmax < best) {
+      best = cmax;
+      best_assignment = current;
+    }
+    return;
+  }
+  // Symmetry pinning: the first task goes to machine 0 only.
+  const MachineId limit = (j == 0) ? 1 : m;
+  for (MachineId i = 0; i < limit; ++i) {
+    if (loads[i] + p[j] >= best) continue;  // cannot improve
+    loads[i] += p[j];
+    current[j] = i;
+    recurse(p, m, j + 1, loads, current, best, best_assignment);
+    loads[i] -= p[j];
+  }
+}
+
+}  // namespace
+
+BruteForceResult brute_force_cmax(std::span<const Time> p, MachineId m,
+                                  std::size_t max_tasks) {
+  if (m == 0) throw std::invalid_argument("brute_force_cmax: m must be >= 1");
+  if (p.size() > max_tasks) {
+    throw std::invalid_argument("brute_force_cmax: instance too large (n=" +
+                                std::to_string(p.size()) + ")");
+  }
+  BruteForceResult result;
+  if (p.empty()) {
+    result.assignment = Assignment(0);
+    return result;
+  }
+  std::vector<Time> loads(m, 0);
+  std::vector<MachineId> current(p.size(), kNoMachine);
+  std::vector<MachineId> best_assignment(p.size(), 0);
+  Time best = std::numeric_limits<Time>::infinity();
+  recurse(p, m, 0, loads, current, best, best_assignment);
+  result.optimal = best;
+  result.assignment.machine_of = best_assignment;
+  return result;
+}
+
+}  // namespace rdp

@@ -1,0 +1,23 @@
+// Exhaustive P||Cmax solver for tiny instances; the ground truth that the
+// branch-and-bound solver is tested against.
+#pragma once
+
+#include <span>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+struct BruteForceResult {
+  Time optimal = 0;
+  Assignment assignment;
+};
+
+/// Enumerates all m^n assignments (with first-task symmetry pinning).
+/// Throws std::invalid_argument when n > max_tasks (guard against
+/// accidental exponential blowups in tests).
+[[nodiscard]] BruteForceResult brute_force_cmax(std::span<const Time> p, MachineId m,
+                                                std::size_t max_tasks = 14);
+
+}  // namespace rdp

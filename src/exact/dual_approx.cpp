@@ -1,0 +1,69 @@
+#include "exact/dual_approx.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "algo/lpt.hpp"
+#include "exact/lower_bounds.hpp"
+
+namespace rdp {
+
+bool ffd_fits(std::span<const Time> p, MachineId m, Time cap, Assignment* out) {
+  if (m == 0) throw std::invalid_argument("ffd_fits: m must be >= 1");
+  const std::vector<TaskId> order = lpt_order(p);
+  std::vector<Time> bins(m, 0);
+  Assignment assignment(p.size());
+  constexpr double kSlack = 1e-12;
+  for (TaskId j : order) {
+    bool placed = false;
+    for (MachineId i = 0; i < m; ++i) {
+      if (bins[i] + p[j] <= cap * (1.0 + kSlack)) {
+        bins[i] += p[j];
+        assignment.machine_of[j] = i;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return false;
+  }
+  if (out != nullptr) *out = std::move(assignment);
+  return true;
+}
+
+MultifitResult multifit_cmax(std::span<const Time> p, MachineId m, int iterations) {
+  if (m == 0) throw std::invalid_argument("multifit_cmax: m must be >= 1");
+  MultifitResult result;
+  result.assignment = Assignment(p.size());
+  if (p.empty()) return result;
+
+  Time lo = makespan_lower_bound(p, m);
+  const GreedyScheduleResult lpt = lpt_schedule(p, m);
+  Time hi = lpt.makespan;
+  result.makespan = hi;
+  result.assignment = lpt.assignment;
+
+  for (int it = 0; it < iterations && lo < hi; ++it) {
+    const Time cap = 0.5 * (lo + hi);
+    Assignment packed;
+    if (ffd_fits(p, m, cap, &packed)) {
+      // Feasible at cap: the realized bin loads may even be below cap.
+      hi = cap;
+      result.assignment = std::move(packed);
+      result.makespan = cap;
+    } else {
+      lo = cap;
+    }
+    ++result.iterations;
+  }
+
+  // Report the true max load of the final packing, not the capacity.
+  std::vector<Time> loads(m, 0);
+  for (TaskId j = 0; j < p.size(); ++j) {
+    loads[result.assignment.machine_of[j]] += p[j];
+  }
+  result.makespan = *std::max_element(loads.begin(), loads.end());
+  return result;
+}
+
+}  // namespace rdp

@@ -1,0 +1,38 @@
+// MULTIFIT (Coffman, Garey & Johnson 1978): binary search on a makespan
+// target with a First-Fit-Decreasing packing check. Worst-case ratio
+// 13/11 on P||Cmax -- the "arbitrarily good approximation ... with a dual
+// approximation algorithm" family the paper cites (Hochbaum & Shmoys); we
+// implement the classical practical member of the family and expose the
+// FFD feasibility check itself for dual-approximation use.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+/// First-Fit-Decreasing feasibility: can `p` be packed into m bins of
+/// capacity `cap` when placed in non-increasing order, each into the
+/// first bin that fits? On success, `out` (if non-null) receives the
+/// task -> bin assignment.
+[[nodiscard]] bool ffd_fits(std::span<const Time> p, MachineId m, Time cap,
+                            Assignment* out = nullptr);
+
+struct MultifitResult {
+  Time makespan = 0;
+  Assignment assignment;
+  int iterations = 0;
+};
+
+/// MULTIFIT with `iterations` bisection steps (7 suffices for the classic
+/// guarantee; more sharpens the numeric target).
+[[nodiscard]] MultifitResult multifit_cmax(std::span<const Time> p, MachineId m,
+                                           int iterations = 24);
+
+/// MULTIFIT's worst-case approximation guarantee (13/11).
+[[nodiscard]] constexpr double multifit_guarantee() { return 13.0 / 11.0; }
+
+}  // namespace rdp

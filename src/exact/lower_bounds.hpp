@@ -1,0 +1,25 @@
+// Analytic lower bounds on the optimal makespan of P||Cmax. These are
+// valid for *known* processing times; experiments apply them to actual
+// (realized) times to get a certified denominator for competitive ratios.
+#pragma once
+
+#include <span>
+
+#include "core/types.hpp"
+
+namespace rdp {
+
+/// Average-load bound: sum(p) / m.
+[[nodiscard]] Time avg_load_bound(std::span<const Time> p, MachineId m);
+
+/// Longest-task bound: max(p).
+[[nodiscard]] Time longest_task_bound(std::span<const Time> p);
+
+/// Pairing bound: when n > m, some machine runs two tasks, so OPT is at
+/// least the sum of the two smallest among the m+1 largest tasks.
+[[nodiscard]] Time pairing_bound(std::span<const Time> p, MachineId m);
+
+/// Best of the above three.
+[[nodiscard]] Time makespan_lower_bound(std::span<const Time> p, MachineId m);
+
+}  // namespace rdp

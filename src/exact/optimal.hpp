@@ -1,0 +1,32 @@
+// Certified optimum (or bracket) for P||Cmax, combining the analytic
+// bounds, LPT, MULTIFIT, and branch-and-bound. This is what experiments
+// divide by when reporting competitive ratios: when `exact` is false the
+// ratio computed against `lower` is an over-estimate, so "measured ratio
+// <= theorem bound" checks remain sound.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+struct CertifiedCmax {
+  Time lower = 0;   ///< certified lower bound on OPT
+  Time upper = 0;   ///< makespan of the best schedule found
+  bool exact = false;  ///< lower == upper == OPT
+  Assignment assignment;  ///< schedule achieving `upper`
+
+  /// Midpoint-free conservative value to divide by for ratios.
+  [[nodiscard]] Time ratio_denominator() const noexcept { return lower; }
+};
+
+/// Computes a certified optimum bracket. `node_budget` bounds the
+/// branch-and-bound effort (0 disables B&B entirely and returns the
+/// heuristic bracket).
+[[nodiscard]] CertifiedCmax certified_cmax(std::span<const Time> p, MachineId m,
+                                           std::uint64_t node_budget = 5'000'000);
+
+}  // namespace rdp

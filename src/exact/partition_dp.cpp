@@ -1,0 +1,136 @@
+#include "exact/partition_dp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace rdp {
+
+namespace {
+
+// Word-parallel subset-sum bitset.
+class SumSet {
+ public:
+  explicit SumSet(std::size_t max_sum) : bits_((max_sum >> 6) + 1, 0) {
+    set(0);
+  }
+
+  void set(std::size_t v) { bits_[v >> 6] |= std::uint64_t{1} << (v & 63); }
+
+  [[nodiscard]] bool test(std::size_t v) const {
+    return (bits_[v >> 6] >> (v & 63)) & 1U;
+  }
+
+  /// bits |= bits << shift.
+  void shift_or(std::size_t shift) {
+    const std::size_t words = shift >> 6;
+    const unsigned rem = static_cast<unsigned>(shift & 63);
+    for (std::size_t w = bits_.size(); w-- > 0;) {
+      std::uint64_t value = 0;
+      if (w >= words) {
+        value = bits_[w - words] << rem;
+        if (rem != 0 && w > words) {
+          value |= bits_[w - words - 1] >> (64 - rem);
+        }
+      }
+      bits_[w] |= value;
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace
+
+PartitionResult partition_cmax(std::span<const Time> p, double resolution,
+                               std::size_t max_cells) {
+  if (!(resolution > 0.0)) {
+    throw std::invalid_argument("partition_cmax: resolution must be positive");
+  }
+  PartitionResult result;
+  result.assignment = Assignment(p.size());
+  if (p.empty()) {
+    result.exact = true;
+    return result;
+  }
+
+  std::vector<std::size_t> units(p.size());
+  std::size_t total_units = 0;
+  bool lossless = true;  // every time is an exact multiple of the resolution
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    if (p[j] < 0) throw std::invalid_argument("partition_cmax: negative time");
+    units[j] = static_cast<std::size_t>(std::llround(p[j] / resolution));
+    total_units += units[j];
+    const double back = static_cast<double>(units[j]) * resolution;
+    if (std::abs(back - p[j]) > 1e-9 * std::max(1.0, p[j])) lossless = false;
+  }
+  if (total_units + 1 > max_cells) {
+    throw std::invalid_argument(
+        "partition_cmax: discretized total exceeds max_cells; raise the "
+        "resolution");
+  }
+
+  // Forward pass with snapshots for reconstruction.
+  std::vector<SumSet> snapshots;
+  snapshots.reserve(p.size() + 1);
+  snapshots.emplace_back(total_units);
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    SumSet next = snapshots.back();
+    next.shift_or(units[j]);
+    snapshots.push_back(std::move(next));
+  }
+
+  // Smallest reachable sum >= ceil(total/2) minimizes max(s, total-s).
+  const std::size_t half = (total_units + 1) / 2;
+  std::size_t best_sum = total_units;  // everything on machine 0 is reachable
+  for (std::size_t s = half; s <= total_units; ++s) {
+    if (snapshots.back().test(s)) {
+      best_sum = s;
+      break;
+    }
+  }
+
+  // Reconstruct: walk tasks backwards, keeping the target reachable.
+  std::size_t target = best_sum;
+  for (std::size_t j = p.size(); j-- > 0;) {
+    if (target >= units[j] && snapshots[j].test(target - units[j])) {
+      result.assignment.machine_of[j] = 0;
+      target -= units[j];
+    } else {
+      result.assignment.machine_of[j] = 1;
+    }
+  }
+
+  // Evaluate with the *true* times.
+  Time load0 = 0, load1 = 0;
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    (result.assignment[static_cast<TaskId>(j)] == 0 ? load0 : load1) += p[j];
+  }
+  result.makespan = std::max(load0, load1);
+
+  if (lossless) {
+    // The scaled problem *is* the true problem: the DP optimum is exact.
+    result.lower_bound = result.makespan;
+    result.exact = true;
+    return result;
+  }
+
+  // Certified bound: the scaled optimum is exact for the scaled times;
+  // de-scaling can shift each task by at most resolution/2.
+  const double slack = 0.5 * resolution * static_cast<double>(p.size());
+  const Time scaled_opt = static_cast<double>(best_sum) * resolution;
+  Time true_total = 0;
+  for (Time v : p) true_total += v;
+  result.lower_bound =
+      std::max({scaled_opt - slack, true_total / 2.0,
+                *std::max_element(p.begin(), p.end())});
+  result.lower_bound = std::min(result.lower_bound, result.makespan);
+  constexpr double kEps = 1e-9;
+  result.exact = result.makespan <= result.lower_bound * (1.0 + kEps);
+  return result;
+}
+
+}  // namespace rdp

@@ -1,0 +1,32 @@
+// Pseudo-polynomial exact solver for the two-machine case (P2||Cmax ==
+// PARTITION): subset-sum reachability over a bitset. Orders of magnitude
+// faster than branch-and-bound for m=2, which the experiment harness hits
+// constantly (the smallest interesting machine count).
+//
+// Times are discretized at `resolution`; for inputs that are exact
+// multiples of the resolution the result is exact, otherwise the result
+// carries a certified error interval of n*resolution/2 per side.
+#pragma once
+
+#include <span>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+struct PartitionResult {
+  Time makespan = 0;       ///< true makespan of the returned assignment
+  Time lower_bound = 0;    ///< certified LB on the true optimum
+  bool exact = false;      ///< lower_bound == makespan (within epsilon)
+  Assignment assignment;   ///< two-machine assignment achieving `makespan`
+};
+
+/// Solves min-makespan on exactly two machines. Throws
+/// std::invalid_argument on non-positive resolution, negative times, or
+/// a discretized total exceeding `max_cells` (guards memory).
+[[nodiscard]] PartitionResult partition_cmax(std::span<const Time> p,
+                                             double resolution = 1e-3,
+                                             std::size_t max_cells = 1 << 26);
+
+}  // namespace rdp

@@ -1,0 +1,278 @@
+#include "exact/ptas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "algo/lpt.hpp"
+#include "exact/dual_approx.hpp"
+#include "exact/lower_bounds.hpp"
+
+namespace rdp {
+
+namespace {
+
+// Thrown internally when the config-DP memo exceeds its budget.
+struct StateBudgetExhausted {};
+
+// One machine's multiset of rounded big-job values, as counts per value.
+using CountVector = std::vector<std::uint16_t>;
+
+struct Decision {
+  bool feasible = false;
+  Assignment assignment;  // only meaningful when feasible
+  Time achieved = 0;      // max load of the built schedule
+};
+
+// Enumerates every machine configuration: count vectors c with
+// sum(c) <= k and sum(c_i * value_i) <= capacity.
+void enumerate_configs(const std::vector<Time>& values, Time capacity, unsigned k,
+                       std::size_t index, CountVector& current, Time load,
+                       unsigned used, std::vector<CountVector>& out) {
+  if (index == values.size()) {
+    // Skip the empty configuration; it packs nothing.
+    if (used > 0) out.push_back(current);
+    return;
+  }
+  for (std::uint16_t c = 0;; ++c) {
+    const Time extra = static_cast<double>(c) * values[index];
+    if (used + c > k || load + extra > capacity * (1.0 + 1e-12)) break;
+    current[index] = c;
+    enumerate_configs(values, capacity, k, index + 1, current, load + extra,
+                      used + c, out);
+  }
+  current[index] = 0;
+}
+
+// Exact minimum number of bins (capacity T, <= k items each) for the
+// rounded big jobs, via memoized recursion over remaining counts.
+class BinPackDp {
+ public:
+  BinPackDp(std::vector<CountVector> configs, std::size_t budget)
+      : configs_(std::move(configs)), budget_(budget) {}
+
+  int solve(const CountVector& remaining) {
+    if (std::all_of(remaining.begin(), remaining.end(),
+                    [](std::uint16_t c) { return c == 0; })) {
+      return 0;
+    }
+    const auto it = memo_.find(remaining);
+    if (it != memo_.end()) return it->second;
+    if (memo_.size() >= budget_) throw StateBudgetExhausted{};
+
+    int best = kInfinity;
+    CountVector next(remaining.size());
+    for (const CountVector& config : configs_) {
+      bool fits = true;
+      for (std::size_t i = 0; i < remaining.size(); ++i) {
+        if (config[i] > remaining[i]) {
+          fits = false;
+          break;
+        }
+        next[i] = static_cast<std::uint16_t>(remaining[i] - config[i]);
+      }
+      if (!fits) continue;
+      const int sub = solve(next);
+      if (sub + 1 < best) best = sub + 1;
+    }
+    memo_.emplace(remaining, best);
+    return best;
+  }
+
+  /// Reconstructs one optimal packing as a list of configs.
+  std::vector<CountVector> reconstruct(CountVector remaining) {
+    std::vector<CountVector> bins;
+    while (!std::all_of(remaining.begin(), remaining.end(),
+                        [](std::uint16_t c) { return c == 0; })) {
+      const int total = solve(remaining);
+      bool advanced = false;
+      CountVector next(remaining.size());
+      for (const CountVector& config : configs_) {
+        bool fits = true;
+        for (std::size_t i = 0; i < remaining.size(); ++i) {
+          if (config[i] > remaining[i]) {
+            fits = false;
+            break;
+          }
+          next[i] = static_cast<std::uint16_t>(remaining[i] - config[i]);
+        }
+        if (!fits) continue;
+        if (solve(next) + 1 == total) {
+          bins.push_back(config);
+          remaining = next;
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) {
+        throw std::logic_error("ptas: packing reconstruction failed");
+      }
+    }
+    return bins;
+  }
+
+  static constexpr int kInfinity = 1 << 28;
+
+ private:
+  std::vector<CountVector> configs_;
+  std::size_t budget_;
+  std::map<CountVector, int> memo_;
+};
+
+// The dual-approximation decision procedure at target T.
+Decision decide(std::span<const Time> p, MachineId m, Time target, unsigned k,
+                std::size_t state_budget) {
+  Decision result;
+  const std::size_t n = p.size();
+  const Time small_threshold = target / static_cast<double>(k);
+  const Time grain = target / static_cast<double>(k * k);
+
+  // Any single job above T rules out makespan <= T immediately.
+  for (Time v : p) {
+    if (v > target * (1.0 + 1e-12)) return result;  // infeasible
+  }
+  // Average-load necessary condition.
+  Time total = 0;
+  for (Time v : p) total += v;
+  if (total > target * static_cast<double>(m) * (1.0 + 1e-12)) {
+    return result;  // infeasible: total load exceeds m*T
+  }
+
+  // Partition into big and small; round big jobs down to the grain.
+  std::vector<TaskId> big, small;
+  for (TaskId j = 0; j < n; ++j) {
+    (p[j] > small_threshold ? big : small).push_back(j);
+  }
+
+  std::vector<Time> values;          // distinct rounded values
+  std::vector<std::vector<TaskId>> members;  // big tasks per value
+  {
+    std::vector<std::pair<std::int64_t, TaskId>> rounded;
+    rounded.reserve(big.size());
+    for (TaskId j : big) {
+      rounded.emplace_back(static_cast<std::int64_t>(std::floor(p[j] / grain)), j);
+    }
+    std::sort(rounded.begin(), rounded.end());
+    for (const auto& [units, j] : rounded) {
+      const Time v = static_cast<double>(units) * grain;
+      if (values.empty() || std::abs(values.back() - v) > 1e-12 * target) {
+        values.push_back(v);
+        members.emplace_back();
+      }
+      members.back().push_back(j);
+    }
+  }
+
+  CountVector counts(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (members[i].size() > 0xFFFF) return result;  // out of CountVector range
+    counts[i] = static_cast<std::uint16_t>(members[i].size());
+  }
+
+  std::vector<CountVector> bin_configs;  // one per machine that holds big jobs
+  if (!values.empty()) {
+    std::vector<CountVector> configs;
+    CountVector scratch(values.size());
+    enumerate_configs(values, target, k, 0, scratch, 0, 0, configs);
+    BinPackDp dp(std::move(configs), state_budget);
+    if (dp.solve(counts) > static_cast<int>(m)) {
+      return result;  // certified: no schedule with makespan <= T
+    }
+    bin_configs = dp.reconstruct(counts);
+  }
+
+  // Materialize the big-job packing (true sizes, <= T + k*grain = T(1+1/k)).
+  result.assignment = Assignment(n);
+  std::vector<Time> load(m, 0);
+  std::vector<std::size_t> cursor(values.size(), 0);
+  for (std::size_t bin = 0; bin < bin_configs.size(); ++bin) {
+    const auto machine = static_cast<MachineId>(bin);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      for (std::uint16_t c = 0; c < bin_configs[bin][i]; ++c) {
+        const TaskId j = members[i][cursor[i]++];
+        result.assignment.machine_of[j] = machine;
+        load[machine] += p[j];
+      }
+    }
+  }
+
+  // Pour small jobs into any machine still below T.
+  MachineId probe = 0;
+  for (TaskId j : small) {
+    while (probe < m && load[probe] >= target * (1.0 - 1e-12)) ++probe;
+    if (probe >= m) {
+      // All machines at >= T with work left: total > mT, contradiction
+      // with the average-load check unless rounding noise -- declare
+      // infeasible (the caller raises T).
+      return Decision{};
+    }
+    result.assignment.machine_of[j] = probe;
+    load[probe] += p[j];
+  }
+
+  result.feasible = true;
+  result.achieved = load.empty() ? 0 : *std::max_element(load.begin(), load.end());
+  return result;
+}
+
+}  // namespace
+
+PtasResult ptas_cmax(std::span<const Time> p, MachineId m, unsigned precision_k,
+                     std::size_t state_budget) {
+  if (m == 0) throw std::invalid_argument("ptas_cmax: m must be >= 1");
+  if (precision_k < 2) throw std::invalid_argument("ptas_cmax: k must be >= 2");
+
+  PtasResult result;
+  result.assignment = Assignment(p.size());
+  if (p.empty()) {
+    result.guarantee = 1.0;
+    return result;
+  }
+
+  const GreedyScheduleResult lpt = lpt_schedule(p, m);
+  result.makespan = lpt.makespan;
+  result.assignment = lpt.assignment;
+
+  Time lo = makespan_lower_bound(p, m);
+  Time hi = lpt.makespan;
+
+  try {
+    for (int iteration = 0; iteration < 40 && lo < hi * (1.0 - 1e-9); ++iteration) {
+      const Time target = 0.5 * (lo + hi);
+      const Decision d = decide(p, m, target, precision_k, state_budget);
+      ++result.search_iterations;
+      if (d.feasible) {
+        hi = target;
+        if (d.achieved < result.makespan) {
+          result.makespan = d.achieved;
+          result.assignment = d.assignment;
+        }
+      } else {
+        lo = target;  // certified OPT > target
+      }
+    }
+  } catch (const StateBudgetExhausted&) {
+    // Degrade gracefully: keep the best schedule found so far, or
+    // MULTIFIT if the search never improved on LPT.
+    result.exact_decision = false;
+    const MultifitResult mf = multifit_cmax(p, m);
+    if (mf.makespan < result.makespan) {
+      result.makespan = mf.makespan;
+      result.assignment = mf.assignment;
+    }
+    result.guarantee = multifit_guarantee();
+    return result;
+  }
+
+  // OPT > lo was certified; the schedule achieves `makespan`, so the
+  // realized guarantee is makespan/lo, itself <= (1+1/k) + search slack.
+  result.guarantee =
+      lo > 0 ? result.makespan / lo
+             : 1.0 + 1.0 / static_cast<double>(precision_k);
+  return result;
+}
+
+}  // namespace rdp

@@ -1,0 +1,43 @@
+// Hochbaum & Shmoys (1987) dual-approximation scheme for P||Cmax -- the
+// "arbitrarily good approximation algorithm ... with a dual approximation
+// algorithm" the paper cites. For a precision parameter k the scheme
+// binary-searches a makespan target T with a decision procedure that
+// either certifies "no schedule of makespan <= T exists" or builds one of
+// makespan <= (1 + 1/k) T:
+//
+//   * jobs > T/k are "big"; their sizes are rounded down to multiples of
+//     T/k^2 (at most k^2 - k + 1 distinct values, <= k big jobs per
+//     machine), and the rounded instance is bin-packed *exactly* by a
+//     dynamic program over machine configurations;
+//   * small jobs are poured greedily into residual capacity.
+//
+// The config DP is exponential in the worst case; a state budget guards
+// it, and exhaustion falls back to MULTIFIT (reported via `exact_decision`).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+struct PtasResult {
+  Time makespan = 0;
+  Assignment assignment;
+  /// (1 + 1/k) plus the binary-search slack actually achieved.
+  double guarantee = 0;
+  /// False when the config-DP state budget was exhausted and the result
+  /// degraded to the MULTIFIT fallback.
+  bool exact_decision = true;
+  int search_iterations = 0;
+};
+
+/// Runs the scheme with precision k >= 2 (guarantee 1 + 1/k).
+/// `state_budget` caps the config-DP memo size per decision call.
+[[nodiscard]] PtasResult ptas_cmax(std::span<const Time> p, MachineId m,
+                                   unsigned precision_k = 3,
+                                   std::size_t state_budget = 2'000'000);
+
+}  // namespace rdp

@@ -1,0 +1,73 @@
+#include "exp/memaware_experiment.hpp"
+
+#include <stdexcept>
+
+#include "bounds/memaware_bounds.hpp"
+#include "core/instance.hpp"
+#include "core/metrics.hpp"
+#include "core/realization.hpp"
+#include "exact/optimal.hpp"
+#include "memaware/abo.hpp"
+#include "memaware/sabo.hpp"
+
+namespace rdp {
+
+namespace {
+
+void fill_denominators(MemAwareTrial& trial, const Instance& instance,
+                       const Realization& actual, const MemAwareConfig& config) {
+  const CertifiedCmax cmax_opt =
+      certified_cmax(actual.actual, instance.num_machines(), config.exact_node_budget);
+  trial.cmax_lower_bound = cmax_opt.lower;
+  trial.cmax_exact = cmax_opt.exact;
+  if (trial.cmax_lower_bound <= 0) {
+    throw std::logic_error("memaware experiment: degenerate Cmax optimum");
+  }
+  trial.makespan_ratio = trial.makespan / trial.cmax_lower_bound;
+
+  const CertifiedCmax mem_opt =
+      certified_cmax(instance.sizes(), instance.num_machines(),
+                     config.exact_node_budget);
+  trial.mem_lower_bound = mem_opt.lower;
+  trial.mem_exact = mem_opt.exact;
+  trial.memory_ratio =
+      trial.mem_lower_bound > 0 ? trial.memory / trial.mem_lower_bound : 0.0;
+}
+
+}  // namespace
+
+MemAwareTrial measure_sabo(const Instance& instance, const Realization& actual,
+                           double delta, const MemAwareConfig& config) {
+  const SaboResult result = run_sabo(instance, delta);
+
+  MemAwareTrial trial;
+  trial.delta = delta;
+  trial.makespan = sabo_makespan(result, instance, actual);
+  trial.memory = result.max_memory;
+  fill_denominators(trial, instance, actual, config);
+
+  const BiObjectiveGuarantee g =
+      sabo_guarantee(delta, instance.alpha(), result.pi.rho1, result.pi.rho2);
+  trial.makespan_guarantee = g.makespan;
+  trial.memory_guarantee = g.memory;
+  return trial;
+}
+
+MemAwareTrial measure_abo(const Instance& instance, const Realization& actual,
+                          double delta, const MemAwareConfig& config) {
+  const AboResult result = run_abo(instance, actual, delta);
+
+  MemAwareTrial trial;
+  trial.delta = delta;
+  trial.makespan = result.makespan;
+  trial.memory = result.max_memory;
+  fill_denominators(trial, instance, actual, config);
+
+  const BiObjectiveGuarantee g = abo_guarantee(
+      delta, instance.alpha(), instance.num_machines(), result.pi.rho1, result.pi.rho2);
+  trial.makespan_guarantee = g.makespan;
+  trial.memory_guarantee = g.memory;
+  return trial;
+}
+
+}  // namespace rdp

@@ -1,0 +1,46 @@
+// Bi-objective measurement for the memory-aware algorithms: makespan
+// ratio against a certified Cmax optimum of the *actual* times, and
+// memory ratio against a certified Mem_max optimum (which is itself a
+// P||Cmax instance over the sizes).
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace rdp {
+
+class Instance;
+struct Realization;
+
+struct MemAwareTrial {
+  double delta = 0;
+
+  Time makespan = 0;
+  Time cmax_lower_bound = 0;     ///< certified LB on OPT makespan
+  bool cmax_exact = false;
+  double makespan_ratio = 0;     ///< makespan / cmax_lower_bound
+  double makespan_guarantee = 0; ///< the theorem's bound
+
+  double memory = 0;
+  double mem_lower_bound = 0;    ///< certified LB on OPT memory
+  bool mem_exact = false;
+  double memory_ratio = 0;
+  double memory_guarantee = 0;
+};
+
+struct MemAwareConfig {
+  std::uint64_t exact_node_budget = 2'000'000;
+};
+
+/// SABO_Delta against one realization.
+[[nodiscard]] MemAwareTrial measure_sabo(const Instance& instance,
+                                         const Realization& actual, double delta,
+                                         const MemAwareConfig& config = {});
+
+/// ABO_Delta against one realization.
+[[nodiscard]] MemAwareTrial measure_abo(const Instance& instance,
+                                        const Realization& actual, double delta,
+                                        const MemAwareConfig& config = {});
+
+}  // namespace rdp

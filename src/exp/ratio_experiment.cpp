@@ -1,0 +1,70 @@
+#include "exp/ratio_experiment.hpp"
+
+#include <stdexcept>
+
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "exact/optimal.hpp"
+#include "perturb/adversary.hpp"
+
+namespace rdp {
+
+namespace {
+
+RatioTrial finish_trial(Time algo_makespan, const Realization& actual,
+                        const Instance& instance,
+                        const RatioExperimentConfig& config) {
+  RatioTrial trial;
+  trial.algorithm_makespan = algo_makespan;
+  const CertifiedCmax opt =
+      certified_cmax(actual.actual, instance.num_machines(), config.exact_node_budget);
+  trial.optimal_lower_bound = opt.lower;
+  trial.exact_optimum = opt.exact;
+  if (opt.lower <= 0) {
+    throw std::logic_error("measure_ratio: degenerate optimum");
+  }
+  trial.ratio = algo_makespan / opt.lower;
+  return trial;
+}
+
+}  // namespace
+
+RatioTrial measure_ratio(const TwoPhaseStrategy& strategy, const Instance& instance,
+                         const Realization& actual,
+                         const RatioExperimentConfig& config) {
+  const StrategyResult result = strategy.run(instance, actual);
+  return finish_trial(result.makespan, actual, instance, config);
+}
+
+RatioTrial measure_adversarial_ratio(const TwoPhaseStrategy& strategy,
+                                     const Instance& instance,
+                                     const RatioExperimentConfig& config) {
+  const Placement placement = strategy.place(instance);
+  const Realization actual = adversarial_realization(instance, placement);
+  const DispatchResult dispatched =
+      dispatch_with_rule(instance, placement, actual, strategy.rule());
+  return finish_trial(dispatched.schedule.makespan(), actual, instance, config);
+}
+
+RatioAggregate measure_ratio_batch(const TwoPhaseStrategy& strategy,
+                                   const Instance& instance, NoiseModel noise,
+                                   std::size_t trials, std::uint64_t seed,
+                                   const RatioExperimentConfig& config) {
+  RatioAggregate agg;
+  agg.strategy_name = strategy.name();
+  agg.noise_name = to_string(noise);
+  // Phase 1 is deterministic: place once, re-dispatch per realization.
+  const Placement placement = strategy.place(instance);
+  for (std::size_t t = 0; t < trials; ++t) {
+    const Realization actual = realize(instance, noise, seed + t);
+    const DispatchResult dispatched =
+        dispatch_with_rule(instance, placement, actual, strategy.rule());
+    const RatioTrial trial =
+        finish_trial(dispatched.schedule.makespan(), actual, instance, config);
+    agg.ratios.add(trial.ratio);
+    if (trial.ratio > agg.worst.ratio) agg.worst = trial;
+  }
+  return agg;
+}
+
+}  // namespace rdp

@@ -1,0 +1,61 @@
+// Competitive-ratio measurement: run a two-phase strategy against a
+// realization, then divide its makespan by a *certified* lower bound on
+// the offline optimum (exact when branch-and-bound proves it). Because
+// the denominator never exceeds OPT, measured ratios over-estimate the
+// true competitive ratio, keeping "measured <= theorem bound" checks
+// sound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/strategy.hpp"
+#include "core/types.hpp"
+#include "perturb/stochastic.hpp"
+#include "stats/welford.hpp"
+
+namespace rdp {
+
+class Instance;
+struct Realization;
+
+struct RatioExperimentConfig {
+  /// Branch-and-bound node budget for the optimum (0 = analytic LB only).
+  std::uint64_t exact_node_budget = 2'000'000;
+};
+
+struct RatioTrial {
+  Time algorithm_makespan = 0;
+  Time optimal_lower_bound = 0;  ///< certified LB on OPT (== OPT when exact)
+  bool exact_optimum = false;
+  double ratio = 0;              ///< algorithm_makespan / optimal_lower_bound
+};
+
+/// One strategy run against one realization.
+[[nodiscard]] RatioTrial measure_ratio(const TwoPhaseStrategy& strategy,
+                                       const Instance& instance,
+                                       const Realization& actual,
+                                       const RatioExperimentConfig& config = {});
+
+/// The strategy against the placement-aware adversary (the worst case the
+/// paper's proofs construct).
+[[nodiscard]] RatioTrial measure_adversarial_ratio(
+    const TwoPhaseStrategy& strategy, const Instance& instance,
+    const RatioExperimentConfig& config = {});
+
+struct RatioAggregate {
+  std::string strategy_name;
+  std::string noise_name;
+  Welford ratios;
+  RatioTrial worst;  ///< the trial with the largest ratio
+};
+
+/// `trials` independent stochastic realizations (seeds seed, seed+1, ...).
+[[nodiscard]] RatioAggregate measure_ratio_batch(const TwoPhaseStrategy& strategy,
+                                                 const Instance& instance,
+                                                 NoiseModel noise, std::size_t trials,
+                                                 std::uint64_t seed,
+                                                 const RatioExperimentConfig& config = {});
+
+}  // namespace rdp

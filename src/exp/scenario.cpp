@@ -1,0 +1,106 @@
+#include "exp/scenario.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <limits>
+#include <stdexcept>
+
+#include "core/instance.hpp"
+#include "exact/optimal.hpp"
+
+namespace rdp {
+
+ScenarioSet make_scenarios(const Instance& instance, NoiseModel noise,
+                           std::size_t count, std::uint64_t seed) {
+  ScenarioSet set;
+  set.scenarios.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    set.scenarios.push_back(realize(instance, noise, seed + s));
+  }
+  return set;
+}
+
+ScenarioSet make_mixed_scenarios(const Instance& instance, std::size_t count,
+                                 std::uint64_t seed) {
+  static const NoiseModel kMix[] = {NoiseModel::kUniform, NoiseModel::kTwoPoint,
+                                    NoiseModel::kLogUniform, NoiseModel::kAlwaysHigh,
+                                    NoiseModel::kBetaCentered};
+  ScenarioSet set;
+  set.scenarios.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    set.scenarios.push_back(
+        realize(instance, kMix[s % std::size(kMix)], seed + s));
+  }
+  return set;
+}
+
+ScenarioEvaluation evaluate_scenarios(const TwoPhaseStrategy& strategy,
+                                      const Instance& instance,
+                                      const ScenarioSet& scenarios,
+                                      const ScenarioConfig& config) {
+  if (scenarios.size() == 0) {
+    throw std::invalid_argument("evaluate_scenarios: empty scenario set");
+  }
+  ScenarioEvaluation eval;
+  eval.strategy_name = strategy.name();
+  const Placement placement = strategy.place(instance);
+
+  double total = 0;
+  for (const Realization& actual : scenarios.scenarios) {
+    const DispatchResult run =
+        dispatch_with_rule(instance, placement, actual, strategy.rule());
+    const Time cmax = run.schedule.makespan();
+    const CertifiedCmax opt = certified_cmax(actual.actual, instance.num_machines(),
+                                             config.exact_node_budget);
+    eval.makespans.push_back(cmax);
+    eval.optima.push_back(opt.lower);
+    total += cmax;
+    eval.worst_makespan = std::max(eval.worst_makespan, cmax);
+    if (opt.lower > 0) {
+      eval.worst_regret = std::max(eval.worst_regret, cmax - opt.lower);
+      eval.worst_ratio = std::max(eval.worst_ratio, cmax / opt.lower);
+    }
+  }
+  eval.mean_makespan = total / static_cast<double>(scenarios.size());
+
+  // CVaR at 90%: mean of the worst 10% of makespans (at least one).
+  std::vector<Time> sorted = eval.makespans;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const std::size_t tail =
+      std::max<std::size_t>(1, sorted.size() / 10);
+  double tail_sum = 0;
+  for (std::size_t i = 0; i < tail; ++i) tail_sum += sorted[i];
+  eval.cvar90_makespan = tail_sum / static_cast<double>(tail);
+  return eval;
+}
+
+std::size_t select_min_max(const std::vector<TwoPhaseStrategy>& strategies,
+                           const Instance& instance, const ScenarioSet& scenarios,
+                           const ScenarioConfig& config) {
+  if (strategies.empty()) {
+    throw std::invalid_argument("select_min_max: no strategies");
+  }
+  // Lexicographic (worst makespan, worst regret): systematic noise (e.g.
+  // every task slower by the same factor) often ties strategies on the
+  // worst scenario; regret against the per-scenario optimum separates
+  // them.
+  std::size_t best = 0;
+  Time best_worst = std::numeric_limits<Time>::infinity();
+  double best_regret = std::numeric_limits<double>::infinity();
+  constexpr double kTieTolerance = 1e-9;
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    const ScenarioEvaluation eval =
+        evaluate_scenarios(strategies[s], instance, scenarios, config);
+    const bool strictly_better = eval.worst_makespan < best_worst - kTieTolerance;
+    const bool tie_break = eval.worst_makespan <= best_worst + kTieTolerance &&
+                           eval.worst_regret < best_regret - kTieTolerance;
+    if (strictly_better || tie_break) {
+      best_worst = std::min(best_worst, eval.worst_makespan);
+      best_regret = eval.worst_regret;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace rdp

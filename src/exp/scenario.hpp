@@ -1,0 +1,68 @@
+// Scenario-based robustness evaluation -- the methodology most robust-
+// scheduling work the paper cites uses (Daniels & Kouvelis, Davenport et
+// al.): fix a *set* of realizations (scenarios) and judge a placement by
+// its worst-case / average / regret behaviour across them, instead of a
+// single adversary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/strategy.hpp"
+#include "core/realization.hpp"
+#include "core/types.hpp"
+#include "perturb/stochastic.hpp"
+
+namespace rdp {
+
+class Instance;
+
+/// A named bundle of realizations of one instance.
+struct ScenarioSet {
+  std::vector<Realization> scenarios;
+
+  [[nodiscard]] std::size_t size() const noexcept { return scenarios.size(); }
+};
+
+/// Scenario set from a noise model: `count` independent draws (seeds
+/// seed, seed+1, ...), each respecting the instance's alpha band.
+[[nodiscard]] ScenarioSet make_scenarios(const Instance& instance, NoiseModel noise,
+                                         std::size_t count, std::uint64_t seed);
+
+/// Mixed scenario set covering several noise models round-robin.
+[[nodiscard]] ScenarioSet make_mixed_scenarios(const Instance& instance,
+                                               std::size_t count, std::uint64_t seed);
+
+/// Per-strategy evaluation across a scenario set.
+struct ScenarioEvaluation {
+  std::string strategy_name;
+  std::vector<Time> makespans;      ///< one per scenario
+  std::vector<Time> optima;         ///< certified LB on OPT per scenario
+  Time worst_makespan = 0;
+  double mean_makespan = 0;
+  double worst_regret = 0;          ///< max_s (Cmax_s - OPT_s)
+  double worst_ratio = 0;           ///< max_s (Cmax_s / OPT_s)
+  double cvar90_makespan = 0;       ///< mean of the worst 10% makespans
+};
+
+struct ScenarioConfig {
+  std::uint64_t exact_node_budget = 200'000;
+};
+
+/// Places once (phase 1 is scenario-independent by construction), then
+/// dispatches per scenario and aggregates.
+[[nodiscard]] ScenarioEvaluation evaluate_scenarios(const TwoPhaseStrategy& strategy,
+                                                    const Instance& instance,
+                                                    const ScenarioSet& scenarios,
+                                                    const ScenarioConfig& config = {});
+
+/// Picks the strategy minimizing worst-case makespan across scenarios
+/// (min-max robust selection), breaking ties by worst regret. Returns
+/// the index into `strategies`.
+[[nodiscard]] std::size_t select_min_max(const std::vector<TwoPhaseStrategy>& strategies,
+                                         const Instance& instance,
+                                         const ScenarioSet& scenarios,
+                                         const ScenarioConfig& config = {});
+
+}  // namespace rdp

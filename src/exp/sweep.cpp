@@ -1,0 +1,35 @@
+#include "exp/sweep.hpp"
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rdp {
+
+std::vector<SweepCell> make_grid(const std::vector<MachineId>& machines,
+                                 const std::vector<double>& alphas,
+                                 const std::vector<std::uint64_t>& seeds) {
+  std::vector<SweepCell> grid;
+  grid.reserve(machines.size() * alphas.size() * seeds.size());
+  std::size_t index = 0;
+  for (MachineId m : machines) {
+    for (double alpha : alphas) {
+      for (std::uint64_t seed : seeds) {
+        grid.push_back(SweepCell{m, alpha, seed, index++});
+      }
+    }
+  }
+  return grid;
+}
+
+void run_sweep(const std::vector<SweepCell>& grid,
+               const std::function<void(const SweepCell&)>& body) {
+  for (const SweepCell& cell : grid) body(cell);
+}
+
+void run_sweep_parallel(ThreadPool& pool, const std::vector<SweepCell>& grid,
+                        const std::function<void(const SweepCell&)>& body) {
+  parallel_for_each_index(pool, grid.size(),
+                          [&](std::size_t i) { body(grid[i]); });
+}
+
+}  // namespace rdp

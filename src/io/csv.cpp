@@ -1,0 +1,100 @@
+#include "io/csv.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace rdp {
+
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quoted(const std::string& cell) {
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << (needs_quoting(cells[i]) ? quoted(cells[i]) : cells[i]);
+  }
+  *out_ << '\n';
+}
+
+std::string CsvWriter::cell_of(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+std::string CsvWriter::cell_of(long long v) { return std::to_string(v); }
+std::string CsvWriter::cell_of(unsigned long long v) { return std::to_string(v); }
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> current_row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        current_row.push_back(std::move(cell));
+        cell.clear();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // swallow; \n terminates the row
+      case '\n':
+        if (row_has_content || !cell.empty()) {
+          current_row.push_back(std::move(cell));
+          cell.clear();
+          rows.push_back(std::move(current_row));
+          current_row.clear();
+          row_has_content = false;
+        }
+        break;
+      default:
+        cell += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (row_has_content || !cell.empty()) {
+    current_row.push_back(std::move(cell));
+    rows.push_back(std::move(current_row));
+  }
+  return rows;
+}
+
+}  // namespace rdp

@@ -1,0 +1,49 @@
+// Minimal CSV writing/reading (RFC-4180-ish quoting) for experiment
+// output. No external dependencies.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rdp {
+
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row, quoting cells that contain separators/quotes/newlines.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: mixed cells via to_string-able values.
+  template <typename... Ts>
+  void typed_row(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(cell_of(values)), ...);
+    row(cells);
+  }
+
+ private:
+  static std::string cell_of(const std::string& s) { return s; }
+  static std::string cell_of(const char* s) { return s; }
+  static std::string cell_of(double v);
+  static std::string cell_of(long long v);
+  static std::string cell_of(unsigned long long v);
+  static std::string cell_of(int v) { return cell_of(static_cast<long long>(v)); }
+  static std::string cell_of(unsigned v) {
+    return cell_of(static_cast<unsigned long long>(v));
+  }
+  static std::string cell_of(std::size_t v) {
+    return cell_of(static_cast<unsigned long long>(v));
+  }
+
+  std::ostream* out_;
+};
+
+/// Parses CSV text into rows of cells (handles quoted cells with embedded
+/// separators, quotes, and newlines).
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+}  // namespace rdp

@@ -1,0 +1,97 @@
+#include "io/instance_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/csv.hpp"
+
+namespace rdp {
+
+void write_instance(std::ostream& out, const Instance& instance) {
+  out << "# rdp instance: n=" << instance.num_tasks() << "\n";
+  CsvWriter csv(out);
+  csv.typed_row("machines", static_cast<std::size_t>(instance.num_machines()), "alpha",
+                instance.alpha());
+  for (const Task& t : instance.tasks()) {
+    csv.typed_row(t.estimate, t.size);
+  }
+}
+
+std::string instance_to_string(const Instance& instance) {
+  std::ostringstream os;
+  write_instance(os, instance);
+  return os.str();
+}
+
+namespace {
+
+double parse_double(const std::string& cell, const char* what) {
+  std::size_t consumed = 0;
+  double value = 0;
+  try {
+    value = std::stod(cell, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("parse_instance: bad ") + what + " '" +
+                                cell + "'");
+  }
+  if (consumed != cell.size()) {
+    throw std::invalid_argument(std::string("parse_instance: trailing junk in ") +
+                                what + " '" + cell + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Instance parse_instance(const std::string& text) {
+  // Strip comment lines before CSV parsing.
+  std::string cleaned;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    cleaned += line;
+    cleaned += '\n';
+  }
+  const auto rows = parse_csv(cleaned);
+  if (rows.empty()) throw std::invalid_argument("parse_instance: empty input");
+
+  const auto& header = rows.front();
+  if (header.size() != 4 || header[0] != "machines" || header[2] != "alpha") {
+    throw std::invalid_argument("parse_instance: malformed header row");
+  }
+  const double m = parse_double(header[1], "machine count");
+  const double alpha = parse_double(header[3], "alpha");
+  if (m < 1 || m != static_cast<double>(static_cast<MachineId>(m))) {
+    throw std::invalid_argument("parse_instance: bad machine count");
+  }
+
+  std::vector<Task> tasks;
+  tasks.reserve(rows.size() - 1);
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 2) {
+      throw std::invalid_argument("parse_instance: task rows need estimate,size");
+    }
+    tasks.push_back(Task{parse_double(rows[r][0], "estimate"),
+                         parse_double(rows[r][1], "size")});
+  }
+  return Instance(std::move(tasks), static_cast<MachineId>(m), alpha);
+}
+
+void save_instance(const std::string& path, const Instance& instance) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_instance: cannot open " + path);
+  write_instance(out, instance);
+  if (!out) throw std::runtime_error("save_instance: write failed for " + path);
+}
+
+Instance load_instance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_instance: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_instance(buffer.str());
+}
+
+}  // namespace rdp

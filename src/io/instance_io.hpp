@@ -1,0 +1,28 @@
+// Instance (de)serialization in a small CSV dialect:
+//   # comment lines allowed
+//   header row: machines,<m>,alpha,<alpha>
+//   then one row per task: estimate,size
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.hpp"
+
+namespace rdp {
+
+/// Writes `instance` to `out` in the library's CSV dialect.
+void write_instance(std::ostream& out, const Instance& instance);
+
+/// Serializes to a string.
+[[nodiscard]] std::string instance_to_string(const Instance& instance);
+
+/// Parses a serialized instance. Throws std::invalid_argument on
+/// malformed input (missing header, non-numeric cells, bad counts).
+[[nodiscard]] Instance parse_instance(const std::string& text);
+
+/// File convenience wrappers. Throw std::runtime_error on I/O failure.
+void save_instance(const std::string& path, const Instance& instance);
+[[nodiscard]] Instance load_instance(const std::string& path);
+
+}  // namespace rdp

@@ -1,0 +1,99 @@
+#include "io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rdp {
+
+std::string json_escape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+std::string number_to_string(double d) {
+  if (!std::isfinite(d)) return "null";  // JSON has no inf/nan
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    return std::to_string(static_cast<long long>(d));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", d);
+  return buf;
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    out += number_to_string(*d);
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    out += json_escape(*s);
+  } else if (const JsonArray* a = std::get_if<JsonArray>(&value_)) {
+    if (a->empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      if (i > 0) out += ',';
+      newline_indent(out, indent, depth + 1);
+      (*a)[i].dump_to(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += ']';
+  } else if (const JsonObject* o = std::get_if<JsonObject>(&value_)) {
+    if (o->empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : *o) {
+      if (!first) out += ',';
+      first = false;
+      newline_indent(out, indent, depth + 1);
+      out += json_escape(key);
+      out += indent < 0 ? ":" : ": ";
+      value.dump_to(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace rdp

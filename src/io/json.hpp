@@ -1,0 +1,50 @@
+// Minimal JSON *writer* (objects/arrays/scalars, proper string escaping).
+// Used to dump experiment results for downstream plotting; parsing JSON
+// is out of scope for this library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rdp {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// A JSON value: null, bool, number, string, array, or object.
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(int i) : value_(static_cast<double>(i)) {}
+  JsonValue(unsigned u) : value_(static_cast<double>(u)) {}
+  JsonValue(long long i) : value_(static_cast<double>(i)) {}
+  JsonValue(unsigned long long u) : value_(static_cast<double>(u)) {}
+  JsonValue(long i) : value_(static_cast<double>(i)) {}
+  JsonValue(unsigned long u) : value_(static_cast<double>(u)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(JsonArray a) : value_(std::move(a)) {}
+  JsonValue(JsonObject o) : value_(std::move(o)) {}
+
+  /// Serializes compactly (no whitespace) unless indent >= 0, in which
+  /// case nested structures are pretty-printed with that many spaces.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
+};
+
+/// Escapes a string for embedding in JSON (quotes included).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace rdp

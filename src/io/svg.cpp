@@ -1,0 +1,91 @@
+#include "io/svg.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace rdp {
+
+namespace {
+
+// A small qualitative palette; task colors cycle through it.
+constexpr const char* kPalette[] = {
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+};
+
+}  // namespace
+
+std::string render_svg(const Instance& instance, const Schedule& schedule,
+                       const SvgOptions& options) {
+  if (options.width <= 0 || options.row_height <= 0 || options.margin < 0) {
+    throw std::invalid_argument("render_svg: bad geometry options");
+  }
+  if (!options.hollow.empty() && options.hollow.size() != instance.num_tasks()) {
+    throw std::invalid_argument("render_svg: hollow mask size mismatch");
+  }
+  const Time horizon = std::max(schedule.makespan(), Time{1e-9});
+  const MachineId m = instance.num_machines();
+  const double scale = static_cast<double>(options.width) / horizon;
+  const int total_w = options.width + options.margin + 10;
+  const int total_h = options.row_height * static_cast<int>(m) + 40;
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << total_w
+      << "\" height=\"" << total_h << "\" viewBox=\"0 0 " << total_w << " "
+      << total_h << "\">\n";
+  svg << "  <style>text{font-family:sans-serif;font-size:11px}</style>\n";
+
+  // Lanes and labels.
+  for (MachineId i = 0; i < m; ++i) {
+    const int y = 10 + options.row_height * static_cast<int>(i);
+    svg << "  <text x=\"2\" y=\"" << y + options.row_height / 2 + 4 << "\">m" << i
+        << "</text>\n";
+    svg << "  <line x1=\"" << options.margin << "\" y1=\"" << y + options.row_height
+        << "\" x2=\"" << options.margin + options.width << "\" y2=\""
+        << y + options.row_height << "\" stroke=\"#ddd\"/>\n";
+  }
+
+  // Task rectangles.
+  for (TaskId j = 0; j < schedule.num_tasks(); ++j) {
+    const MachineId i = schedule.assignment[j];
+    if (i == kNoMachine) continue;
+    const double x = options.margin + schedule.start[j] * scale;
+    const double w =
+        std::max(1.0, (schedule.finish[j] - schedule.start[j]) * scale);
+    const int y = 12 + options.row_height * static_cast<int>(i);
+    const char* color = kPalette[j % std::size(kPalette)];
+    const bool hollow = !options.hollow.empty() && options.hollow[j];
+    svg << "  <rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w
+        << "\" height=\"" << options.row_height - 6 << "\" fill=\""
+        << (hollow ? "none" : color) << "\" stroke=\"" << color
+        << "\" stroke-width=\"1.5\" rx=\"2\"/>\n";
+    if (options.show_task_ids && w > 14) {
+      svg << "  <text x=\"" << x + 3 << "\" y=\"" << y + options.row_height / 2 + 2
+          << "\"" << (hollow ? "" : " fill=\"#fff\"") << ">" << j << "</text>\n";
+    }
+  }
+
+  // Time axis.
+  const int axis_y = options.row_height * static_cast<int>(m) + 24;
+  svg << "  <text x=\"" << options.margin << "\" y=\"" << axis_y << "\">0</text>\n";
+  svg << "  <text x=\"" << options.margin + options.width - 40 << "\" y=\"" << axis_y
+      << "\">t=" << horizon << "</text>\n";
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void save_svg(const std::string& path, const Instance& instance,
+              const Schedule& schedule, const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_svg: cannot open " + path);
+  out << render_svg(instance, schedule, options);
+  if (!out) throw std::runtime_error("save_svg: write failed for " + path);
+}
+
+}  // namespace rdp

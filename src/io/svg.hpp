@@ -1,0 +1,35 @@
+// SVG rendering of schedules: publication-grade Gantt charts (the text
+// Gantt in sim/trace.hpp is for terminals; this one is for figures).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rdp {
+
+class Instance;
+struct Schedule;
+
+struct SvgOptions {
+  int width = 800;          ///< drawing width in px (time axis)
+  int row_height = 26;      ///< per-machine lane height
+  int margin = 36;          ///< left margin for machine labels
+  bool show_task_ids = true;
+  /// Tasks with this flag set render hollow (used to distinguish the
+  /// memory-intensive S2 tasks like the paper's uncolored blocks);
+  /// empty = all solid.
+  std::vector<bool> hollow;
+};
+
+/// Renders the schedule as a standalone SVG document.
+[[nodiscard]] std::string render_svg(const Instance& instance, const Schedule& schedule,
+                                     const SvgOptions& options = {});
+
+/// Writes render_svg() output to a file. Throws std::runtime_error on
+/// I/O failure.
+void save_svg(const std::string& path, const Instance& instance,
+              const Schedule& schedule, const SvgOptions& options = {});
+
+}  // namespace rdp

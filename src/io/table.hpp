@@ -1,0 +1,34 @@
+// Fixed-width plain-text tables: what the bench binaries print to
+// regenerate the paper's tables/figure series on stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rdp {
+
+class TextTable {
+ public:
+  /// Sets the header row (also fixes the column count).
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must match the header's column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows; formats doubles with `precision`.
+  void add_numeric_row(const std::vector<double>& values, int precision = 4);
+
+  /// Renders with column-aligned padding and a separator under the header.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by benches).
+[[nodiscard]] std::string fmt(double value, int precision = 4);
+
+}  // namespace rdp

@@ -1,0 +1,31 @@
+#include "memaware/pi_schedules.hpp"
+
+#include <stdexcept>
+
+#include "algo/lpt.hpp"
+#include "core/instance.hpp"
+
+namespace rdp {
+
+PiSchedules build_pi_schedules(const Instance& instance) {
+  if (instance.num_tasks() == 0) {
+    throw std::invalid_argument("build_pi_schedules: empty instance");
+  }
+  PiSchedules out;
+
+  const auto estimates = instance.estimates();
+  const GreedyScheduleResult pi1 = lpt_schedule(estimates, instance.num_machines());
+  out.pi1 = pi1.assignment;
+  out.pi1_makespan = pi1.makespan;
+  out.rho1 = lpt_guarantee(instance.num_machines());
+
+  const auto sizes = instance.sizes();
+  const GreedyScheduleResult pi2 = lpt_schedule(sizes, instance.num_machines());
+  out.pi2 = pi2.assignment;
+  out.pi2_memory = pi2.makespan;  // max "load" over sizes == Mem_max
+  out.rho2 = lpt_guarantee(instance.num_machines());
+
+  return out;
+}
+
+}  // namespace rdp

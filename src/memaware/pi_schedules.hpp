@@ -1,0 +1,28 @@
+// The two single-objective reference schedules every memory-aware
+// algorithm combines: pi1 minimizes (approximately) the estimated
+// makespan, pi2 minimizes (approximately) the maximum memory occupation.
+// Both are built with LPT on the respective weight, so
+// rho1 = rho2 = 4/3 - 1/(3m).
+#pragma once
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+class Instance;
+
+struct PiSchedules {
+  Assignment pi1;        ///< makespan-oriented schedule (LPT on estimates)
+  Time pi1_makespan = 0; ///< \f$\tilde C^{\pi_1}_{max}\f$ (on estimates)
+  double rho1 = 1;       ///< approximation factor of the pi1 builder
+
+  Assignment pi2;        ///< memory-oriented schedule (LPT on sizes)
+  double pi2_memory = 0; ///< \f$Mem^{\pi_2}_{max}\f$
+  double rho2 = 1;       ///< approximation factor of the pi2 builder
+};
+
+/// Builds pi1/pi2 with LPT. Throws if the instance has zero tasks.
+[[nodiscard]] PiSchedules build_pi_schedules(const Instance& instance);
+
+}  // namespace rdp

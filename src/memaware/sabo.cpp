@@ -1,0 +1,27 @@
+#include "memaware/sabo.hpp"
+
+#include "core/instance.hpp"
+#include "core/metrics.hpp"
+#include "core/realization.hpp"
+
+namespace rdp {
+
+SaboResult run_sabo(const Instance& instance, double delta) {
+  const SboResult sbo = run_sbo(instance, delta);
+  SaboResult result;
+  result.assignment = sbo.assignment;
+  result.in_s2 = sbo.in_s2;
+  result.delta = delta;
+  result.pi = sbo.pi;
+  result.placement =
+      Placement::singleton(result.assignment.machine_of, instance.num_machines());
+  result.max_memory = max_memory(result.assignment, instance);
+  return result;
+}
+
+Time sabo_makespan(const SaboResult& result, const Instance& instance,
+                   const Realization& actual) {
+  return makespan(result.assignment, actual, instance.num_machines());
+}
+
+}  // namespace rdp

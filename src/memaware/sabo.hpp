@@ -1,0 +1,37 @@
+// SABO_Delta (paper, Theorems 5-6): the static asymmetric bi-objective
+// algorithm. Phase 1 is exactly the SBO split over estimates; phase 2
+// loads every task onto its phase-1 machine (no replication, so the
+// uncertainty costs a factor alpha^2 on makespan):
+//   makespan <= (1+Delta) alpha^2 rho1 * OPT_Cmax
+//   memory   <= (1+1/Delta) rho2      * OPT_Mem.
+#pragma once
+
+#include <vector>
+
+#include "core/placement.hpp"
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+#include "memaware/sbo.hpp"
+
+namespace rdp {
+
+class Instance;
+struct Realization;
+
+struct SaboResult {
+  Placement placement;      ///< singleton placement (|M_j| = 1)
+  Assignment assignment;    ///< == the placement, as a task->machine map
+  std::vector<bool> in_s2;  ///< classification used
+  double max_memory = 0;    ///< Mem_max (no replication)
+  double delta = 0;
+  PiSchedules pi;
+};
+
+/// Runs SABO_Delta phase 1 (placement + assignment; phase 2 is static).
+[[nodiscard]] SaboResult run_sabo(const Instance& instance, double delta);
+
+/// Makespan of a SABO result under a realization of the actual times.
+[[nodiscard]] Time sabo_makespan(const SaboResult& result, const Instance& instance,
+                                 const Realization& actual);
+
+}  // namespace rdp

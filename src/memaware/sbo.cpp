@@ -1,0 +1,44 @@
+#include "memaware/sbo.hpp"
+
+#include <stdexcept>
+
+#include "core/instance.hpp"
+#include "core/metrics.hpp"
+
+namespace rdp {
+
+std::vector<bool> split_memory_intensive(const Instance& instance,
+                                         const PiSchedules& pi, double delta) {
+  if (!(delta > 0.0)) {
+    throw std::invalid_argument("split_memory_intensive: Delta must be > 0");
+  }
+  std::vector<bool> in_s2(instance.num_tasks(), false);
+  // Degenerate guards: with a single task pi1_makespan > 0 always; a zero
+  // total size makes every task time-intensive.
+  const double mem = pi.pi2_memory;
+  const Time cmax = pi.pi1_makespan;
+  for (TaskId j = 0; j < instance.num_tasks(); ++j) {
+    const double time_share = instance.estimate(j) / cmax;
+    const double mem_share = mem > 0.0 ? instance.size(j) / mem : 0.0;
+    in_s2[j] = time_share <= delta * mem_share;
+  }
+  return in_s2;
+}
+
+SboResult run_sbo(const Instance& instance, double delta) {
+  SboResult result;
+  result.pi = build_pi_schedules(instance);
+  result.delta = delta;
+  result.in_s2 = split_memory_intensive(instance, result.pi, delta);
+
+  result.assignment = Assignment(instance.num_tasks());
+  for (TaskId j = 0; j < instance.num_tasks(); ++j) {
+    result.assignment.machine_of[j] =
+        result.in_s2[j] ? result.pi.pi2[j] : result.pi.pi1[j];
+  }
+  result.estimated_makespan = estimated_makespan(result.assignment, instance);
+  result.max_memory = max_memory(result.assignment, instance);
+  return result;
+}
+
+}  // namespace rdp

@@ -1,0 +1,36 @@
+// SBO_Delta (cited substrate, IPDPS 2008): combines pi1 and pi2 by
+// classifying each task as processing-time intensive (S1, follows pi1) or
+// memory intensive (S2, follows pi2) via the threshold test
+//   estimate_j / pi1_makespan <= Delta * size_j / pi2_memory.
+// Guarantees [(1+Delta) rho1, (1+1/Delta) rho2] under certain times.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+#include "memaware/pi_schedules.hpp"
+
+namespace rdp {
+
+class Instance;
+
+/// Task classification shared by SBO / SABO / ABO: in_s2[j] is true when
+/// task j is memory-intensive under the Delta threshold.
+[[nodiscard]] std::vector<bool> split_memory_intensive(const Instance& instance,
+                                                       const PiSchedules& pi,
+                                                       double delta);
+
+struct SboResult {
+  Assignment assignment;       ///< merged schedule (each task on one machine)
+  std::vector<bool> in_s2;     ///< classification used
+  Time estimated_makespan = 0; ///< makespan of `assignment` on estimates
+  double max_memory = 0;       ///< Mem_max of `assignment`
+  PiSchedules pi;              ///< the reference schedules
+  double delta = 0;
+};
+
+/// Runs SBO_Delta.
+[[nodiscard]] SboResult run_sbo(const Instance& instance, double delta);
+
+}  // namespace rdp

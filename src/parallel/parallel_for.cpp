@@ -1,0 +1,34 @@
+#include "parallel/parallel_for.hpp"
+
+#include <algorithm>
+
+#include "parallel/thread_pool.hpp"
+
+namespace rdp {
+
+void parallel_for_blocked(ThreadPool& pool, std::size_t count,
+                          const std::function<void(std::size_t, std::size_t)>& body,
+                          std::size_t block) {
+  if (count == 0) return;
+  if (block == 0) {
+    block = std::max<std::size_t>(1, count / (4 * pool.num_threads()));
+  }
+  for (std::size_t begin = 0; begin < count; begin += block) {
+    const std::size_t end = std::min(count, begin + block);
+    pool.submit([&body, begin, end] { body(begin, end); });
+  }
+  pool.wait_idle();
+}
+
+void parallel_for_each_index(ThreadPool& pool, std::size_t count,
+                             const std::function<void(std::size_t)>& body,
+                             std::size_t block) {
+  parallel_for_blocked(
+      pool, count,
+      [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      },
+      block);
+}
+
+}  // namespace rdp

@@ -1,0 +1,51 @@
+// A fixed-size worker pool for the experiment harness. Tasks are
+// arbitrary void() callables; submit() returns immediately and wait_idle()
+// blocks until the queue drains. Exceptions thrown by tasks are captured
+// and rethrown from wait_idle() (first one wins).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rdp {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_concurrency (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Throws std::runtime_error after shutdown began.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task finished; rethrows the first task
+  /// exception, if any (and clears it).
+  void wait_idle();
+
+  [[nodiscard]] std::size_t num_threads() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace rdp

@@ -1,0 +1,173 @@
+#include "perturb/adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/placement.hpp"
+#include "core/schedule.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "workload/generators.hpp"
+
+namespace rdp {
+
+Instance thm1_instance(std::size_t lambda, MachineId m, double alpha) {
+  if (lambda == 0) throw std::invalid_argument("thm1_instance: lambda must be >= 1");
+  return unit_tasks(lambda * m, m, alpha);
+}
+
+Realization thm1_realization(const Instance& instance, const Placement& placement) {
+  if (placement.max_replication_degree() != 1) {
+    throw std::invalid_argument("thm1_realization: placement must be singleton");
+  }
+  if (placement.num_machines() != instance.num_machines() ||
+      placement.num_tasks() != instance.num_tasks()) {
+    throw std::invalid_argument("thm1_realization: placement/instance mismatch");
+  }
+  // Estimated load (== task count for unit tasks) per machine.
+  std::vector<Time> load(instance.num_machines(), 0);
+  for (TaskId j = 0; j < placement.num_tasks(); ++j) {
+    load[placement.machines_for(j).front()] += instance.estimate(j);
+  }
+  const MachineId heaviest = static_cast<MachineId>(
+      std::max_element(load.begin(), load.end()) - load.begin());
+
+  const double a = instance.alpha();
+  Realization r;
+  r.actual.reserve(instance.num_tasks());
+  for (TaskId j = 0; j < instance.num_tasks(); ++j) {
+    const bool on_heaviest = placement.machines_for(j).front() == heaviest;
+    r.actual.push_back(instance.estimate(j) * (on_heaviest ? a : 1.0 / a));
+  }
+  return r;
+}
+
+Time thm1_offline_optimal_upper(std::size_t lambda, MachineId m, double alpha,
+                                std::size_t heaviest_count) {
+  const double dm = static_cast<double>(m);
+  const double fast = std::ceil(
+      (static_cast<double>(lambda * m) - static_cast<double>(heaviest_count)) / dm);
+  const double slow = std::ceil(static_cast<double>(heaviest_count) / dm);
+  return fast / alpha + slow * alpha;
+}
+
+namespace {
+
+// FNV-1a over a replica set, same scheme as the dispatcher's bucketing.
+std::uint64_t hash_set(const std::vector<MachineId>& set) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (MachineId i : set) {
+    h ^= static_cast<std::uint64_t>(i) + 1;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Realization adversarial_realization(const Instance& instance,
+                                    const Placement& placement) {
+  if (placement.num_tasks() != instance.num_tasks()) {
+    throw std::invalid_argument("adversarial_realization: placement size mismatch");
+  }
+  // Group tasks by identical replica set; track estimated load and width.
+  struct Group {
+    Time load = 0;
+    double width = 1;
+    std::vector<TaskId> tasks;
+  };
+  std::unordered_map<std::uint64_t, Group> groups;
+  for (TaskId j = 0; j < instance.num_tasks(); ++j) {
+    const auto& set = placement.machines_for(j);
+    Group& g = groups[hash_set(set)];
+    g.load += instance.estimate(j);
+    g.width = static_cast<double>(set.size());
+    g.tasks.push_back(j);
+  }
+  // Inflate the group with the largest load density (load per machine of
+  // its replica set); ties break toward the smallest first task id for
+  // determinism.
+  const Group* target = nullptr;
+  for (const auto& [h, g] : groups) {
+    (void)h;
+    if (target == nullptr) {
+      target = &g;
+      continue;
+    }
+    const double d = g.load / g.width;
+    const double best = target->load / target->width;
+    if (d > best || (d == best && g.tasks.front() < target->tasks.front())) {
+      target = &g;
+    }
+  }
+
+  const double a = instance.alpha();
+  Realization r;
+  r.actual.assign(instance.num_tasks(), 0);
+  std::vector<bool> inflate(instance.num_tasks(), false);
+  if (target != nullptr) {
+    for (TaskId j : target->tasks) inflate[j] = true;
+  }
+  for (TaskId j = 0; j < instance.num_tasks(); ++j) {
+    r.actual[j] = instance.estimate(j) * (inflate[j] ? a : 1.0 / a);
+  }
+  return r;
+}
+
+Realization adversarial_realization(const Instance& instance,
+                                    const Assignment& assignment) {
+  std::vector<Time> load(instance.num_machines(), 0);
+  for (TaskId j = 0; j < instance.num_tasks(); ++j) {
+    load[assignment[j]] += instance.estimate(j);
+  }
+  const MachineId heaviest = static_cast<MachineId>(
+      std::max_element(load.begin(), load.end()) - load.begin());
+  const double a = instance.alpha();
+  Realization r;
+  r.actual.reserve(instance.num_tasks());
+  for (TaskId j = 0; j < instance.num_tasks(); ++j) {
+    const bool slow = assignment[j] == heaviest;
+    r.actual.push_back(instance.estimate(j) * (slow ? a : 1.0 / a));
+  }
+  return r;
+}
+
+ExhaustiveAdversaryResult exhaustive_two_point_adversary(const Instance& instance,
+                                                         const Assignment& assignment,
+                                                         std::size_t max_tasks) {
+  const std::size_t n = instance.num_tasks();
+  if (n > max_tasks) {
+    throw std::invalid_argument("exhaustive_two_point_adversary: instance too large");
+  }
+  if (n == 0) {
+    return {};
+  }
+  const double a = instance.alpha();
+  ExhaustiveAdversaryResult best;
+  best.ratio = -1;
+
+  Realization r;
+  r.actual.assign(n, 0);
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    for (TaskId j = 0; j < n; ++j) {
+      const bool high = (mask >> j) & 1U;
+      r.actual[j] = instance.estimate(j) * (high ? a : 1.0 / a);
+    }
+    const Time algo = makespan(assignment, r, instance.num_machines());
+    const BnbResult opt = branch_and_bound_cmax(r.actual, instance.num_machines());
+    if (opt.best <= 0) continue;
+    const double ratio = algo / opt.best;
+    if (ratio > best.ratio) {
+      best.ratio = ratio;
+      best.realization = r;
+      best.algorithm_makespan = algo;
+      best.optimal_makespan = opt.best;
+    }
+  }
+  return best;
+}
+
+}  // namespace rdp

@@ -1,0 +1,64 @@
+// Adversarial realization constructions -- the instances the paper's
+// proofs are built from. The adversary observes the phase-1 placement and
+// then picks actual processing times (within the alpha band) that hurt
+// the algorithm the most.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+class Placement;
+struct Assignment;
+
+/// The Theorem 1 instance: lambda * m tasks of unit estimate.
+[[nodiscard]] Instance thm1_instance(std::size_t lambda, MachineId m, double alpha);
+
+/// The Theorem 1 adversary move against a *singleton* placement: every
+/// task on the most (estimated-)loaded machine is slowed by a factor
+/// alpha, every other task is sped up by 1/alpha.
+[[nodiscard]] Realization thm1_realization(const Instance& instance,
+                                           const Placement& placement);
+
+/// The proof's upper bound on the offline optimum after the adversary
+/// move, (1/alpha) ceil((lambda m - B)/m) + alpha ceil(B/m), where B is
+/// the task count of the most loaded machine.
+[[nodiscard]] Time thm1_offline_optimal_upper(std::size_t lambda, MachineId m,
+                                              double alpha, std::size_t heaviest_count);
+
+/// Generic placement-aware adversary: tasks are grouped by identical
+/// replica sets; the group with the largest estimated load per machine is
+/// inflated by alpha, everything else deflated by 1/alpha. Reduces to the
+/// Theorem 1 move for singleton placements and to the Theorem 4 worst
+/// case for group placements; full replication makes every task share one
+/// group (the adversary cannot discriminate).
+[[nodiscard]] Realization adversarial_realization(const Instance& instance,
+                                                  const Placement& placement);
+
+/// Adversary against a fixed assignment (phase 2 already done): inflate
+/// the machine with the largest estimated load, deflate the rest. This is
+/// the worst case used in the Theorem 2 analysis.
+[[nodiscard]] Realization adversarial_realization(const Instance& instance,
+                                                  const Assignment& assignment);
+
+/// Result of the exhaustive two-point adversary search.
+struct ExhaustiveAdversaryResult {
+  Realization realization;   ///< the worst two-point realization found
+  double ratio = 0;          ///< Cmax(assignment)/OPT under it
+  Time algorithm_makespan = 0;
+  Time optimal_makespan = 0;
+};
+
+/// Exhaustive adversary for *static* (singleton-placement) algorithms:
+/// tries all 2^n realizations with each actual time at alpha*est or
+/// est/alpha, computing the exact optimum for each, and returns the one
+/// maximizing Cmax(assignment)/OPT. Guarded to n <= max_tasks.
+[[nodiscard]] ExhaustiveAdversaryResult exhaustive_two_point_adversary(
+    const Instance& instance, const Assignment& assignment,
+    std::size_t max_tasks = 12);
+
+}  // namespace rdp

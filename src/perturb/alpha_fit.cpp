@@ -1,0 +1,73 @@
+#include "perturb/alpha_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rdp {
+
+namespace {
+
+// Symmetric misprediction factor of one observation: the smallest alpha
+// whose band contains it.
+double factor_of(const Observation& o) {
+  if (!(o.estimate > 0.0) || !(o.actual > 0.0)) {
+    throw std::invalid_argument("alpha_fit: observations must be positive");
+  }
+  const double ratio = o.actual / o.estimate;
+  return std::max(ratio, 1.0 / ratio);
+}
+
+}  // namespace
+
+double fit_alpha_max(std::span<const Observation> history) {
+  double alpha = 1.0;
+  for (const Observation& o : history) alpha = std::max(alpha, factor_of(o));
+  return alpha;
+}
+
+double fit_alpha_quantile(std::span<const Observation> history, double coverage) {
+  if (!(coverage > 0.0) || coverage > 1.0) {
+    throw std::invalid_argument("fit_alpha_quantile: coverage must be in (0, 1]");
+  }
+  if (history.empty()) return 1.0;
+  std::vector<double> factors;
+  factors.reserve(history.size());
+  for (const Observation& o : history) factors.push_back(factor_of(o));
+  std::sort(factors.begin(), factors.end());
+  // Smallest alpha covering ceil(coverage * n) observations.
+  const auto needed = static_cast<std::size_t>(
+      std::ceil(coverage * static_cast<double>(factors.size())));
+  const std::size_t index = std::max<std::size_t>(needed, 1) - 1;
+  return std::max(1.0, factors[index]);
+}
+
+double coverage_of_alpha(std::span<const Observation> history, double alpha) {
+  if (!(alpha >= 1.0)) {
+    throw std::invalid_argument("coverage_of_alpha: alpha must be >= 1");
+  }
+  if (history.empty()) return 1.0;
+  std::size_t covered = 0;
+  for (const Observation& o : history) {
+    if (factor_of(o) <= alpha * (1.0 + 1e-12)) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(history.size());
+}
+
+CalibrationReport calibrate(std::span<const Observation> history) {
+  CalibrationReport report;
+  report.samples = history.size();
+  if (history.empty()) return report;
+  report.alpha_max = fit_alpha_max(history);
+  report.alpha_p95 = fit_alpha_quantile(history, 0.95);
+  report.alpha_p50 = fit_alpha_quantile(history, 0.50);
+  double log_sum = 0;
+  for (const Observation& o : history) {
+    log_sum += std::log(o.actual / o.estimate);
+  }
+  report.bias = std::exp(log_sum / static_cast<double>(history.size()));
+  return report;
+}
+
+}  // namespace rdp

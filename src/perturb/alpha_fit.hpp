@@ -1,0 +1,45 @@
+// Calibrating alpha from history. The model's single uncertainty knob is
+// the multiplicative factor alpha; in practice it must be estimated from
+// past (estimate, actual) pairs -- exactly what the paper's citations do
+// with SVMs / analytic models. This module fits alpha and reports how
+// well a candidate alpha would have covered history.
+#pragma once
+
+#include <span>
+
+#include "core/types.hpp"
+
+namespace rdp {
+
+/// One historical observation.
+struct Observation {
+  Time estimate = 0;  ///< what the model predicted (must be > 0)
+  Time actual = 0;    ///< what really happened (must be > 0)
+};
+
+/// The smallest alpha >= 1 covering *every* observation, i.e.
+/// max_j max(actual/estimate, estimate/actual). Returns 1 for empty
+/// input; throws std::invalid_argument on non-positive values.
+[[nodiscard]] double fit_alpha_max(std::span<const Observation> history);
+
+/// The smallest alpha >= 1 covering a `coverage` fraction of the
+/// observations (e.g. 0.95). coverage must be in (0, 1].
+[[nodiscard]] double fit_alpha_quantile(std::span<const Observation> history,
+                                        double coverage);
+
+/// Fraction of observations inside the band of a candidate alpha.
+[[nodiscard]] double coverage_of_alpha(std::span<const Observation> history,
+                                       double alpha);
+
+struct CalibrationReport {
+  std::size_t samples = 0;
+  double alpha_max = 1.0;   ///< covers 100% of history
+  double alpha_p95 = 1.0;   ///< covers 95%
+  double alpha_p50 = 1.0;   ///< covers 50%
+  double bias = 1.0;        ///< geometric mean of actual/estimate (1 = unbiased)
+};
+
+/// Full calibration in one pass.
+[[nodiscard]] CalibrationReport calibrate(std::span<const Observation> history);
+
+}  // namespace rdp

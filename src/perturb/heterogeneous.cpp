@@ -1,0 +1,138 @@
+#include "perturb/heterogeneous.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/instance.hpp"
+#include "core/placement.hpp"
+#include "rng/distributions.hpp"
+#include "rng/rng.hpp"
+
+namespace rdp {
+
+HeteroBand::HeteroBand(std::vector<double> alphas) : alphas_(std::move(alphas)) {
+  for (double a : alphas_) {
+    if (!(a >= 1.0)) {
+      throw std::invalid_argument("HeteroBand: every alpha must be >= 1");
+    }
+  }
+}
+
+HeteroBand HeteroBand::two_class(std::size_t num_tasks, double calm_alpha,
+                                 double noisy_alpha, double noisy_fraction,
+                                 std::uint64_t seed) {
+  if (noisy_fraction < 0.0 || noisy_fraction > 1.0) {
+    throw std::invalid_argument("HeteroBand: noisy_fraction out of [0,1]");
+  }
+  Xoshiro256 rng(seed);
+  std::vector<double> alphas(num_tasks, calm_alpha);
+  for (double& a : alphas) {
+    if (rng.next_double() < noisy_fraction) a = noisy_alpha;
+  }
+  return HeteroBand(std::move(alphas));
+}
+
+double HeteroBand::max_alpha() const noexcept {
+  double best = 1.0;
+  for (double a : alphas_) best = std::max(best, a);
+  return best;
+}
+
+namespace {
+
+void check_band(const Instance& instance, const HeteroBand& band) {
+  if (band.size() != instance.num_tasks()) {
+    throw std::invalid_argument("HeteroBand: size mismatch with instance");
+  }
+  if (band.max_alpha() > instance.alpha() * (1.0 + 1e-12)) {
+    throw std::invalid_argument(
+        "HeteroBand: per-task alpha exceeds the instance's global alpha");
+  }
+}
+
+double draw_factor(Xoshiro256& rng, NoiseModel model, double a) {
+  const double log_a = std::log(a);
+  switch (model) {
+    case NoiseModel::kNone: return 1.0;
+    case NoiseModel::kUniform: return sample_uniform(rng, 1.0 / a, a);
+    case NoiseModel::kLogUniform:
+      return std::exp(sample_uniform(rng, -log_a, log_a));
+    case NoiseModel::kTwoPoint: return rng.next_double() < 0.5 ? a : 1.0 / a;
+    case NoiseModel::kBetaCentered: {
+      const double b = sample_beta(rng, 4.0, 4.0);
+      return std::exp((2.0 * b - 1.0) * log_a);
+    }
+    case NoiseModel::kAlwaysHigh: return a;
+    case NoiseModel::kAlwaysLow: return 1.0 / a;
+  }
+  throw std::invalid_argument("realize_hetero: unknown NoiseModel");
+}
+
+}  // namespace
+
+Realization realize_hetero(const Instance& instance, const HeteroBand& band,
+                           NoiseModel model, std::uint64_t seed) {
+  check_band(instance, band);
+  Xoshiro256 rng(seed);
+  Realization r;
+  r.actual.reserve(instance.num_tasks());
+  for (TaskId j = 0; j < instance.num_tasks(); ++j) {
+    r.actual.push_back(instance.estimate(j) * draw_factor(rng, model, band.alpha(j)));
+  }
+  return r;
+}
+
+Realization adversarial_realization_hetero(const Instance& instance,
+                                           const Placement& placement,
+                                           const HeteroBand& band) {
+  check_band(instance, band);
+  if (placement.num_tasks() != instance.num_tasks()) {
+    throw std::invalid_argument("adversarial_realization_hetero: size mismatch");
+  }
+  // Group by replica set (same bucketing idea as the global adversary).
+  struct Group {
+    double load = 0;
+    double width = 1;
+    std::vector<TaskId> tasks;
+  };
+  std::unordered_map<std::uint64_t, Group> groups;
+  auto hash_set = [](const std::vector<MachineId>& set) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (MachineId i : set) {
+      h ^= static_cast<std::uint64_t>(i) + 1;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  };
+  for (TaskId j = 0; j < instance.num_tasks(); ++j) {
+    const auto& set = placement.machines_for(j);
+    Group& g = groups[hash_set(set)];
+    g.load += instance.estimate(j);
+    g.width = static_cast<double>(set.size());
+    g.tasks.push_back(j);
+  }
+  const Group* target = nullptr;
+  for (const auto& [h, g] : groups) {
+    (void)h;
+    if (target == nullptr || g.load / g.width > target->load / target->width ||
+        (g.load / g.width == target->load / target->width &&
+         g.tasks.front() < target->tasks.front())) {
+      target = &g;
+    }
+  }
+  std::vector<bool> inflate(instance.num_tasks(), false);
+  if (target != nullptr) {
+    for (TaskId j : target->tasks) inflate[j] = true;
+  }
+  Realization r;
+  r.actual.reserve(instance.num_tasks());
+  for (TaskId j = 0; j < instance.num_tasks(); ++j) {
+    const double a = band.alpha(j);
+    r.actual.push_back(instance.estimate(j) * (inflate[j] ? a : 1.0 / a));
+  }
+  return r;
+}
+
+}  // namespace rdp

@@ -1,0 +1,61 @@
+// Per-task uncertainty bands. The paper's model uses one global alpha;
+// in practice different task classes are predicted with different
+// confidence (e.g. dense kernels vs irregular traversals). A HeteroBand
+// gives each task its own alpha_j <= alpha; every realization drawn from
+// it is also a legal realization of the instance's global band, so all
+// the paper's guarantees (stated in the global alpha) still apply --
+// they are just pessimistic for the well-predicted tasks, which the
+// ext experiments can quantify.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/realization.hpp"
+#include "core/types.hpp"
+#include "perturb/stochastic.hpp"
+
+namespace rdp {
+
+class Instance;
+
+/// Per-task multiplicative bands; alphas[j] >= 1 for all j.
+class HeteroBand {
+ public:
+  explicit HeteroBand(std::vector<double> alphas);
+
+  /// Two task classes: fraction `noisy_fraction` of tasks (chosen by
+  /// seeded coin flips) gets `noisy_alpha`, the rest `calm_alpha`.
+  static HeteroBand two_class(std::size_t num_tasks, double calm_alpha,
+                              double noisy_alpha, double noisy_fraction,
+                              std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const noexcept { return alphas_.size(); }
+  [[nodiscard]] double alpha(TaskId j) const { return alphas_.at(j); }
+  [[nodiscard]] const std::vector<double>& alphas() const noexcept { return alphas_; }
+
+  /// The global alpha this band embeds into: max_j alpha_j.
+  [[nodiscard]] double max_alpha() const noexcept;
+
+ private:
+  std::vector<double> alphas_;
+};
+
+/// Draws a realization with task j's factor confined to
+/// [1/alpha_j, alpha_j], using the same factor shapes as NoiseModel.
+/// The band must match the instance size and satisfy
+/// max_alpha() <= instance.alpha() (so the result respects the model).
+[[nodiscard]] Realization realize_hetero(const Instance& instance,
+                                         const HeteroBand& band, NoiseModel model,
+                                         std::uint64_t seed);
+
+/// Adversary move under per-task bands: tasks of the most (estimated-)
+/// loaded replica-set group are slowed by *their own* alpha_j, all
+/// others sped up by 1/alpha_j -- the heterogeneous analogue of
+/// adversarial_realization().
+class Placement;
+[[nodiscard]] Realization adversarial_realization_hetero(const Instance& instance,
+                                                         const Placement& placement,
+                                                         const HeteroBand& band);
+
+}  // namespace rdp

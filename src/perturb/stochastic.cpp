@@ -1,0 +1,74 @@
+#include "perturb/stochastic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "rng/distributions.hpp"
+#include "rng/rng.hpp"
+
+namespace rdp {
+
+std::string to_string(NoiseModel model) {
+  switch (model) {
+    case NoiseModel::kNone: return "none";
+    case NoiseModel::kUniform: return "uniform";
+    case NoiseModel::kLogUniform: return "log-uniform";
+    case NoiseModel::kTwoPoint: return "two-point";
+    case NoiseModel::kBetaCentered: return "beta-centered";
+    case NoiseModel::kAlwaysHigh: return "always-high";
+    case NoiseModel::kAlwaysLow: return "always-low";
+  }
+  throw std::invalid_argument("to_string: unknown NoiseModel");
+}
+
+const std::vector<NoiseModel>& all_noise_models() {
+  static const std::vector<NoiseModel> kAll = {
+      NoiseModel::kNone,        NoiseModel::kUniform,    NoiseModel::kLogUniform,
+      NoiseModel::kTwoPoint,    NoiseModel::kBetaCentered,
+      NoiseModel::kAlwaysHigh,  NoiseModel::kAlwaysLow,
+  };
+  return kAll;
+}
+
+Realization realize(const Instance& instance, NoiseModel model, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const double a = instance.alpha();
+  const double log_a = std::log(a);
+
+  Realization r;
+  r.actual.reserve(instance.num_tasks());
+  for (TaskId j = 0; j < instance.num_tasks(); ++j) {
+    double factor = 1.0;
+    switch (model) {
+      case NoiseModel::kNone:
+        factor = 1.0;
+        break;
+      case NoiseModel::kUniform:
+        factor = sample_uniform(rng, 1.0 / a, a);
+        break;
+      case NoiseModel::kLogUniform:
+        factor = std::exp(sample_uniform(rng, -log_a, log_a));
+        break;
+      case NoiseModel::kTwoPoint:
+        factor = (rng.next_double() < 0.5) ? a : 1.0 / a;
+        break;
+      case NoiseModel::kBetaCentered: {
+        const double b = sample_beta(rng, 4.0, 4.0);  // mass near 0.5
+        factor = std::exp((2.0 * b - 1.0) * log_a);
+        break;
+      }
+      case NoiseModel::kAlwaysHigh:
+        factor = a;
+        break;
+      case NoiseModel::kAlwaysLow:
+        factor = 1.0 / a;
+        break;
+    }
+    r.actual.push_back(instance.estimate(j) * factor);
+  }
+  return r;
+}
+
+}  // namespace rdp

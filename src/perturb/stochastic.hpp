@@ -1,0 +1,38 @@
+// Stochastic realization models: draw actual processing times inside the
+// alpha band around the estimates. These model the paper's motivating
+// scenarios (imprecise analytic models, noisy ML predictions) as opposed
+// to the adversarial constructions in perturb/adversary.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/realization.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+class Instance;
+
+/// How the multiplicative factor f in [1/alpha, alpha] is drawn per task.
+enum class NoiseModel {
+  kNone,         ///< f = 1 (actual == estimate)
+  kUniform,      ///< f uniform on [1/alpha, alpha]
+  kLogUniform,   ///< log f uniform on [-log alpha, log alpha] (symmetric in ratio)
+  kTwoPoint,     ///< f = alpha or 1/alpha, equal probability (worst-ish variance)
+  kBetaCentered, ///< f concentrated near 1 (Beta(4,4) mapped into the band)
+  kAlwaysHigh,   ///< f = alpha for every task (systematic under-estimation)
+  kAlwaysLow,    ///< f = 1/alpha for every task (systematic over-estimation)
+};
+
+/// Printable name ("uniform", "log-uniform", ...).
+[[nodiscard]] std::string to_string(NoiseModel model);
+
+/// All stochastic models, for sweep harnesses.
+[[nodiscard]] const std::vector<NoiseModel>& all_noise_models();
+
+/// Draws a realization. Deterministic in (model, seed).
+[[nodiscard]] Realization realize(const Instance& instance, NoiseModel model,
+                                  std::uint64_t seed);
+
+}  // namespace rdp

@@ -1,0 +1,90 @@
+#include "rng/distributions.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace rdp {
+
+double sample_uniform(Xoshiro256& rng, double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("sample_uniform: lo > hi");
+  return lo + (hi - lo) * rng.next_double();
+}
+
+double sample_log_uniform(Xoshiro256& rng, double lo, double hi) {
+  if (!(lo > 0.0) || lo > hi) {
+    throw std::invalid_argument("sample_log_uniform: need 0 < lo <= hi");
+  }
+  return std::exp(sample_uniform(rng, std::log(lo), std::log(hi)));
+}
+
+double sample_normal(Xoshiro256& rng, double mean, double stddev) {
+  // Box-Muller; guard u1 away from 0 so log() stays finite.
+  double u1 = rng.next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = rng.next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double sample_lognormal(Xoshiro256& rng, double mu, double sigma) {
+  return std::exp(sample_normal(rng, mu, sigma));
+}
+
+double sample_pareto(Xoshiro256& rng, double x_m, double shape) {
+  if (!(x_m > 0.0) || !(shape > 0.0)) {
+    throw std::invalid_argument("sample_pareto: need x_m > 0 and shape > 0");
+  }
+  double u = rng.next_double();
+  if (u < 1e-300) u = 1e-300;
+  return x_m / std::pow(u, 1.0 / shape);
+}
+
+double sample_gamma(Xoshiro256& rng, double shape) {
+  if (!(shape > 0.0)) throw std::invalid_argument("sample_gamma: shape must be > 0");
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia-Tsang small-shape trick).
+    const double u = rng.next_double();
+    return sample_gamma(rng, shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = sample_normal(rng);
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = rng.next_double();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+double sample_beta(Xoshiro256& rng, double a, double b) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::invalid_argument("sample_beta: parameters must be > 0");
+  }
+  const double x = sample_gamma(rng, a);
+  const double y = sample_gamma(rng, b);
+  const double sum = x + y;
+  return sum > 0.0 ? x / sum : 0.5;
+}
+
+std::size_t sample_zipf(Xoshiro256& rng, std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("sample_zipf: n must be > 0");
+  if (s < 0.0) throw std::invalid_argument("sample_zipf: exponent must be >= 0");
+  double total = 0.0;
+  for (std::size_t r = 1; r <= n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r), s);
+  }
+  double target = rng.next_double() * total;
+  for (std::size_t r = 1; r <= n; ++r) {
+    target -= 1.0 / std::pow(static_cast<double>(r), s);
+    if (target <= 0.0) return r - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace rdp

@@ -1,0 +1,49 @@
+// Hand-rolled sampling routines with fully specified algorithms, so that a
+// given (seed, parameters) pair yields the same workload on every platform.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace rdp {
+
+/// Uniform real in [lo, hi). Requires lo <= hi.
+double sample_uniform(Xoshiro256& rng, double lo, double hi);
+
+/// Log-uniform real in [lo, hi): uniform in log-space. Requires 0 < lo <= hi.
+double sample_log_uniform(Xoshiro256& rng, double lo, double hi);
+
+/// Standard normal via Box-Muller (the deterministic, no-rejection variant).
+double sample_normal(Xoshiro256& rng, double mean = 0.0, double stddev = 1.0);
+
+/// Lognormal: exp(N(mu, sigma)).
+double sample_lognormal(Xoshiro256& rng, double mu, double sigma);
+
+/// Pareto with scale x_m > 0 and shape a > 0 (heavy-tailed task times).
+double sample_pareto(Xoshiro256& rng, double x_m, double shape);
+
+/// Symmetric-ish Beta(a, b) via Johnk's algorithm for small parameters and
+/// the gamma-ratio method otherwise. Returns a value in (0, 1).
+double sample_beta(Xoshiro256& rng, double a, double b);
+
+/// Gamma(shape, scale=1) via Marsaglia-Tsang.
+double sample_gamma(Xoshiro256& rng, double shape);
+
+/// Integer in [0, n) following a Zipf law with exponent s >= 0
+/// (s = 0 is uniform). Uses the exact inverse-CDF over precomputed weights;
+/// intended for modest n (workload generation, not inner loops).
+std::size_t sample_zipf(Xoshiro256& rng, std::size_t n, double s);
+
+/// Fisher-Yates shuffle with the library RNG (deterministic given seed).
+template <typename T>
+void shuffle(Xoshiro256& rng, std::vector<T>& values) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    using std::swap;
+    swap(values[i - 1], values[j]);
+  }
+}
+
+}  // namespace rdp

@@ -1,0 +1,64 @@
+// Deterministic, platform-independent pseudo-random generation.
+//
+// We deliberately avoid std::mt19937 + std:: distributions for experiment
+// reproducibility: the standard leaves distribution algorithms unspecified,
+// so the same seed can produce different workloads on different standard
+// libraries. SplitMix64 seeds a xoshiro256** state; both are public-domain
+// algorithms (Blackman & Vigna) reimplemented here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rdp {
+
+/// SplitMix64: tiny 64-bit generator, used for seeding and cheap streams.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the library's workhorse generator. Satisfies the
+/// UniformRandomBitGenerator concept so it can also feed std facilities.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from one 64-bit seed via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of mantissa entropy.
+  double next_double() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Equivalent to 2^128 calls to next(); used to derive independent
+  /// parallel streams from one seed.
+  void jump() noexcept;
+
+  /// A generator 'index' jumps ahead of this one; convenient for giving
+  /// each worker thread / trial its own independent stream.
+  [[nodiscard]] Xoshiro256 split(std::uint64_t index) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace rdp

@@ -1,0 +1,32 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rdp {
+
+void Simulator::schedule_at(Time when, Handler handler) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator: cannot schedule in the past");
+  }
+  queue_.push(when, std::move(handler));
+}
+
+void Simulator::schedule_in(Time delay, Handler handler) {
+  if (delay < 0) {
+    throw std::invalid_argument("Simulator: negative delay");
+  }
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+Time Simulator::run() {
+  while (!queue_.empty()) {
+    auto event = queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.payload(*this);
+  }
+  return now_;
+}
+
+}  // namespace rdp

@@ -1,0 +1,79 @@
+// Minimal discrete-event-simulation core: a time-ordered event queue with
+// FIFO tie-breaking, and a Simulator driving std::function events. The
+// online dispatcher uses the specialized MachinePool instead for speed,
+// but examples and tests exercise this general engine directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rdp {
+
+/// Priority queue of (time, payload) with deterministic FIFO order among
+/// equal-time events (insertion sequence breaks ties).
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    Payload payload;
+  };
+
+  void push(Time time, Payload payload) {
+    heap_.push(Event{time, next_seq_++, std::move(payload)});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] const Event& top() const { return heap_.top(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Callback-driven simulator. Events may schedule further events; run()
+/// processes until the queue drains and returns the final clock value.
+class Simulator {
+ public:
+  using Handler = std::function<void(Simulator&)>;
+
+  /// Schedules `handler` at absolute time `when` (must be >= now()).
+  void schedule_at(Time when, Handler handler);
+
+  /// Schedules `handler` `delay` time units after now().
+  void schedule_in(Time delay, Handler handler);
+
+  /// Current simulation clock.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Number of events processed so far.
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Runs to completion; returns the time of the last processed event.
+  Time run();
+
+ private:
+  EventQueue<Handler> queue_;
+  Time now_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace rdp

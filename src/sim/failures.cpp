@@ -1,0 +1,228 @@
+#include "sim/failures.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+
+namespace rdp {
+
+namespace {
+
+constexpr Time kNever = std::numeric_limits<Time>::infinity();
+
+enum class EventKind : int {
+  kTaskFinish = 0,  // processed first at equal times (finish beats failure)
+  kFailure = 1,
+  kMachineFree = 2,
+};
+
+struct Event {
+  Time when;
+  EventKind kind;
+  MachineId machine;
+  TaskId task;           // kTaskFinish only
+  std::uint64_t epoch;   // kTaskFinish: guards against killed attempts
+  std::uint64_t seq;     // FIFO tie-break
+
+  bool operator<(const Event& other) const noexcept {
+    if (when != other.when) return when > other.when;  // min-heap
+    if (kind != other.kind) return static_cast<int>(kind) > static_cast<int>(other.kind);
+    // Simultaneously freed machines grab work in id order, matching the
+    // plain dispatcher's MachinePool tie-break.
+    if (kind == EventKind::kMachineFree && machine != other.machine) {
+      return machine > other.machine;
+    }
+    return seq > other.seq;
+  }
+};
+
+enum class TaskStatus { kWaiting, kRunning, kDone };
+
+}  // namespace
+
+FailureDispatchResult dispatch_with_failures(const Instance& instance,
+                                             const Placement& placement,
+                                             const Realization& actual,
+                                             const std::vector<TaskId>& priority,
+                                             const FailurePlan& plan) {
+  const std::size_t n = instance.num_tasks();
+  const MachineId m = instance.num_machines();
+  if (placement.num_tasks() != n || actual.size() != n || priority.size() != n) {
+    throw std::invalid_argument("dispatch_with_failures: size mismatch");
+  }
+  if (placement.num_machines() != m) {
+    throw std::invalid_argument(
+        "dispatch_with_failures: placement built for a different machine count");
+  }
+  if (plan.refetch_penalty < 0) {
+    throw std::invalid_argument("dispatch_with_failures: negative refetch penalty");
+  }
+
+  std::vector<Time> fail_time(m, kNever);
+  for (const MachineFailure& f : plan.failures) {
+    if (f.machine >= m) {
+      throw std::invalid_argument("dispatch_with_failures: bad failure machine");
+    }
+    if (f.when < 0) {
+      throw std::invalid_argument("dispatch_with_failures: negative failure time");
+    }
+    fail_time[f.machine] = std::min(fail_time[f.machine], f.when);
+  }
+
+  std::vector<std::uint32_t> rank(n, UINT32_MAX);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const TaskId j = priority[r];
+    if (j >= n || rank[j] != UINT32_MAX) {
+      throw std::invalid_argument("dispatch_with_failures: bad priority permutation");
+    }
+    rank[j] = r;
+  }
+
+  std::vector<TaskStatus> status(n, TaskStatus::kWaiting);
+  std::vector<bool> refetch(n, false);
+  std::vector<Time> earliest(n, 0);
+  std::vector<std::uint64_t> epoch(n, 0);
+  std::vector<bool> failed(m, false);
+  std::vector<bool> machine_idle(m, false);
+  std::vector<TaskId> running_on(m, kNoTask);
+
+  FailureDispatchResult result;
+  result.schedule.assignment = Assignment(n);
+  result.schedule.start.assign(n, 0);
+  result.schedule.finish.assign(n, 0);
+
+  std::priority_queue<Event> events;
+  std::uint64_t seq = 0;
+  for (MachineId i = 0; i < m; ++i) {
+    events.push(Event{0, EventKind::kMachineFree, i, kNoTask, 0, seq++});
+    if (fail_time[i] < kNever) {
+      events.push(Event{fail_time[i], EventKind::kFailure, i, kNoTask, 0, seq++});
+    }
+  }
+
+  std::size_t remaining = n;
+
+  auto eligible = [&](TaskId j, MachineId i) {
+    if (failed[i]) return false;
+    return refetch[j] ? true : placement.allows(j, i);
+  };
+
+  auto duration_of = [&](TaskId j) {
+    return actual[j] + (refetch[j] ? plan.refetch_penalty : Time{0});
+  };
+
+  // Requeue-time wakeups: when tasks become waiting again (failure) or a
+  // machine finds only future-eligible tasks, we push kMachineFree events.
+  auto wake_idle_machines = [&](Time t) {
+    for (MachineId i = 0; i < m; ++i) {
+      if (machine_idle[i] && !failed[i]) {
+        machine_idle[i] = false;
+        events.push(Event{t, EventKind::kMachineFree, i, kNoTask, 0, seq++});
+      }
+    }
+  };
+
+  while (remaining > 0) {
+    if (events.empty()) {
+      throw std::invalid_argument(
+          "dispatch_with_failures: tasks remain but no machine can run them "
+          "(every machine failed)");
+    }
+    const Event e = events.top();
+    events.pop();
+
+    switch (e.kind) {
+      case EventKind::kTaskFinish: {
+        const TaskId j = e.task;
+        if (status[j] != TaskStatus::kRunning || epoch[j] != e.epoch) {
+          break;  // this attempt was killed by a failure
+        }
+        status[j] = TaskStatus::kDone;
+        running_on[e.machine] = kNoTask;
+        --remaining;
+        events.push(Event{e.when, EventKind::kMachineFree, e.machine, kNoTask, 0,
+                          seq++});
+        break;
+      }
+      case EventKind::kFailure: {
+        const MachineId i = e.machine;
+        if (failed[i]) break;
+        failed[i] = true;
+        machine_idle[i] = false;
+        // Kill the running attempt, if any.
+        if (running_on[i] != kNoTask) {
+          const TaskId j = running_on[i];
+          running_on[i] = kNoTask;
+          status[j] = TaskStatus::kWaiting;
+          ++epoch[j];
+          earliest[j] = e.when;
+          ++result.restarts;
+        }
+        // Any waiting task whose every replica is gone must refetch.
+        for (TaskId j = 0; j < n; ++j) {
+          if (status[j] != TaskStatus::kWaiting || refetch[j]) continue;
+          bool any_alive = false;
+          for (MachineId machine : placement.machines_for(j)) {
+            if (!failed[machine]) {
+              any_alive = true;
+              break;
+            }
+          }
+          if (!any_alive) {
+            refetch[j] = true;
+            ++result.refetches;
+          }
+        }
+        wake_idle_machines(e.when);
+        break;
+      }
+      case EventKind::kMachineFree: {
+        const MachineId i = e.machine;
+        if (failed[i] || running_on[i] != kNoTask) break;
+        // Highest-priority waiting task runnable here, now or later.
+        TaskId best_now = kNoTask;
+        std::uint32_t best_now_rank = UINT32_MAX;
+        Time soonest_future = kNever;
+        for (TaskId j = 0; j < n; ++j) {
+          if (status[j] != TaskStatus::kWaiting || !eligible(j, i)) continue;
+          if (earliest[j] <= e.when) {
+            if (rank[j] < best_now_rank) {
+              best_now_rank = rank[j];
+              best_now = j;
+            }
+          } else {
+            soonest_future = std::min(soonest_future, earliest[j]);
+          }
+        }
+        if (best_now != kNoTask) {
+          const TaskId j = best_now;
+          status[j] = TaskStatus::kRunning;
+          running_on[i] = j;
+          const Time dur = duration_of(j);
+          result.schedule.assignment.machine_of[j] = i;
+          result.schedule.start[j] = e.when;
+          result.schedule.finish[j] = e.when + dur;
+          result.trace.events.push_back(DispatchEvent{e.when, j, i, dur});
+          events.push(Event{e.when + dur, EventKind::kTaskFinish, i, j, epoch[j],
+                            seq++});
+        } else if (soonest_future < kNever) {
+          events.push(Event{soonest_future, EventKind::kMachineFree, i, kNoTask, 0,
+                            seq++});
+        } else {
+          machine_idle[i] = true;  // re-woken on the next requeue
+        }
+        break;
+      }
+    }
+  }
+
+  result.makespan = result.schedule.makespan();
+  return result;
+}
+
+}  // namespace rdp

@@ -1,0 +1,60 @@
+// Fail-stop machine failures -- the other reason systems replicate data
+// (the paper's Hadoop motivation). This extends the semi-clairvoyant
+// dispatcher with permanent machine failures at known-only-when-they-
+// happen times:
+//
+//  * a task running on a machine when it fails is lost and must restart
+//    from scratch on another machine holding its data;
+//  * queued tasks of a failed machine flow to surviving replicas;
+//  * a task whose every replica machine has failed must first re-fetch
+//    its data from stable storage: it becomes runnable anywhere after a
+//    per-task transfer penalty is added to its processing time.
+//
+// Placement determines how gracefully the schedule degrades -- which is
+// exactly what the fault-tolerance bench measures across strategies.
+#pragma once
+
+#include <vector>
+
+#include "core/placement.hpp"
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+#include "sim/trace.hpp"
+
+namespace rdp {
+
+class Instance;
+struct Realization;
+
+/// A permanent fail-stop event.
+struct MachineFailure {
+  MachineId machine = 0;
+  Time when = 0;
+};
+
+struct FailurePlan {
+  std::vector<MachineFailure> failures;  ///< at most one per machine
+  /// Added to a task's processing time when it must re-fetch data
+  /// because every replica machine failed.
+  Time refetch_penalty = 0;
+};
+
+struct FailureDispatchResult {
+  Schedule schedule;        ///< final (successful) run of every task
+  DispatchTrace trace;      ///< every dispatch, including lost attempts
+  std::size_t restarts = 0; ///< dispatches that were killed by a failure
+  std::size_t refetches = 0;///< tasks that lost every replica
+  Time makespan = 0;
+};
+
+/// Runs the failure-aware semi-clairvoyant dispatch. Priority semantics
+/// match dispatch_online(); restarted tasks re-enter with their original
+/// priority. Throws std::invalid_argument if all machines fail while
+/// refetch_penalty makes recovery impossible (it never does -- refetched
+/// tasks may run on failed-set-free machines; if *every* machine fails
+/// the instance is infeasible and an exception is raised).
+[[nodiscard]] FailureDispatchResult dispatch_with_failures(
+    const Instance& instance, const Placement& placement, const Realization& actual,
+    const std::vector<TaskId>& priority, const FailurePlan& plan);
+
+}  // namespace rdp

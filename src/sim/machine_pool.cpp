@@ -1,0 +1,56 @@
+#include "sim/machine_pool.hpp"
+
+#include <stdexcept>
+
+namespace rdp {
+
+MachinePool::MachinePool(MachineId num_machines)
+    : MachinePool(std::vector<Time>(num_machines, 0)) {}
+
+MachinePool::MachinePool(std::vector<Time> initial_ready)
+    : ready_(std::move(initial_ready)), retired_(ready_.size(), false) {
+  if (ready_.empty()) {
+    throw std::invalid_argument("MachinePool: need at least one machine");
+  }
+  for (MachineId i = 0; i < ready_.size(); ++i) {
+    if (ready_[i] < 0) {
+      throw std::invalid_argument("MachinePool: negative initial ready time");
+    }
+    heap_.push(Slot{ready_[i], i});
+  }
+}
+
+void MachinePool::refresh() const {
+  while (!heap_.empty()) {
+    const Slot& top = heap_.top();
+    if (retired_[top.id] || ready_[top.id] != top.ready) {
+      heap_.pop();  // stale
+    } else {
+      return;
+    }
+  }
+}
+
+std::optional<MachineId> MachinePool::next_idle() const {
+  refresh();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().id;
+}
+
+std::pair<Time, Time> MachinePool::occupy(MachineId i, Time duration) {
+  if (i >= ready_.size()) throw std::out_of_range("MachinePool: bad machine id");
+  if (duration < 0) throw std::invalid_argument("MachinePool: negative duration");
+  if (retired_[i]) throw std::invalid_argument("MachinePool: machine retired");
+  const Time start = ready_[i];
+  const Time finish = start + duration;
+  ready_[i] = finish;
+  heap_.push(Slot{finish, i});
+  return {start, finish};
+}
+
+void MachinePool::retire(MachineId i) {
+  if (i >= ready_.size()) throw std::out_of_range("MachinePool: bad machine id");
+  retired_[i] = true;
+}
+
+}  // namespace rdp

@@ -1,0 +1,63 @@
+// A pool of m machines tracked by their ready times. Supports the single
+// operation the semi-clairvoyant dispatcher needs: "which machine becomes
+// idle next?", with deterministic tie-breaking by machine id.
+#pragma once
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rdp {
+
+class MachinePool {
+ public:
+  /// All machines start idle at the given ready times (default: all 0).
+  explicit MachinePool(MachineId num_machines);
+  explicit MachinePool(std::vector<Time> initial_ready);
+
+  [[nodiscard]] MachineId size() const noexcept {
+    return static_cast<MachineId>(ready_.size());
+  }
+
+  /// Earliest-idle active machine (smallest ready time, then smallest id);
+  /// nullopt when every machine has been retired.
+  [[nodiscard]] std::optional<MachineId> next_idle() const;
+
+  /// Ready time of machine i.
+  [[nodiscard]] Time ready_time(MachineId i) const { return ready_.at(i); }
+
+  /// Occupies machine i for `duration` starting at its current ready time;
+  /// returns the (start, finish) interval.
+  std::pair<Time, Time> occupy(MachineId i, Time duration);
+
+  /// Removes machine i from next_idle() consideration (it has no eligible
+  /// work left). Its ready time remains queryable.
+  void retire(MachineId i);
+
+  [[nodiscard]] bool retired(MachineId i) const { return retired_.at(i); }
+
+  /// Per-machine ready times (== final loads when starts were all 0).
+  [[nodiscard]] const std::vector<Time>& ready_times() const noexcept { return ready_; }
+
+ private:
+  struct Slot {
+    Time ready;
+    MachineId id;
+    bool operator<(const Slot& other) const noexcept {
+      if (ready != other.ready) return ready > other.ready;  // min-heap
+      return id > other.id;
+    }
+  };
+
+  void refresh() const;
+
+  std::vector<Time> ready_;
+  std::vector<bool> retired_;
+  // Lazy heap: entries may be stale (ready changed / machine retired);
+  // refresh() pops them.
+  mutable std::priority_queue<Slot> heap_;
+};
+
+}  // namespace rdp

@@ -1,0 +1,167 @@
+#include "sim/online_dispatcher.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "sim/machine_pool.hpp"
+
+namespace rdp {
+
+namespace {
+
+// FNV-1a over the machine ids of a replica set; used to bucket tasks with
+// identical M_j into one shared queue.
+std::uint64_t hash_set(const std::vector<MachineId>& set) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (MachineId i : set) {
+    h ^= static_cast<std::uint64_t>(i) + 1;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct TaskQueue {
+  std::vector<TaskId> tasks;  // sorted by priority rank, consumed from front
+  std::size_t head = 0;
+
+  [[nodiscard]] bool exhausted() const noexcept { return head >= tasks.size(); }
+  [[nodiscard]] TaskId front() const { return tasks[head]; }
+};
+
+}  // namespace
+
+DispatchResult dispatch_online(const Instance& instance, const Placement& placement,
+                               const Realization& actual,
+                               const std::vector<TaskId>& priority,
+                               std::vector<Time> initial_ready,
+                               std::vector<double> speeds) {
+  const std::size_t n = instance.num_tasks();
+  const MachineId m = instance.num_machines();
+  if (placement.num_tasks() != n) {
+    throw std::invalid_argument("dispatch_online: placement size mismatch");
+  }
+  if (placement.num_machines() != m) {
+    throw std::invalid_argument(
+        "dispatch_online: placement built for a different machine count");
+  }
+  if (actual.size() != n) {
+    throw std::invalid_argument("dispatch_online: realization size mismatch");
+  }
+  if (priority.size() != n) {
+    throw std::invalid_argument("dispatch_online: priority must cover every task");
+  }
+  if (!initial_ready.empty() && initial_ready.size() != m) {
+    throw std::invalid_argument("dispatch_online: initial_ready size mismatch");
+  }
+  if (!speeds.empty()) {
+    if (speeds.size() != m) {
+      throw std::invalid_argument("dispatch_online: speeds size mismatch");
+    }
+    for (double s : speeds) {
+      if (!(s > 0.0)) {
+        throw std::invalid_argument("dispatch_online: speeds must be positive");
+      }
+    }
+  }
+
+  // Rank of each task in the priority order (and permutation validation).
+  std::vector<std::uint32_t> rank(n, UINT32_MAX);
+  for (std::uint32_t r = 0; r < priority.size(); ++r) {
+    const TaskId j = priority[r];
+    if (j >= n || rank[j] != UINT32_MAX) {
+      throw std::invalid_argument("dispatch_online: priority is not a permutation");
+    }
+    rank[j] = r;
+  }
+
+  // Bucket tasks by identical replica sets.
+  std::vector<TaskQueue> queues;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+  std::vector<std::size_t> queue_of_task(n);
+  for (TaskId j = 0; j < n; ++j) {
+    const auto& set = placement.machines_for(j);
+    const std::uint64_t h = hash_set(set);
+    std::size_t q = SIZE_MAX;
+    for (std::size_t candidate : buckets[h]) {
+      const TaskId representative = queues[candidate].tasks.front();
+      if (placement.machines_for(representative) == set) {
+        q = candidate;
+        break;
+      }
+    }
+    if (q == SIZE_MAX) {
+      q = queues.size();
+      queues.emplace_back();
+      buckets[h].push_back(q);
+    }
+    queues[q].tasks.push_back(j);
+    queue_of_task[j] = q;
+  }
+  for (auto& queue : queues) {
+    std::sort(queue.tasks.begin(), queue.tasks.end(),
+              [&](TaskId a, TaskId b) { return rank[a] < rank[b]; });
+  }
+
+  // Which queues each machine serves (via the representative's set).
+  std::vector<std::vector<std::size_t>> queues_of_machine(m);
+  for (std::size_t q = 0; q < queues.size(); ++q) {
+    for (MachineId i : placement.machines_for(queues[q].tasks.front())) {
+      queues_of_machine[i].push_back(q);
+    }
+  }
+
+  MachinePool pool = initial_ready.empty() ? MachinePool(m)
+                                           : MachinePool(std::move(initial_ready));
+
+  DispatchResult result;
+  result.schedule.assignment = Assignment(n);
+  result.schedule.start.assign(n, 0);
+  result.schedule.finish.assign(n, 0);
+  result.trace.events.reserve(n);
+
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    const auto idle = pool.next_idle();
+    if (!idle) {
+      // Unreachable for a valid placement: every remaining task has a
+      // non-retired machine serving its queue.
+      throw std::logic_error("dispatch_online: deadlock (all machines retired)");
+    }
+    const MachineId i = *idle;
+
+    // Highest-priority front task among this machine's queues.
+    std::size_t best_queue = SIZE_MAX;
+    std::uint32_t best_rank = UINT32_MAX;
+    for (std::size_t q : queues_of_machine[i]) {
+      const TaskQueue& queue = queues[q];
+      if (queue.exhausted()) continue;
+      const std::uint32_t r = rank[queue.front()];
+      if (r < best_rank) {
+        best_rank = r;
+        best_queue = q;
+      }
+    }
+    if (best_queue == SIZE_MAX) {
+      pool.retire(i);  // no eligible work now or ever
+      continue;
+    }
+
+    TaskQueue& queue = queues[best_queue];
+    const TaskId j = queue.front();
+    ++queue.head;
+    const Time duration = speeds.empty() ? actual[j] : actual[j] / speeds[i];
+    const auto [start, finish] = pool.occupy(i, duration);
+    result.schedule.assignment.machine_of[j] = i;
+    result.schedule.start[j] = start;
+    result.schedule.finish[j] = finish;
+    result.trace.events.push_back(DispatchEvent{start, j, i, duration});
+    --remaining;
+  }
+  return result;
+}
+
+}  // namespace rdp

@@ -1,0 +1,51 @@
+// Phase 2 of the paper: the online semi-clairvoyant dispatcher.
+//
+// Tasks are ranked by a priority order chosen offline (input order for
+// List Scheduling, non-increasing estimates for LPT). Whenever a machine
+// becomes idle it receives the highest-priority not-yet-dispatched task
+// whose replica set M_j contains that machine. Decisions never look at
+// actual processing times -- the dispatcher only observes *when* machines
+// become idle, exactly as the paper's model prescribes; actual times are
+// revealed (consumed from the Realization) at completion.
+#pragma once
+
+#include <vector>
+
+#include "core/placement.hpp"
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+#include "sim/trace.hpp"
+
+namespace rdp {
+
+class Instance;
+struct Realization;
+
+/// Result of a phase-2 run: the timed schedule plus the dispatch trace.
+struct DispatchResult {
+  Schedule schedule;
+  DispatchTrace trace;
+};
+
+/// Runs the greedy semi-clairvoyant dispatch.
+///
+/// \param priority  a permutation of all task ids; earlier = dispatched
+///                  first whenever eligible.
+/// \param initial_ready  optional per-machine busy-until times (used by
+///                  ABO, which dispatches replicated tasks after the
+///                  pinned memory-intensive load); empty = all idle at 0.
+/// \param speeds    optional per-machine speeds for the uniform-machines
+///                  (Q||Cmax) extension: task j occupies machine i for
+///                  actual[j] / speeds[i]; empty = identical machines.
+///
+/// Internally, tasks sharing the same replica set share one FIFO queue
+/// (sorted by priority), so replicate-everywhere and group placements
+/// dispatch in O((n + m) log m) regardless of replica counts.
+[[nodiscard]] DispatchResult dispatch_online(const Instance& instance,
+                                             const Placement& placement,
+                                             const Realization& actual,
+                                             const std::vector<TaskId>& priority,
+                                             std::vector<Time> initial_ready = {},
+                                             std::vector<double> speeds = {});
+
+}  // namespace rdp

@@ -1,0 +1,206 @@
+#include "sim/speculative.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+
+namespace rdp {
+
+namespace {
+
+constexpr Time kNever = std::numeric_limits<Time>::infinity();
+
+struct Copy {
+  MachineId machine = kNoMachine;
+  Time start = 0;
+  Time finish = 0;      // actual completion if not killed
+  bool alive = false;
+};
+
+struct Event {
+  Time when;
+  bool is_finish;       // finish events before free events at equal times
+  MachineId machine;
+  TaskId task;          // finish only
+  std::size_t copy;     // finish only
+  std::uint64_t seq;
+
+  bool operator<(const Event& other) const noexcept {
+    if (when != other.when) return when > other.when;
+    if (is_finish != other.is_finish) return !is_finish;  // finish first
+    if (!is_finish && machine != other.machine) return machine > other.machine;
+    return seq > other.seq;
+  }
+};
+
+}  // namespace
+
+SpeculativeResult dispatch_speculative(const Instance& instance,
+                                       const Placement& placement,
+                                       const Realization& actual,
+                                       const std::vector<TaskId>& priority,
+                                       const SpeedProfile& speeds,
+                                       const SpeculationPolicy& policy) {
+  const std::size_t n = instance.num_tasks();
+  const MachineId m = instance.num_machines();
+  if (placement.num_tasks() != n || actual.size() != n || priority.size() != n) {
+    throw std::invalid_argument("dispatch_speculative: size mismatch");
+  }
+  if (speeds.size() != m) {
+    throw std::invalid_argument("dispatch_speculative: speed profile mismatch");
+  }
+  if (policy.max_copies == 0) {
+    throw std::invalid_argument("dispatch_speculative: max_copies must be >= 1");
+  }
+
+  std::vector<std::uint32_t> rank(n, UINT32_MAX);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const TaskId j = priority[r];
+    if (j >= n || rank[j] != UINT32_MAX) {
+      throw std::invalid_argument("dispatch_speculative: bad priority");
+    }
+    rank[j] = r;
+  }
+
+  enum class TaskState { kWaiting, kRunning, kDone };
+  std::vector<TaskState> state(n, TaskState::kWaiting);
+  std::vector<std::vector<Copy>> copies(n);
+  std::vector<bool> machine_busy(m, false);
+  std::vector<bool> machine_idle_parked(m, false);
+
+  SpeculativeResult result;
+  result.schedule.assignment = Assignment(n);
+  result.schedule.start.assign(n, 0);
+  result.schedule.finish.assign(n, 0);
+
+  std::priority_queue<Event> events;
+  std::uint64_t seq = 0;
+  for (MachineId i = 0; i < m; ++i) {
+    events.push(Event{0, false, i, kNoTask, 0, seq++});
+  }
+
+  const bool speculation_on = policy.enabled && policy.max_copies >= 2;
+  std::size_t remaining = n;
+
+  auto launch = [&](TaskId j, MachineId i, Time now, bool is_backup) {
+    const Time duration = actual[j] / speeds.speed(i);
+    Copy copy;
+    copy.machine = i;
+    copy.start = now;
+    copy.finish = now + duration;
+    copy.alive = true;
+    copies[j].push_back(copy);
+    machine_busy[i] = true;
+    state[j] = TaskState::kRunning;
+    if (is_backup) ++result.duplicates_launched;
+    result.trace.events.push_back(DispatchEvent{now, j, i, duration});
+    events.push(Event{copy.finish, true, i, j, copies[j].size() - 1, seq++});
+  };
+
+  auto wake_parked = [&](Time now) {
+    for (MachineId i = 0; i < m; ++i) {
+      if (machine_idle_parked[i]) {
+        machine_idle_parked[i] = false;
+        events.push(Event{now, false, i, kNoTask, 0, seq++});
+      }
+    }
+  };
+
+  while (remaining > 0) {
+    if (events.empty()) {
+      throw std::logic_error("dispatch_speculative: event queue drained early");
+    }
+    const Event e = events.top();
+    events.pop();
+
+    if (e.is_finish) {
+      const TaskId j = e.task;
+      Copy& copy = copies[j][e.copy];
+      if (!copy.alive || state[j] == TaskState::kDone) continue;  // killed/stale
+      // Winner.
+      copy.alive = false;
+      machine_busy[copy.machine] = false;
+      state[j] = TaskState::kDone;
+      --remaining;
+      result.schedule.assignment.machine_of[j] = copy.machine;
+      result.schedule.start[j] = copy.start;
+      result.schedule.finish[j] = copy.finish;
+      if (e.copy > 0) ++result.duplicates_won;
+      // Kill every other live copy; their machines free immediately.
+      for (std::size_t c = 0; c < copies[j].size(); ++c) {
+        Copy& other = copies[j][c];
+        if (c == e.copy || !other.alive) continue;
+        other.alive = false;
+        machine_busy[other.machine] = false;
+        result.wasted_time += e.when - other.start;
+        events.push(Event{e.when, false, other.machine, kNoTask, 0, seq++});
+      }
+      events.push(Event{e.when, false, copy.machine, kNoTask, 0, seq++});
+      wake_parked(e.when);
+      continue;
+    }
+
+    // Machine-free event.
+    const MachineId i = e.machine;
+    if (machine_busy[i]) continue;  // stale
+
+    // 1. Highest-priority waiting task with a replica here.
+    TaskId best_waiting = kNoTask;
+    std::uint32_t best_rank = UINT32_MAX;
+    for (TaskId j = 0; j < n; ++j) {
+      if (state[j] != TaskState::kWaiting || !placement.allows(j, i)) continue;
+      if (rank[j] < best_rank) {
+        best_rank = rank[j];
+        best_waiting = j;
+      }
+    }
+    if (best_waiting != kNoTask) {
+      launch(best_waiting, i, e.when, /*is_backup=*/false);
+      continue;
+    }
+
+    // 2. No waiting work: consider speculating on a running task.
+    if (speculation_on) {
+      TaskId candidate = kNoTask;
+      Time latest_estimate = -kNever;
+      for (TaskId j = 0; j < n; ++j) {
+        if (state[j] != TaskState::kRunning || !placement.allows(j, i)) continue;
+        std::size_t live = 0;
+        Time earliest_est_finish = kNever;
+        for (const Copy& c : copies[j]) {
+          if (!c.alive) continue;
+          ++live;
+          const Time est =
+              c.start + instance.estimate(j) / speeds.speed(c.machine);
+          earliest_est_finish = std::min(earliest_est_finish, est);
+        }
+        if (live == 0 || live >= policy.max_copies) continue;
+        if (earliest_est_finish - e.when < policy.min_estimated_remaining) continue;
+        // Don't duplicate onto a machine that wouldn't even beat the
+        // current copy's *estimated* completion.
+        const Time my_est_finish = e.when + instance.estimate(j) / speeds.speed(i);
+        if (my_est_finish >= earliest_est_finish) continue;
+        if (earliest_est_finish > latest_estimate) {
+          latest_estimate = earliest_est_finish;
+          candidate = j;
+        }
+      }
+      if (candidate != kNoTask) {
+        launch(candidate, i, e.when, /*is_backup=*/true);
+        continue;
+      }
+    }
+
+    machine_idle_parked[i] = true;  // re-woken on the next completion
+  }
+
+  result.makespan = result.schedule.makespan();
+  return result;
+}
+
+}  // namespace rdp

@@ -1,0 +1,38 @@
+// Dispatch trace: the ordered record of phase-2 decisions, plus a plain
+// text Gantt rendering used by the figure-reproduction binaries and the
+// example applications.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rdp {
+
+class Instance;
+struct Schedule;
+
+/// One dispatch decision.
+struct DispatchEvent {
+  Time when;       ///< time the machine became idle and took the task
+  TaskId task;     ///< dispatched task
+  MachineId machine;
+  Time actual;     ///< actual processing time (known only at when+actual)
+};
+
+struct DispatchTrace {
+  std::vector<DispatchEvent> events;
+
+  [[nodiscard]] std::size_t size() const noexcept { return events.size(); }
+};
+
+/// Fixed-width ASCII Gantt chart of a schedule (one row per machine,
+/// columns proportional to time). `width` is the chart width in chars.
+[[nodiscard]] std::string render_gantt(const Instance& instance,
+                                       const Schedule& schedule, int width = 72);
+
+/// One-line-per-event textual dump of a trace.
+[[nodiscard]] std::string render_trace(const DispatchTrace& trace);
+
+}  // namespace rdp

@@ -1,0 +1,99 @@
+#include "sim/transfer_dispatcher.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "sim/machine_pool.hpp"
+
+namespace rdp {
+
+TransferDispatchResult dispatch_with_transfers(const Instance& instance,
+                                               const Placement& placement,
+                                               const Realization& actual,
+                                               const std::vector<TaskId>& priority,
+                                               const TransferModel& model) {
+  const std::size_t n = instance.num_tasks();
+  const MachineId m = instance.num_machines();
+  if (placement.num_tasks() != n || actual.size() != n || priority.size() != n) {
+    throw std::invalid_argument("dispatch_with_transfers: size mismatch");
+  }
+  if (!(model.bandwidth > 0.0)) {
+    throw std::invalid_argument("dispatch_with_transfers: bandwidth must be > 0");
+  }
+  if (model.latency < 0.0) {
+    throw std::invalid_argument("dispatch_with_transfers: negative latency");
+  }
+
+  std::vector<std::uint32_t> rank(n, UINT32_MAX);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const TaskId j = priority[r];
+    if (j >= n || rank[j] != UINT32_MAX) {
+      throw std::invalid_argument("dispatch_with_transfers: bad priority");
+    }
+    rank[j] = r;
+  }
+
+  std::vector<bool> scheduled(n, false);
+  MachinePool pool(m);
+
+  TransferDispatchResult result;
+  result.schedule.assignment = Assignment(n);
+  result.schedule.start.assign(n, 0);
+  result.schedule.finish.assign(n, 0);
+  result.trace.events.reserve(n);
+
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    const auto idle = pool.next_idle();
+    if (!idle) {
+      throw std::logic_error("dispatch_with_transfers: no machine available");
+    }
+    const MachineId i = *idle;
+
+    // Best local and best remote waiting tasks by priority.
+    TaskId best_local = kNoTask, best_remote = kNoTask;
+    std::uint32_t local_rank = UINT32_MAX, remote_rank = UINT32_MAX;
+    for (TaskId j = 0; j < n; ++j) {
+      if (scheduled[j]) continue;
+      if (placement.allows(j, i)) {
+        if (rank[j] < local_rank) {
+          local_rank = rank[j];
+          best_local = j;
+        }
+      } else if (rank[j] < remote_rank) {
+        remote_rank = rank[j];
+        best_remote = j;
+      }
+    }
+
+    const bool use_local = best_local != kNoTask;
+    const TaskId j = use_local ? best_local : best_remote;
+    if (j == kNoTask) {
+      throw std::logic_error("dispatch_with_transfers: no waiting task");
+    }
+    Time duration = actual[j];
+    if (!use_local) {
+      const Time fetch = model.latency + instance.size(j) / model.bandwidth;
+      duration += fetch;
+      result.transfer_time += fetch;
+      ++result.remote_runs;
+    }
+    const auto [start, finish] = pool.occupy(i, duration);
+    scheduled[j] = true;
+    result.schedule.assignment.machine_of[j] = i;
+    result.schedule.start[j] = start;
+    result.schedule.finish[j] = finish;
+    result.trace.events.push_back(DispatchEvent{start, j, i, duration});
+    --remaining;
+  }
+
+  result.makespan = result.schedule.makespan();
+  return result;
+}
+
+}  // namespace rdp

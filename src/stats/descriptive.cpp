@@ -1,0 +1,67 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/welford.hpp"
+
+namespace rdp {
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q out of [0,1]");
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - std::floor(pos);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  Welford w;
+  for (double x : sample) w.add(x);
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = w.count();
+  s.mean = w.mean();
+  s.stddev = w.stddev();
+  s.min = w.min();
+  s.max = w.max();
+  s.p50 = percentile_sorted(sorted, 0.50);
+  s.p90 = percentile_sorted(sorted, 0.90);
+  s.p99 = percentile_sorted(sorted, 0.99);
+  return s;
+}
+
+std::string to_string(const Summary& s) {
+  std::ostringstream os;
+  os << "n=" << s.count << " mean=" << s.mean << " sd=" << s.stddev << " min=" << s.min
+     << " p50=" << s.p50 << " p90=" << s.p90 << " p99=" << s.p99 << " max=" << s.max;
+  return os.str();
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double cov = 0, vx = 0, vy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - mx) * (y[i] - my);
+    vx += (x[i] - mx) * (x[i] - mx);
+    vy += (y[i] - my) * (y[i] - my);
+  }
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+}  // namespace rdp

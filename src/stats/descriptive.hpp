@@ -1,0 +1,33 @@
+// Batch descriptive statistics over a stored sample.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rdp {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Computes the summary of a sample (copies + sorts internally).
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+
+/// Linear-interpolation percentile of a *sorted* sample, q in [0, 1].
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double q);
+
+/// "mean=… sd=… min=… p50=… max=…" one-liner.
+[[nodiscard]] std::string to_string(const Summary& s);
+
+/// Pearson correlation of two equal-length samples (0 if degenerate).
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+}  // namespace rdp

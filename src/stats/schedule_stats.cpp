@@ -1,0 +1,50 @@
+#include "stats/schedule_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace rdp {
+
+ScheduleStats compute_schedule_stats(const Instance& instance,
+                                     const Schedule& schedule) {
+  ScheduleStats stats;
+  const MachineId m = instance.num_machines();
+  stats.loads.assign(m, 0);
+  for (TaskId j = 0; j < schedule.num_tasks(); ++j) {
+    const MachineId i = schedule.assignment[j];
+    if (i == kNoMachine) continue;
+    stats.loads[i] += schedule.finish[j] - schedule.start[j];
+  }
+  stats.makespan = schedule.makespan();
+  for (Time l : stats.loads) stats.total_busy += l;
+  if (stats.makespan <= 0) return stats;
+
+  stats.total_idle = stats.makespan * static_cast<double>(m) - stats.total_busy;
+  stats.mean_utilization =
+      stats.total_busy / (stats.makespan * static_cast<double>(m));
+  const Time min_load = *std::min_element(stats.loads.begin(), stats.loads.end());
+  stats.min_utilization = min_load / stats.makespan;
+
+  const double mean_load = stats.total_busy / static_cast<double>(m);
+  if (mean_load > 0) {
+    double sq = 0;
+    for (Time l : stats.loads) sq += (l - mean_load) * (l - mean_load);
+    stats.load_cv = std::sqrt(sq / static_cast<double>(m)) / mean_load;
+  }
+  return stats;
+}
+
+std::string to_string(const ScheduleStats& stats) {
+  std::ostringstream os;
+  os.precision(3);
+  os << "util=" << stats.mean_utilization * 100.0 << "% (min "
+     << stats.min_utilization * 100.0 << "%) cv=" << stats.load_cv
+     << " idle=" << stats.total_idle;
+  return os.str();
+}
+
+}  // namespace rdp

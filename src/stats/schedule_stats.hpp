@@ -1,0 +1,35 @@
+// Schedule quality diagnostics beyond the two model objectives: machine
+// utilization, idle time, and load dispersion. Used by the examples and
+// the fault-tolerance bench to explain *why* a strategy wins.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rdp {
+
+class Instance;
+struct Realization;
+struct Schedule;
+
+struct ScheduleStats {
+  Time makespan = 0;
+  Time total_busy = 0;        ///< sum of actual processing times executed
+  Time total_idle = 0;        ///< m * makespan - total_busy
+  double mean_utilization = 0;///< total_busy / (m * makespan), in [0, 1]
+  double min_utilization = 0; ///< utilization of the least-busy machine
+  double load_cv = 0;         ///< coefficient of variation of machine loads
+  std::vector<Time> loads;    ///< per-machine busy time
+};
+
+/// Computes diagnostics from a timed schedule. Returns zeros for an
+/// empty schedule.
+[[nodiscard]] ScheduleStats compute_schedule_stats(const Instance& instance,
+                                                   const Schedule& schedule);
+
+/// One-line rendering ("util=93.1% (min 81.0%) cv=0.071 idle=12.4").
+[[nodiscard]] std::string to_string(const ScheduleStats& stats);
+
+}  // namespace rdp

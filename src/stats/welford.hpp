@@ -1,0 +1,34 @@
+// Numerically stable streaming moments (Welford's algorithm), used by the
+// experiment harness to aggregate per-trial ratios without storing them.
+#pragma once
+
+#include <cstddef>
+
+namespace rdp {
+
+class Welford {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel reduction; Chan et al. update).
+  void merge(const Welford& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rdp

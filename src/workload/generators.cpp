@@ -1,0 +1,111 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/rng.hpp"
+
+namespace rdp {
+
+namespace {
+Xoshiro256 make_rng(const WorkloadParams& params) { return Xoshiro256(params.seed); }
+}  // namespace
+
+Instance unit_tasks(std::size_t num_tasks, MachineId num_machines, double alpha) {
+  std::vector<Task> tasks(num_tasks, Task{1.0, 1.0});
+  return Instance(std::move(tasks), num_machines, alpha);
+}
+
+Instance uniform_workload(const WorkloadParams& params, double lo, double hi) {
+  if (!(lo > 0.0) || lo > hi) {
+    throw std::invalid_argument("uniform_workload: need 0 < lo <= hi");
+  }
+  Xoshiro256 rng = make_rng(params);
+  std::vector<Task> tasks;
+  tasks.reserve(params.num_tasks);
+  for (std::size_t j = 0; j < params.num_tasks; ++j) {
+    tasks.push_back(Task{sample_uniform(rng, lo, hi), 1.0});
+  }
+  return Instance(std::move(tasks), params.num_machines, params.alpha);
+}
+
+Instance heavy_tailed_workload(const WorkloadParams& params, double lo, double shape,
+                               double cap) {
+  Xoshiro256 rng = make_rng(params);
+  std::vector<Task> tasks;
+  tasks.reserve(params.num_tasks);
+  for (std::size_t j = 0; j < params.num_tasks; ++j) {
+    const double p = std::min(sample_pareto(rng, lo, shape), cap);
+    tasks.push_back(Task{p, 1.0});
+  }
+  return Instance(std::move(tasks), params.num_machines, params.alpha);
+}
+
+Instance bimodal_workload(const WorkloadParams& params, double short_mean,
+                          double long_mean, double long_fraction) {
+  if (long_fraction < 0.0 || long_fraction > 1.0) {
+    throw std::invalid_argument("bimodal_workload: long_fraction out of [0,1]");
+  }
+  Xoshiro256 rng = make_rng(params);
+  std::vector<Task> tasks;
+  tasks.reserve(params.num_tasks);
+  for (std::size_t j = 0; j < params.num_tasks; ++j) {
+    const bool is_long = rng.next_double() < long_fraction;
+    const double mean = is_long ? long_mean : short_mean;
+    // +/-25% spread around the mode mean keeps estimates positive.
+    tasks.push_back(Task{sample_uniform(rng, 0.75 * mean, 1.25 * mean), 1.0});
+  }
+  return Instance(std::move(tasks), params.num_machines, params.alpha);
+}
+
+Instance lognormal_workload(const WorkloadParams& params, double mu, double sigma) {
+  Xoshiro256 rng = make_rng(params);
+  std::vector<Task> tasks;
+  tasks.reserve(params.num_tasks);
+  for (std::size_t j = 0; j < params.num_tasks; ++j) {
+    tasks.push_back(Task{sample_lognormal(rng, mu, sigma), 1.0});
+  }
+  return Instance(std::move(tasks), params.num_machines, params.alpha);
+}
+
+Instance correlated_sizes_workload(const WorkloadParams& params, double rate,
+                                   double noise) {
+  Xoshiro256 rng = make_rng(params);
+  std::vector<Task> tasks;
+  tasks.reserve(params.num_tasks);
+  for (std::size_t j = 0; j < params.num_tasks; ++j) {
+    const double p = sample_uniform(rng, 1.0, 100.0);
+    const double s = std::max(1e-6, p * rate * (1.0 + sample_uniform(rng, -noise, noise)));
+    tasks.push_back(Task{p, s});
+  }
+  return Instance(std::move(tasks), params.num_machines, params.alpha);
+}
+
+Instance anti_correlated_sizes_workload(const WorkloadParams& params) {
+  Xoshiro256 rng = make_rng(params);
+  std::vector<Task> tasks;
+  tasks.reserve(params.num_tasks);
+  for (std::size_t j = 0; j < params.num_tasks; ++j) {
+    const double p = sample_uniform(rng, 1.0, 100.0);
+    // Size inversely proportional to time, same dynamic range.
+    const double s = 100.0 / p;
+    tasks.push_back(Task{p, s});
+  }
+  return Instance(std::move(tasks), params.num_machines, params.alpha);
+}
+
+Instance independent_sizes_workload(const WorkloadParams& params) {
+  Xoshiro256 rng = make_rng(params);
+  std::vector<Task> tasks;
+  tasks.reserve(params.num_tasks);
+  for (std::size_t j = 0; j < params.num_tasks; ++j) {
+    const double p = sample_log_uniform(rng, 1.0, 100.0);
+    const double s = sample_log_uniform(rng, 1.0, 100.0);
+    tasks.push_back(Task{p, s});
+  }
+  return Instance(std::move(tasks), params.num_machines, params.alpha);
+}
+
+}  // namespace rdp

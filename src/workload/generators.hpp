@@ -1,0 +1,61 @@
+// Synthetic instance generators. Every generator is deterministic in its
+// seed (library RNG, fully specified sampling), so experiments are
+// reproducible bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+/// Common knobs shared by the generators.
+struct WorkloadParams {
+  std::size_t num_tasks = 100;
+  MachineId num_machines = 8;
+  double alpha = 1.5;
+  std::uint64_t seed = 1;
+};
+
+/// n tasks of unit estimate (the adversary's favourite instance).
+[[nodiscard]] Instance unit_tasks(std::size_t num_tasks, MachineId num_machines,
+                                  double alpha);
+
+/// Estimates uniform in [lo, hi); unit sizes.
+[[nodiscard]] Instance uniform_workload(const WorkloadParams& params, double lo = 1.0,
+                                        double hi = 100.0);
+
+/// Heavy-tailed estimates: Pareto(x_m = lo, shape) truncated at `cap`
+/// (sparse-matrix block costs behave like this); unit sizes.
+[[nodiscard]] Instance heavy_tailed_workload(const WorkloadParams& params,
+                                             double lo = 1.0, double shape = 1.5,
+                                             double cap = 1e4);
+
+/// Two task populations: short (around `short_mean`) and long (around
+/// `long_mean`), mixed with `long_fraction`; unit sizes.
+[[nodiscard]] Instance bimodal_workload(const WorkloadParams& params,
+                                        double short_mean = 1.0,
+                                        double long_mean = 50.0,
+                                        double long_fraction = 0.1);
+
+/// Lognormal estimates (mu, sigma in log space); unit sizes.
+[[nodiscard]] Instance lognormal_workload(const WorkloadParams& params, double mu = 2.0,
+                                          double sigma = 1.0);
+
+/// Memory model: estimates uniform; size = estimate * rate + uniform
+/// noise, so time and memory are positively correlated (streaming codes).
+[[nodiscard]] Instance correlated_sizes_workload(const WorkloadParams& params,
+                                                 double rate = 1.0,
+                                                 double noise = 0.25);
+
+/// Memory model: sizes anti-correlated with estimates (compute-bound
+/// small-data tasks vs data-heavy cheap tasks) -- the regime where the
+/// bi-objective tension is maximal.
+[[nodiscard]] Instance anti_correlated_sizes_workload(const WorkloadParams& params);
+
+/// Memory model: time and size drawn independently (log-uniform).
+[[nodiscard]] Instance independent_sizes_workload(const WorkloadParams& params);
+
+}  // namespace rdp

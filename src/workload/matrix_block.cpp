@@ -1,0 +1,44 @@
+#include "workload/matrix_block.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+#include "rng/rng.hpp"
+
+namespace rdp {
+
+MatrixBlockWorkload make_matrix_block_workload(const MatrixBlockParams& params) {
+  if (params.num_blocks == 0 || params.rows_per_block == 0) {
+    throw std::invalid_argument("matrix_block: need blocks and rows");
+  }
+  Xoshiro256 rng(params.seed);
+
+  // Heavy-tailed per-row degree: a Zipf rank picks a degree scale so a few
+  // rows are very dense (hub rows of a power-law graph).
+  MatrixBlockWorkload out{Instance{}, {}};
+  out.nnz.reserve(params.num_blocks);
+  std::vector<Task> tasks;
+  tasks.reserve(params.num_blocks);
+
+  for (std::size_t b = 0; b < params.num_blocks; ++b) {
+    std::uint64_t block_nnz = 0;
+    for (std::size_t r = 0; r < params.rows_per_block; ++r) {
+      const std::size_t rank = sample_zipf(rng, 64, params.degree_zipf_exponent);
+      // rank 0 (most likely) = light row, higher ranks = denser rows.
+      const double degree =
+          params.mean_nnz_per_row * (0.25 + static_cast<double>(rank));
+      block_nnz += static_cast<std::uint64_t>(std::llround(degree));
+    }
+    out.nnz.push_back(block_nnz);
+    const double estimate =
+        std::max(1e-9, params.seconds_per_nnz * static_cast<double>(block_nnz));
+    const double size = params.bytes_per_nnz * static_cast<double>(block_nnz);
+    tasks.push_back(Task{estimate, size});
+  }
+  out.instance = Instance(std::move(tasks), params.num_machines, params.alpha);
+  return out;
+}
+
+}  // namespace rdp

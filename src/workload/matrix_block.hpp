@@ -1,0 +1,39 @@
+// Out-of-core sparse linear algebra workload (the paper's motivating
+// application): a sparse matrix is split into block rows; one task per
+// block performs an SpMV sweep over it. Estimated time scales with the
+// block's nonzero count (an analytic model, as in the Erlebacher et al.
+// citation); size is the block's storage footprint. Nonzeros per block
+// follow a heavy-tailed row-degree distribution, which is what makes load
+// balancing under uncertainty interesting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+struct MatrixBlockParams {
+  std::size_t num_blocks = 64;       ///< one task per block row
+  std::size_t rows_per_block = 1024;
+  double mean_nnz_per_row = 16.0;
+  double degree_zipf_exponent = 1.2; ///< heavy tail of row degrees
+  double seconds_per_nnz = 1e-6;     ///< analytic time model
+  double bytes_per_nnz = 12.0;       ///< CSR: value + column index
+  MachineId num_machines = 8;
+  double alpha = 1.5;                ///< model error of the time estimate
+  std::uint64_t seed = 1;
+};
+
+struct MatrixBlockWorkload {
+  Instance instance;                 ///< task = one block sweep
+  std::vector<std::uint64_t> nnz;    ///< nonzeros per block (ground truth)
+};
+
+/// Generates the synthetic matrix and its block-task instance.
+[[nodiscard]] MatrixBlockWorkload make_matrix_block_workload(
+    const MatrixBlockParams& params);
+
+}  // namespace rdp

@@ -1,0 +1,85 @@
+#include "workload/profiles.hpp"
+
+#include <stdexcept>
+
+#include "workload/generators.hpp"
+#include "workload/matrix_block.hpp"
+
+namespace rdp {
+
+namespace {
+
+WorkloadParams params_for(std::size_t n, MachineId m, double alpha,
+                          std::uint64_t seed) {
+  WorkloadParams p;
+  p.num_tasks = n;
+  p.num_machines = m;
+  p.alpha = alpha;
+  p.seed = seed;
+  return p;
+}
+
+Instance build_out_of_core(std::size_t n, MachineId m, double alpha,
+                           std::uint64_t seed) {
+  MatrixBlockParams p;
+  p.num_blocks = n;
+  p.rows_per_block = 48;  // coarse blocks keep the row-degree tail visible
+  p.degree_zipf_exponent = 1.05;
+  p.num_machines = m;
+  p.alpha = alpha;
+  p.seed = seed;
+  return make_matrix_block_workload(p).instance;
+}
+
+Instance build_mapreduce(std::size_t n, MachineId m, double alpha,
+                         std::uint64_t seed) {
+  return bimodal_workload(params_for(n, m, alpha, seed), 1.0, 8.0, 0.15);
+}
+
+Instance build_web(std::size_t n, MachineId m, double alpha, std::uint64_t seed) {
+  return lognormal_workload(params_for(n, m, alpha, seed), 0.0, 0.6);
+}
+
+Instance build_batch(std::size_t n, MachineId m, double alpha, std::uint64_t seed) {
+  return uniform_workload(params_for(n, m, alpha, seed), 5.0, 15.0);
+}
+
+Instance build_ml(std::size_t n, MachineId m, double alpha, std::uint64_t seed) {
+  return bimodal_workload(params_for(n, m, alpha, seed), 4.0, 12.0, 0.05);
+}
+
+}  // namespace
+
+const std::vector<WorkloadProfile>& builtin_profiles() {
+  static const std::vector<WorkloadProfile> kProfiles = {
+      {"out-of-core-solver",
+       "heavy-tailed sparse matrix block sweeps, analytic time model",
+       NoiseModel::kLogUniform, 1.6, &build_out_of_core},
+      {"mapreduce-stragglers", "bimodal map tasks with straggler noise",
+       NoiseModel::kTwoPoint, 2.0, &build_mapreduce},
+      {"web-requests", "lognormal service times, well-calibrated predictions",
+       NoiseModel::kBetaCentered, 1.3, &build_web},
+      {"batch-analytics", "uniform scan costs, moderate noise",
+       NoiseModel::kUniform, 1.4, &build_batch},
+      {"ml-training", "near-uniform step times with rare stragglers",
+       NoiseModel::kTwoPoint, 1.5, &build_ml},
+  };
+  return kProfiles;
+}
+
+const WorkloadProfile& profile_by_name(const std::string& name) {
+  for (const WorkloadProfile& p : builtin_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("profile_by_name: unknown profile '" + name + "'");
+}
+
+ProfiledWorkload make_profiled_workload(const std::string& name, std::size_t n,
+                                        MachineId m, std::uint64_t seed) {
+  const WorkloadProfile& profile = profile_by_name(name);
+  ProfiledWorkload out{profile.build(n, m, profile.alpha, seed), {}};
+  out.actual = realize(out.instance, profile.typical_noise, seed + 1);
+  return out;
+}
+
+}  // namespace rdp

@@ -1,0 +1,51 @@
+// Named workload profiles: parameter presets that bundle a generator, an
+// uncertainty level, and a noise model into the recognizable shapes the
+// paper's motivating applications have. Keeps examples, benches, and
+// downstream experiments talking about the same "kinds" of workloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+#include "perturb/stochastic.hpp"
+
+namespace rdp {
+
+struct WorkloadProfile {
+  std::string name;
+  std::string description;
+  NoiseModel typical_noise = NoiseModel::kUniform;
+  double alpha = 1.5;
+
+  /// Builds an instance of this profile.
+  Instance (*build)(std::size_t n, MachineId m, double alpha,
+                    std::uint64_t seed) = nullptr;
+};
+
+/// The built-in profiles:
+///  - "out-of-core-solver": heavy-tailed matrix-block costs, analytic
+///    model error (log-uniform), alpha 1.6.
+///  - "mapreduce-stragglers": bimodal map tasks, two-point straggler
+///    noise, alpha 2.0.
+///  - "web-requests": lognormal service times, centered noise, alpha 1.3.
+///  - "batch-analytics": uniform scan costs, uniform noise, alpha 1.4.
+///  - "ml-training": near-uniform step times with rare stragglers
+///    (bimodal, small long fraction), two-point noise, alpha 1.5.
+[[nodiscard]] const std::vector<WorkloadProfile>& builtin_profiles();
+
+/// Profile lookup by name; throws std::invalid_argument when unknown.
+[[nodiscard]] const WorkloadProfile& profile_by_name(const std::string& name);
+
+/// Convenience: build instance + typical realization for a profile.
+struct ProfiledWorkload {
+  Instance instance;
+  Realization actual;
+};
+[[nodiscard]] ProfiledWorkload make_profiled_workload(const std::string& name,
+                                                      std::size_t n, MachineId m,
+                                                      std::uint64_t seed);
+
+}  // namespace rdp

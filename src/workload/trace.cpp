@@ -1,0 +1,138 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/csv.hpp"
+#include "perturb/alpha_fit.hpp"
+
+namespace rdp {
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  out << "# rdp trace: one record per task (estimate,actual,size)\n";
+  CsvWriter csv(out);
+  csv.typed_row("trace", trace.size());
+  for (const TraceRecord& r : trace.records) {
+    csv.typed_row(r.estimate, r.actual, r.size);
+  }
+}
+
+std::string trace_to_string(const Trace& trace) {
+  std::ostringstream os;
+  write_trace(os, trace);
+  return os.str();
+}
+
+namespace {
+
+double parse_cell(const std::string& cell, const char* what) {
+  std::size_t consumed = 0;
+  double value = 0;
+  try {
+    value = std::stod(cell, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("parse_trace: bad ") + what + " '" +
+                                cell + "'");
+  }
+  if (consumed != cell.size()) {
+    throw std::invalid_argument(std::string("parse_trace: trailing junk in ") +
+                                what);
+  }
+  return value;
+}
+
+}  // namespace
+
+Trace parse_trace(const std::string& text) {
+  std::string cleaned;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    cleaned += line;
+    cleaned += '\n';
+  }
+  const auto rows = parse_csv(cleaned);
+  if (rows.empty() || rows.front().size() != 2 || rows.front()[0] != "trace") {
+    throw std::invalid_argument("parse_trace: missing 'trace,<count>' header");
+  }
+  const auto declared = static_cast<std::size_t>(parse_cell(rows[0][1], "count"));
+  Trace trace;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 3) {
+      throw std::invalid_argument("parse_trace: records need estimate,actual,size");
+    }
+    TraceRecord record;
+    record.estimate = parse_cell(rows[r][0], "estimate");
+    record.actual = parse_cell(rows[r][1], "actual");
+    record.size = parse_cell(rows[r][2], "size");
+    if (!(record.estimate > 0.0) || !(record.actual > 0.0) || record.size < 0.0) {
+      throw std::invalid_argument("parse_trace: non-positive time or negative size");
+    }
+    trace.records.push_back(record);
+  }
+  if (trace.size() != declared) {
+    throw std::invalid_argument("parse_trace: record count does not match header");
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+  write_trace(out, trace);
+  if (!out) throw std::runtime_error("save_trace: write failed for " + path);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_trace(buffer.str());
+}
+
+ReplayableWorkload workload_from_trace(const Trace& trace, MachineId num_machines,
+                                       double alpha_override) {
+  std::vector<Observation> history;
+  history.reserve(trace.size());
+  for (const TraceRecord& r : trace.records) {
+    history.push_back({r.estimate, r.actual});
+  }
+  const double fitted = fit_alpha_max(history);
+  double alpha = fitted;
+  if (alpha_override > 0.0) {
+    if (alpha_override < fitted * (1.0 - 1e-12)) {
+      throw std::invalid_argument(
+          "workload_from_trace: alpha override below the trace's misprediction "
+          "factor");
+    }
+    alpha = alpha_override;
+  }
+
+  std::vector<Task> tasks;
+  tasks.reserve(trace.size());
+  ReplayableWorkload out;
+  for (const TraceRecord& r : trace.records) {
+    tasks.push_back(Task{r.estimate, r.size});
+    out.actual.actual.push_back(r.actual);
+  }
+  out.instance = Instance(std::move(tasks), num_machines, alpha);
+  return out;
+}
+
+Trace make_synthetic_trace(const Instance& instance, const Realization& actual) {
+  if (actual.size() != instance.num_tasks()) {
+    throw std::invalid_argument("make_synthetic_trace: size mismatch");
+  }
+  Trace trace;
+  trace.records.reserve(instance.num_tasks());
+  for (TaskId j = 0; j < instance.num_tasks(); ++j) {
+    trace.records.push_back(
+        TraceRecord{instance.estimate(j), actual[j], instance.size(j)});
+  }
+  return trace;
+}
+
+}  // namespace rdp

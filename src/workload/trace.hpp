@@ -1,0 +1,64 @@
+// Trace-driven workloads: a minimal execution-trace format (CSV) holding
+// per-task estimate, actual runtime, and data size -- the shape of
+// historical cluster logs. A trace yields (a) an Instance whose alpha is
+// calibrated from the trace itself and (b) the recorded Realization, so
+// algorithms can be replayed against exactly what happened.
+//
+// Format (after optional '#' comment lines):
+//   header row: trace,<num_records>
+//   one row per record: estimate,actual,size
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+struct TraceRecord {
+  Time estimate = 0;
+  Time actual = 0;
+  double size = 1.0;
+};
+
+struct Trace {
+  std::vector<TraceRecord> records;
+
+  [[nodiscard]] std::size_t size() const noexcept { return records.size(); }
+};
+
+/// Serializes a trace to the CSV dialect above.
+void write_trace(std::ostream& out, const Trace& trace);
+[[nodiscard]] std::string trace_to_string(const Trace& trace);
+
+/// Parses a serialized trace; throws std::invalid_argument on malformed
+/// input (bad header, non-numeric cells, non-positive times).
+[[nodiscard]] Trace parse_trace(const std::string& text);
+
+/// File convenience wrappers (std::runtime_error on I/O failure).
+void save_trace(const std::string& path, const Trace& trace);
+[[nodiscard]] Trace load_trace(const std::string& path);
+
+/// The replayable pair: instance + the realization that actually
+/// happened. `alpha` is fitted from the trace (max misprediction factor)
+/// unless `alpha_override >= 1` is given; an override smaller than the
+/// fitted value throws (the recorded actuals would violate the band).
+struct ReplayableWorkload {
+  Instance instance;
+  Realization actual;
+};
+
+[[nodiscard]] ReplayableWorkload workload_from_trace(const Trace& trace,
+                                                     MachineId num_machines,
+                                                     double alpha_override = 0.0);
+
+/// Synthesizes a trace by pairing a generated instance with a noise-model
+/// realization -- useful for producing shareable test fixtures.
+[[nodiscard]] Trace make_synthetic_trace(const Instance& instance,
+                                         const Realization& actual);
+
+}  // namespace rdp

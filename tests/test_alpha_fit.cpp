@@ -1,0 +1,121 @@
+// Tests for alpha calibration from historical (estimate, actual) pairs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "perturb/alpha_fit.hpp"
+#include "perturb/stochastic.hpp"
+#include "workload/generators.hpp"
+
+namespace rdp {
+namespace {
+
+TEST(AlphaFit, EmptyHistoryIsAlphaOne) {
+  EXPECT_DOUBLE_EQ(fit_alpha_max({}), 1.0);
+  EXPECT_DOUBLE_EQ(fit_alpha_quantile({}, 0.95), 1.0);
+  EXPECT_DOUBLE_EQ(coverage_of_alpha({}, 1.5), 1.0);
+}
+
+TEST(AlphaFit, MaxCoversBothDirections) {
+  // Underestimation by 2x and overestimation by 3x: alpha must be 3.
+  const std::vector<Observation> history = {{1.0, 2.0}, {3.0, 1.0}};
+  EXPECT_DOUBLE_EQ(fit_alpha_max(history), 3.0);
+}
+
+TEST(AlphaFit, PerfectPredictionsGiveAlphaOne) {
+  const std::vector<Observation> history = {{1.0, 1.0}, {5.0, 5.0}};
+  EXPECT_DOUBLE_EQ(fit_alpha_max(history), 1.0);
+  EXPECT_DOUBLE_EQ(fit_alpha_quantile(history, 0.5), 1.0);
+}
+
+TEST(AlphaFit, RejectsNonPositiveObservations) {
+  const std::vector<Observation> bad = {{0.0, 1.0}};
+  EXPECT_THROW((void)fit_alpha_max(bad), std::invalid_argument);
+  const std::vector<Observation> bad2 = {{1.0, -1.0}};
+  EXPECT_THROW((void)fit_alpha_max(bad2), std::invalid_argument);
+}
+
+TEST(AlphaFit, QuantileIgnoresOutliers) {
+  std::vector<Observation> history;
+  for (int i = 0; i < 99; ++i) history.push_back({1.0, 1.1});
+  history.push_back({1.0, 50.0});  // one wild outlier
+  EXPECT_DOUBLE_EQ(fit_alpha_max(history), 50.0);
+  EXPECT_NEAR(fit_alpha_quantile(history, 0.95), 1.1, 1e-12);
+}
+
+TEST(AlphaFit, QuantileParameterValidated) {
+  const std::vector<Observation> h = {{1.0, 1.0}};
+  EXPECT_THROW((void)fit_alpha_quantile(h, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)fit_alpha_quantile(h, 1.5), std::invalid_argument);
+}
+
+TEST(AlphaFit, CoverageMonotoneInAlpha) {
+  std::vector<Observation> history;
+  for (int i = 1; i <= 10; ++i) {
+    history.push_back({1.0, 1.0 + 0.1 * i});  // factors 1.1 .. 2.0
+  }
+  EXPECT_NEAR(coverage_of_alpha(history, 1.5), 0.5, 1e-12);
+  EXPECT_NEAR(coverage_of_alpha(history, 2.0), 1.0, 1e-12);
+  EXPECT_NEAR(coverage_of_alpha(history, 1.05), 0.0, 1e-12);
+  EXPECT_THROW((void)coverage_of_alpha(history, 0.5), std::invalid_argument);
+}
+
+TEST(AlphaFit, QuantileAndCoverageAreConsistent) {
+  std::vector<Observation> history;
+  for (int i = 1; i <= 40; ++i) {
+    history.push_back({2.0, 2.0 * (1.0 + 0.02 * i)});
+  }
+  const double a90 = fit_alpha_quantile(history, 0.9);
+  EXPECT_GE(coverage_of_alpha(history, a90), 0.9 - 1e-12);
+}
+
+TEST(AlphaFit, CalibrationReportFields) {
+  std::vector<Observation> history = {{1.0, 2.0}, {1.0, 0.5}, {1.0, 1.0},
+                                      {1.0, 1.0}};
+  const CalibrationReport report = calibrate(history);
+  EXPECT_EQ(report.samples, 4u);
+  EXPECT_DOUBLE_EQ(report.alpha_max, 2.0);
+  EXPECT_NEAR(report.bias, 1.0, 1e-12);  // 2 and 0.5 cancel geometrically
+  EXPECT_LE(report.alpha_p50, report.alpha_p95);
+  EXPECT_LE(report.alpha_p95, report.alpha_max);
+}
+
+TEST(AlphaFit, RoundTripWithNoiseModels) {
+  // Generate history from the kUniform noise model with alpha = 1.6 and
+  // check the fitted alpha_max is <= 1.6 (and close to it).
+  WorkloadParams params;
+  params.num_tasks = 4000;
+  params.num_machines = 4;
+  params.alpha = 1.6;
+  params.seed = 9;
+  const Instance inst = uniform_workload(params);
+  const Realization actual = realize(inst, NoiseModel::kUniform, 33);
+  std::vector<Observation> history;
+  for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+    history.push_back({inst.estimate(j), actual[j]});
+  }
+  const double fitted = fit_alpha_max(history);
+  EXPECT_LE(fitted, 1.6 + 1e-9);
+  EXPECT_GT(fitted, 1.55);  // 4000 samples get close to the edge
+  EXPECT_DOUBLE_EQ(coverage_of_alpha(history, 1.6), 1.0);
+}
+
+TEST(AlphaFit, BiasDetectsSystematicUnderestimation) {
+  WorkloadParams params;
+  params.num_tasks = 100;
+  params.num_machines = 2;
+  params.alpha = 1.5;
+  params.seed = 3;
+  const Instance inst = uniform_workload(params);
+  const Realization slow = realize(inst, NoiseModel::kAlwaysHigh, 1);
+  std::vector<Observation> history;
+  for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+    history.push_back({inst.estimate(j), slow[j]});
+  }
+  const CalibrationReport report = calibrate(history);
+  EXPECT_NEAR(report.bias, 1.5, 1e-9);  // everything ran 1.5x slower
+}
+
+}  // namespace
+}  // namespace rdp

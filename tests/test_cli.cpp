@@ -1,0 +1,69 @@
+// Tests for the flag parser used by bench/example binaries.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cli/args.hpp"
+
+namespace rdp {
+namespace {
+
+Args make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, EqualsForm) {
+  const Args a = make({"prog", "--alpha=1.5", "--m=8"});
+  EXPECT_DOUBLE_EQ(a.get("alpha", 0.0), 1.5);
+  EXPECT_EQ(a.get("m", std::int64_t{0}), 8);
+}
+
+TEST(Args, SpaceForm) {
+  const Args a = make({"prog", "--alpha", "2.0"});
+  EXPECT_DOUBLE_EQ(a.get("alpha", 0.0), 2.0);
+}
+
+TEST(Args, BooleanSwitch) {
+  const Args a = make({"prog", "--verbose", "--quiet=false"});
+  EXPECT_TRUE(a.get("verbose", false));
+  EXPECT_FALSE(a.get("quiet", true));
+}
+
+TEST(Args, DefaultsWhenMissing) {
+  const Args a = make({"prog"});
+  EXPECT_DOUBLE_EQ(a.get("alpha", 1.25), 1.25);
+  EXPECT_EQ(a.get("name", std::string("x")), "x");
+  EXPECT_FALSE(a.has("alpha"));
+}
+
+TEST(Args, Positionals) {
+  const Args a = make({"prog", "input.csv", "--k=2", "more"});
+  ASSERT_EQ(a.positionals().size(), 2u);
+  EXPECT_EQ(a.positionals()[0], "input.csv");
+  EXPECT_EQ(a.positionals()[1], "more");
+  EXPECT_EQ(a.program(), "prog");
+}
+
+TEST(Args, MalformedNumberThrows) {
+  const Args a = make({"prog", "--alpha=abc"});
+  EXPECT_THROW((void)a.get("alpha", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)a.get("alpha", std::int64_t{0}), std::invalid_argument);
+}
+
+TEST(Args, MalformedBoolThrows) {
+  const Args a = make({"prog", "--flag=maybe"});
+  EXPECT_THROW((void)a.get("flag", false), std::invalid_argument);
+}
+
+TEST(Args, BareDoubleDashRejected) {
+  EXPECT_THROW(make({"prog", "--"}), std::invalid_argument);
+}
+
+TEST(Args, StringGetter) {
+  const Args a = make({"prog", "--mode=fast"});
+  EXPECT_EQ(a.get("mode", std::string("slow")), "fast");
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,204 @@
+// Tests for the exact substrate: lower bounds, brute force, B&B, MULTIFIT,
+// and the certified-optimum wrapper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/lpt.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/dual_approx.hpp"
+#include "exact/lower_bounds.hpp"
+#include "exact/optimal.hpp"
+#include "rng/distributions.hpp"
+#include "rng/rng.hpp"
+
+namespace rdp {
+namespace {
+
+TEST(LowerBounds, AvgLoad) {
+  const std::vector<Time> p = {4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(avg_load_bound(p, 3), 4.0);
+  EXPECT_DOUBLE_EQ(avg_load_bound(p, 2), 6.0);
+}
+
+TEST(LowerBounds, LongestTask) {
+  const std::vector<Time> p = {1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(longest_task_bound(p), 9.0);
+}
+
+TEST(LowerBounds, PairingNeedsMoreTasksThanMachines) {
+  const std::vector<Time> p = {5.0, 4.0};
+  EXPECT_DOUBLE_EQ(pairing_bound(p, 2), 0.0);
+  const std::vector<Time> q = {5.0, 4.0, 3.0};
+  // Top 3 tasks: {5,4,3}; cheapest pair = 3+4.
+  EXPECT_DOUBLE_EQ(pairing_bound(q, 2), 7.0);
+}
+
+TEST(LowerBounds, CombinedTakesMax) {
+  const std::vector<Time> p = {5.0, 4.0, 3.0};
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(p, 2), 7.0);  // pairing dominates
+  const std::vector<Time> q = {100.0, 1.0};
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(q, 2), 100.0);  // longest dominates
+}
+
+TEST(BruteForce, KnownOptimum) {
+  const std::vector<Time> p = {3.0, 3.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(brute_force_cmax(p, 2).optimal, 6.0);
+}
+
+TEST(BruteForce, SingleMachine) {
+  const std::vector<Time> p = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(brute_force_cmax(p, 1).optimal, 6.0);
+}
+
+TEST(BruteForce, MoreMachinesThanTasks) {
+  const std::vector<Time> p = {4.0, 2.0};
+  EXPECT_DOUBLE_EQ(brute_force_cmax(p, 5).optimal, 4.0);
+}
+
+TEST(BruteForce, GuardsAgainstLargeInstances) {
+  const std::vector<Time> p(20, 1.0);
+  EXPECT_THROW((void)brute_force_cmax(p, 2), std::invalid_argument);
+}
+
+TEST(BruteForce, EmptyInstance) {
+  const std::vector<Time> p;
+  EXPECT_DOUBLE_EQ(brute_force_cmax(p, 3).optimal, 0.0);
+}
+
+TEST(BranchAndBound, MatchesKnownOptimum) {
+  const std::vector<Time> p = {3.0, 3.0, 2.0, 2.0, 2.0};
+  const BnbResult r = branch_and_bound_cmax(p, 2);
+  EXPECT_TRUE(r.proven);
+  EXPECT_DOUBLE_EQ(r.best, 6.0);
+  EXPECT_DOUBLE_EQ(r.lower_bound, 6.0);
+}
+
+TEST(BranchAndBound, AssignmentAchievesReportedMakespan) {
+  const std::vector<Time> p = {7.0, 5.0, 4.0, 4.0, 3.0, 2.0, 2.0};
+  const BnbResult r = branch_and_bound_cmax(p, 3);
+  ASSERT_TRUE(r.proven);
+  std::vector<Time> loads(3, 0);
+  for (TaskId j = 0; j < p.size(); ++j) loads[r.assignment[j]] += p[j];
+  EXPECT_DOUBLE_EQ(*std::max_element(loads.begin(), loads.end()), r.best);
+}
+
+TEST(BranchAndBound, BudgetExhaustionGivesBracket) {
+  // A hard-ish instance with a 2-node budget: must fall back to bounds.
+  std::vector<Time> p;
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 30; ++i) p.push_back(sample_uniform(rng, 1.0, 2.0));
+  const BnbResult r = branch_and_bound_cmax(p, 4, /*node_budget=*/2);
+  EXPECT_FALSE(r.proven);
+  EXPECT_LE(r.lower_bound, r.best);
+  EXPECT_GE(r.lower_bound, makespan_lower_bound(p, 4) - 1e-12);
+}
+
+TEST(BranchAndBound, EmptyIsProvenZero) {
+  const std::vector<Time> p;
+  const BnbResult r = branch_and_bound_cmax(p, 2);
+  EXPECT_TRUE(r.proven);
+  EXPECT_DOUBLE_EQ(r.best, 0.0);
+}
+
+// Property: B&B equals brute force on random tiny instances.
+class BnbVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BnbVsBruteForce, Agree) {
+  Xoshiro256 rng(GetParam());
+  const std::size_t n = 5 + static_cast<std::size_t>(rng.next_below(6));  // 5..10
+  const MachineId m = 2 + static_cast<MachineId>(rng.next_below(3));      // 2..4
+  std::vector<Time> p;
+  for (std::size_t j = 0; j < n; ++j) p.push_back(sample_uniform(rng, 0.5, 10.0));
+  const BruteForceResult bf = brute_force_cmax(p, m);
+  const BnbResult bnb = branch_and_bound_cmax(p, m);
+  ASSERT_TRUE(bnb.proven);
+  EXPECT_NEAR(bnb.best, bf.optimal, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTiny, BnbVsBruteForce,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(Multifit, FfdFeasibilityBasics) {
+  const std::vector<Time> p = {4.0, 3.0, 3.0, 2.0};
+  EXPECT_TRUE(ffd_fits(p, 2, 6.0));
+  EXPECT_FALSE(ffd_fits(p, 2, 5.0));
+}
+
+TEST(Multifit, FfdReturnsPacking) {
+  const std::vector<Time> p = {4.0, 3.0, 3.0, 2.0};
+  Assignment a;
+  ASSERT_TRUE(ffd_fits(p, 2, 6.0, &a));
+  std::vector<Time> loads(2, 0);
+  for (TaskId j = 0; j < p.size(); ++j) loads[a[j]] += p[j];
+  EXPECT_LE(loads[0], 6.0 + 1e-9);
+  EXPECT_LE(loads[1], 6.0 + 1e-9);
+}
+
+TEST(Multifit, NeverWorseThanLpt) {
+  const std::vector<Time> p = {3.0, 3.0, 2.0, 2.0, 2.0};
+  const MultifitResult mf = multifit_cmax(p, 2);
+  EXPECT_LE(mf.makespan, lpt_schedule(p, 2).makespan + 1e-9);
+  EXPECT_DOUBLE_EQ(mf.makespan, 6.0);  // finds the optimum here
+}
+
+// Property: MULTIFIT is within 13/11 of the exact optimum.
+class MultifitGuarantee : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultifitGuarantee, WithinThirteenElevenths) {
+  Xoshiro256 rng(GetParam());
+  const std::size_t n = 8 + static_cast<std::size_t>(rng.next_below(8));
+  const MachineId m = 2 + static_cast<MachineId>(rng.next_below(4));
+  std::vector<Time> p;
+  for (std::size_t j = 0; j < n; ++j) p.push_back(sample_uniform(rng, 0.5, 10.0));
+  const BnbResult opt = branch_and_bound_cmax(p, m);
+  ASSERT_TRUE(opt.proven);
+  const MultifitResult mf = multifit_cmax(p, m);
+  EXPECT_LE(mf.makespan, multifit_guarantee() * opt.best + 1e-9);
+  EXPECT_GE(mf.makespan, opt.best - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSmall, MultifitGuarantee,
+                         ::testing::Range<std::uint64_t>(20, 36));
+
+TEST(CertifiedCmax, ExactOnSmall) {
+  const std::vector<Time> p = {3.0, 3.0, 2.0, 2.0, 2.0};
+  const CertifiedCmax c = certified_cmax(p, 2);
+  EXPECT_TRUE(c.exact);
+  EXPECT_DOUBLE_EQ(c.lower, 6.0);
+  EXPECT_DOUBLE_EQ(c.upper, 6.0);
+}
+
+TEST(CertifiedCmax, BracketWithoutBudget) {
+  std::vector<Time> p;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 40; ++i) p.push_back(sample_uniform(rng, 1.0, 2.0));
+  const CertifiedCmax c = certified_cmax(p, 5, /*node_budget=*/0);
+  EXPECT_LE(c.lower, c.upper + 1e-12);
+  EXPECT_GT(c.lower, 0.0);
+}
+
+TEST(CertifiedCmax, UnitTasksAreTriviallyExact) {
+  const std::vector<Time> p(12, 1.0);
+  const CertifiedCmax c = certified_cmax(p, 4);
+  EXPECT_TRUE(c.exact);
+  EXPECT_DOUBLE_EQ(c.upper, 3.0);
+}
+
+TEST(CertifiedCmax, LowerNeverExceedsKnownOptimum) {
+  Xoshiro256 rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Time> p;
+    const std::size_t n = 6 + static_cast<std::size_t>(rng.next_below(5));
+    for (std::size_t j = 0; j < n; ++j) p.push_back(sample_uniform(rng, 0.5, 6.0));
+    const BruteForceResult bf = brute_force_cmax(p, 3);
+    const CertifiedCmax c = certified_cmax(p, 3);
+    EXPECT_LE(c.lower, bf.optimal + 1e-9);
+    EXPECT_GE(c.upper, bf.optimal - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,120 @@
+// Tests for the experiment harness (ratio measurement, sweeps).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "algo/strategy.hpp"
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "exp/memaware_experiment.hpp"
+#include "exp/ratio_experiment.hpp"
+#include "exp/sweep.hpp"
+#include "parallel/thread_pool.hpp"
+#include "perturb/stochastic.hpp"
+#include "workload/generators.hpp"
+
+namespace rdp {
+namespace {
+
+Instance small_instance(std::uint64_t seed = 4) {
+  WorkloadParams p;
+  p.num_tasks = 10;
+  p.num_machines = 3;
+  p.alpha = 1.5;
+  p.seed = seed;
+  return uniform_workload(p, 1.0, 8.0);
+}
+
+TEST(RatioExperiment, ExactOptimumOnSmallInstance) {
+  const Instance inst = small_instance();
+  const Realization actual = realize(inst, NoiseModel::kUniform, 1);
+  const RatioTrial trial = measure_ratio(make_lpt_no_choice(), inst, actual);
+  EXPECT_TRUE(trial.exact_optimum);
+  EXPECT_GE(trial.ratio, 1.0 - 1e-9);
+  EXPECT_GT(trial.optimal_lower_bound, 0.0);
+  EXPECT_NEAR(trial.ratio, trial.algorithm_makespan / trial.optimal_lower_bound,
+              1e-12);
+}
+
+TEST(RatioExperiment, ZeroBudgetUsesAnalyticBound) {
+  const Instance inst = small_instance();
+  const Realization actual = realize(inst, NoiseModel::kUniform, 1);
+  RatioExperimentConfig config;
+  config.exact_node_budget = 0;
+  const RatioTrial trial = measure_ratio(make_lpt_no_choice(), inst, actual, config);
+  EXPECT_GE(trial.ratio, 1.0 - 1e-9);
+}
+
+TEST(RatioExperiment, AdversarialAtLeastStochastic) {
+  const Instance inst = small_instance();
+  const RatioTrial adv = measure_adversarial_ratio(make_lpt_no_choice(), inst);
+  const Realization mild = realize(inst, NoiseModel::kNone, 0);
+  const RatioTrial calm = measure_ratio(make_lpt_no_choice(), inst, mild);
+  EXPECT_GE(adv.ratio + 1e-9, calm.ratio);
+}
+
+TEST(RatioExperiment, BatchAggregates) {
+  const Instance inst = small_instance();
+  const RatioAggregate agg = measure_ratio_batch(make_lpt_no_restriction(), inst,
+                                                 NoiseModel::kUniform, 8, 42);
+  EXPECT_EQ(agg.ratios.count(), 8u);
+  EXPECT_EQ(agg.strategy_name, "LPT-NoRestriction");
+  EXPECT_EQ(agg.noise_name, "uniform");
+  EXPECT_GE(agg.worst.ratio, agg.ratios.mean() - 1e-12);
+  EXPECT_DOUBLE_EQ(agg.ratios.max(), agg.worst.ratio);
+}
+
+TEST(RatioExperiment, BatchIsDeterministic) {
+  const Instance inst = small_instance();
+  const RatioAggregate a = measure_ratio_batch(make_ls_group(3), inst,
+                                               NoiseModel::kTwoPoint, 5, 7);
+  const RatioAggregate b = measure_ratio_batch(make_ls_group(3), inst,
+                                               NoiseModel::kTwoPoint, 5, 7);
+  EXPECT_DOUBLE_EQ(a.ratios.mean(), b.ratios.mean());
+  EXPECT_DOUBLE_EQ(a.worst.ratio, b.worst.ratio);
+}
+
+TEST(MemAwareExperiment, TrialFieldsConsistent) {
+  const Instance inst = small_instance(9);
+  const Realization actual = realize(inst, NoiseModel::kUniform, 2);
+  const MemAwareTrial trial = measure_sabo(inst, actual, 1.0);
+  EXPECT_GT(trial.makespan, 0.0);
+  EXPECT_GT(trial.memory, 0.0);
+  EXPECT_NEAR(trial.makespan_ratio, trial.makespan / trial.cmax_lower_bound, 1e-12);
+  EXPECT_GT(trial.makespan_guarantee, 1.0);
+  EXPECT_GT(trial.memory_guarantee, 1.0);
+}
+
+TEST(Sweep, GridShapeAndIndexing) {
+  const auto grid = make_grid({2, 4}, {1.1, 1.5, 2.0}, {1, 2});
+  ASSERT_EQ(grid.size(), 12u);
+  for (std::size_t i = 0; i < grid.size(); ++i) EXPECT_EQ(grid[i].index, i);
+  EXPECT_EQ(grid[0].m, 2u);
+  EXPECT_DOUBLE_EQ(grid[0].alpha, 1.1);
+  EXPECT_EQ(grid.back().m, 4u);
+  EXPECT_DOUBLE_EQ(grid.back().alpha, 2.0);
+  EXPECT_EQ(grid.back().seed, 2u);
+}
+
+TEST(Sweep, SequentialVisitsAll) {
+  const auto grid = make_grid({2}, {1.5}, {1, 2, 3});
+  int visits = 0;
+  run_sweep(grid, [&](const SweepCell&) { ++visits; });
+  EXPECT_EQ(visits, 3);
+}
+
+TEST(Sweep, ParallelMatchesSequential) {
+  const auto grid = make_grid({2, 3, 4}, {1.2, 1.8}, {1, 2, 3});
+  std::vector<double> seq(grid.size(), 0), par(grid.size(), 0);
+  const auto body = [](const SweepCell& c) {
+    return static_cast<double>(c.m) * c.alpha + static_cast<double>(c.seed);
+  };
+  run_sweep(grid, [&](const SweepCell& c) { seq[c.index] = body(c); });
+  ThreadPool pool(4);
+  run_sweep_parallel(pool, grid, [&](const SweepCell& c) { par[c.index] = body(c); });
+  EXPECT_EQ(seq, par);
+}
+
+}  // namespace
+}  // namespace rdp

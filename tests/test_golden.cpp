@@ -1,0 +1,84 @@
+// Golden regression tests: end-to-end pipelines with fixed seeds must
+// reproduce these exact values on every platform (the library's
+// determinism contract). A failure here means an algorithm's observable
+// behaviour changed -- review deliberately before updating the numbers.
+#include <gtest/gtest.h>
+
+#include "rdp.hpp"
+
+namespace rdp {
+namespace {
+
+WorkloadParams golden_params() {
+  WorkloadParams params;
+  params.num_tasks = 40;
+  params.num_machines = 8;
+  params.alpha = 1.5;
+  params.seed = 12345;
+  return params;
+}
+
+TEST(Golden, WorkloadGeneration) {
+  const Instance inst = uniform_workload(golden_params(), 1.0, 10.0);
+  EXPECT_DOUBLE_EQ(inst.total_estimate(), 212.48333366704975);
+}
+
+TEST(Golden, RealizationDraw) {
+  const Instance inst = uniform_workload(golden_params(), 1.0, 10.0);
+  const Realization actual = realize(inst, NoiseModel::kLogUniform, 999);
+  EXPECT_DOUBLE_EQ(total_actual(actual), 191.48851225153268);
+}
+
+TEST(Golden, StrategyFamilyMakespans) {
+  const Instance inst = uniform_workload(golden_params(), 1.0, 10.0);
+  const Realization actual = realize(inst, NoiseModel::kLogUniform, 999);
+
+  struct Expected {
+    const char* name;
+    double makespan;
+    double memory;
+  };
+  const Expected expected[] = {
+      {"LPT-NoChoice", 27.972973232361618, 5.0},
+      {"LS-Group(k=8)", 36.169273787151589, 7.0},
+      {"LS-Group(k=4)", 31.903954574586251, 12.0},
+      {"LS-Group(k=2)", 29.909040626052047, 22.0},
+      {"LPT-NoRestriction", 24.472719170034239, 40.0},
+  };
+  const auto family = paper_strategy_family(8);
+  ASSERT_EQ(family.size(), std::size(expected));
+  for (std::size_t s = 0; s < family.size(); ++s) {
+    const StrategyResult r = family[s].run(inst, actual);
+    EXPECT_EQ(family[s].name(), expected[s].name);
+    EXPECT_DOUBLE_EQ(r.makespan, expected[s].makespan) << family[s].name();
+    EXPECT_DOUBLE_EQ(r.max_memory, expected[s].memory) << family[s].name();
+  }
+}
+
+TEST(Golden, StrategyOrderingOnThisInstance) {
+  // The structural story on the golden instance: full replication beats
+  // pinning beats the small-group strategies (which suffer LS phase-1
+  // placement), and the certified lower bound sits below everything.
+  const Instance inst = uniform_workload(golden_params(), 1.0, 10.0);
+  const Realization actual = realize(inst, NoiseModel::kLogUniform, 999);
+  const CertifiedCmax opt = certified_cmax(actual.actual, 8);
+  EXPECT_DOUBLE_EQ(opt.lower, 23.936064031441585);
+  const StrategyResult full = make_lpt_no_restriction().run(inst, actual);
+  const StrategyResult pinned = make_lpt_no_choice().run(inst, actual);
+  EXPECT_LT(full.makespan, pinned.makespan);
+  EXPECT_GE(full.makespan, opt.lower);
+}
+
+TEST(Golden, MemoryAwarePipeline) {
+  WorkloadParams params = golden_params();
+  const Instance mem_inst = independent_sizes_workload(params);
+  const SaboResult sabo = run_sabo(mem_inst, 1.0);
+  EXPECT_DOUBLE_EQ(sabo.max_memory, 118.07945614180977);
+  const AboResult abo =
+      run_abo(mem_inst, realize(mem_inst, NoiseModel::kUniform, 778), 1.0);
+  EXPECT_DOUBLE_EQ(abo.makespan, 202.35635077577325);
+  EXPECT_DOUBLE_EQ(abo.max_memory, 202.60744728983019);
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,127 @@
+// Tests for per-task uncertainty bands.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "algo/strategy.hpp"
+#include "bounds/replication_bounds.hpp"
+#include "core/instance.hpp"
+#include "core/placement.hpp"
+#include "core/realization.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "perturb/heterogeneous.hpp"
+#include "workload/generators.hpp"
+
+namespace rdp {
+namespace {
+
+TEST(HeteroBand, ValidationAndFactory) {
+  EXPECT_THROW(HeteroBand({1.0, 0.9}), std::invalid_argument);
+  const HeteroBand band = HeteroBand::two_class(100, 1.1, 2.0, 0.3, 7);
+  EXPECT_EQ(band.size(), 100u);
+  EXPECT_DOUBLE_EQ(band.max_alpha(), 2.0);
+  int noisy = 0;
+  for (TaskId j = 0; j < 100; ++j) {
+    EXPECT_TRUE(band.alpha(j) == 1.1 || band.alpha(j) == 2.0);
+    noisy += band.alpha(j) == 2.0;
+  }
+  EXPECT_NEAR(noisy, 30, 15);
+  EXPECT_THROW(HeteroBand::two_class(10, 1.1, 2.0, 1.5, 1), std::invalid_argument);
+}
+
+TEST(HeteroBand, RealizationsStayInPerTaskBands) {
+  WorkloadParams params;
+  params.num_tasks = 200;
+  params.num_machines = 4;
+  params.alpha = 2.0;
+  params.seed = 3;
+  const Instance inst = uniform_workload(params);
+  const HeteroBand band = HeteroBand::two_class(200, 1.05, 2.0, 0.5, 9);
+  for (NoiseModel model : {NoiseModel::kUniform, NoiseModel::kTwoPoint,
+                           NoiseModel::kAlwaysHigh}) {
+    const Realization r = realize_hetero(inst, band, model, 11);
+    EXPECT_TRUE(respects_uncertainty(inst, r));  // global band holds
+    for (TaskId j = 0; j < 200; ++j) {
+      const double f = r[j] / inst.estimate(j);
+      EXPECT_LE(f, band.alpha(j) * (1.0 + 1e-9)) << "task " << j;
+      EXPECT_GE(f, 1.0 / band.alpha(j) * (1.0 - 1e-9)) << "task " << j;
+    }
+  }
+}
+
+TEST(HeteroBand, RejectsBandAboveGlobalAlpha) {
+  Instance inst = Instance::from_estimates({1.0, 1.0}, 2, 1.5);
+  const HeteroBand too_wide({1.0, 2.0});
+  EXPECT_THROW((void)realize_hetero(inst, too_wide, NoiseModel::kUniform, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)realize_hetero(inst, HeteroBand({1.0}), NoiseModel::kUniform, 1),
+               std::invalid_argument);
+}
+
+TEST(HeteroBand, AdversaryUsesPerTaskAlphas) {
+  Instance inst = Instance::from_estimates({4.0, 4.0}, 2, 2.0);
+  const Placement p = Placement::singleton({0, 1}, 2);
+  const HeteroBand band({2.0, 1.25});
+  const Realization r = adversarial_realization_hetero(inst, p, band);
+  // The singleton groups tie on load density; determinism picks the one
+  // whose first task id is smaller -> task 0 inflated by ITS alpha (2),
+  // task 1 deflated by its own (1.25).
+  EXPECT_DOUBLE_EQ(r[0], 8.0);
+  EXPECT_DOUBLE_EQ(r[1], 4.0 / 1.25);
+  EXPECT_TRUE(respects_uncertainty(inst, r));
+}
+
+TEST(HeteroBand, TheoremsStillHoldUnderMixedBands) {
+  // Guarantees are stated in the global alpha; any per-task band inside
+  // it can only help. Verify with exact optima on a small grid.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    WorkloadParams params;
+    params.num_tasks = 9;
+    params.num_machines = 3;
+    params.alpha = 2.0;
+    params.seed = seed;
+    const Instance inst = uniform_workload(params, 1.0, 6.0);
+    const HeteroBand band = HeteroBand::two_class(9, 1.1, 2.0, 0.4, seed);
+
+    for (const TwoPhaseStrategy& s :
+         {make_lpt_no_choice(), make_lpt_no_restriction()}) {
+      const Placement placement = s.place(inst);
+      const Realization worst =
+          adversarial_realization_hetero(inst, placement, band);
+      const StrategyResult run = s.run(inst, worst);
+      const BnbResult opt = branch_and_bound_cmax(worst.actual, 3);
+      ASSERT_TRUE(opt.proven);
+      const double bound = thm2_lpt_no_choice(2.0, 3);  // loosest applicable
+      EXPECT_LE(run.makespan / opt.best, bound + 1e-9) << s.name();
+    }
+  }
+}
+
+TEST(HeteroBand, NarrowBandsHurtLessThanWideOnes) {
+  // Same instance, same adversary structure: the all-wide band does at
+  // least as much damage as the mixed band.
+  WorkloadParams params;
+  params.num_tasks = 12;
+  params.num_machines = 3;
+  params.alpha = 2.0;
+  params.seed = 5;
+  const Instance inst = uniform_workload(params, 1.0, 6.0);
+  const Placement placement = make_lpt_no_choice().place(inst);
+
+  const HeteroBand wide(std::vector<double>(12, 2.0));
+  const HeteroBand mixed = HeteroBand::two_class(12, 1.05, 2.0, 0.3, 8);
+
+  const Time wide_cmax =
+      make_lpt_no_choice()
+          .run(inst, adversarial_realization_hetero(inst, placement, wide))
+          .makespan;
+  const Time mixed_cmax =
+      make_lpt_no_choice()
+          .run(inst, adversarial_realization_hetero(inst, placement, mixed))
+          .makespan;
+  EXPECT_GE(wide_cmax + 1e-9, mixed_cmax);
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,165 @@
+// Tests for the LS/LPT kernels, including the classical Graham guarantees
+// verified against the exact optimum on randomized instances.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algo/list_scheduling.hpp"
+#include "algo/lpt.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "rng/distributions.hpp"
+#include "rng/rng.hpp"
+
+namespace rdp {
+namespace {
+
+TEST(ListScheduling, AssignsGreedilyToLeastLoaded) {
+  const std::vector<Time> w = {3.0, 2.0, 2.0, 1.0};
+  const GreedyScheduleResult r = list_schedule(w, 2);
+  // 3 -> m0; 2 -> m1; 2 -> m1 (load 2 < 3); 1 -> m0 (load 3 < 4).
+  EXPECT_EQ(r.assignment[0], 0u);
+  EXPECT_EQ(r.assignment[1], 1u);
+  EXPECT_EQ(r.assignment[2], 1u);
+  EXPECT_EQ(r.assignment[3], 0u);
+  EXPECT_DOUBLE_EQ(r.makespan, 4.0);
+}
+
+TEST(ListScheduling, TieBreaksTowardLowestMachineId) {
+  const std::vector<Time> w = {1.0, 1.0, 1.0};
+  const GreedyScheduleResult r = list_schedule(w, 3);
+  EXPECT_EQ(r.assignment[0], 0u);
+  EXPECT_EQ(r.assignment[1], 1u);
+  EXPECT_EQ(r.assignment[2], 2u);
+}
+
+TEST(ListScheduling, SingleMachineSumsEverything) {
+  const std::vector<Time> w = {1.0, 2.0, 3.0};
+  const GreedyScheduleResult r = list_schedule(w, 1);
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+}
+
+TEST(ListScheduling, ExplicitOrderPrefixLeavesRestUnassigned) {
+  const std::vector<Time> w = {5.0, 1.0, 2.0};
+  const std::vector<TaskId> order = {2, 1};
+  const GreedyScheduleResult r = list_schedule(w, 2, order);
+  EXPECT_EQ(r.assignment[0], kNoMachine);
+  EXPECT_NE(r.assignment[1], kNoMachine);
+  EXPECT_DOUBLE_EQ(r.makespan, 2.0);
+}
+
+TEST(ListScheduling, DuplicateInOrderThrows) {
+  const std::vector<Time> w = {1.0, 1.0};
+  const std::vector<TaskId> order = {0, 0};
+  EXPECT_THROW((void)list_schedule(w, 2, order), std::invalid_argument);
+}
+
+TEST(ListScheduling, ZeroMachinesThrows) {
+  const std::vector<Time> w = {1.0};
+  EXPECT_THROW((void)list_schedule(w, 0), std::invalid_argument);
+}
+
+TEST(ListScheduling, OntoInitialLoads) {
+  const std::vector<Time> w = {2.0, 2.0};
+  const std::vector<TaskId> order = {0, 1};
+  const GreedyScheduleResult r = list_schedule_onto(w, order, {10.0, 0.0});
+  // Both tasks land on machine 1 (loads 0 -> 2 -> 4 < 10).
+  EXPECT_EQ(r.assignment[0], 1u);
+  EXPECT_EQ(r.assignment[1], 1u);
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+}
+
+TEST(Lpt, OrderIsNonIncreasingAndStable) {
+  const std::vector<Time> w = {1.0, 3.0, 2.0, 3.0};
+  const std::vector<TaskId> order = lpt_order(w);
+  EXPECT_EQ(order, (std::vector<TaskId>{1, 3, 2, 0}));
+}
+
+TEST(Lpt, ClassicExample) {
+  // Graham's worst case for LPT with m=2: {3,3,2,2,2} -> LPT gives 7, OPT 6.
+  const std::vector<Time> w = {3.0, 3.0, 2.0, 2.0, 2.0};
+  const GreedyScheduleResult r = lpt_schedule(w, 2);
+  EXPECT_DOUBLE_EQ(r.makespan, 7.0);
+  const BnbResult opt = branch_and_bound_cmax(w, 2);
+  EXPECT_DOUBLE_EQ(opt.best, 6.0);
+}
+
+TEST(Lpt, GuaranteeFormulas) {
+  EXPECT_DOUBLE_EQ(lpt_guarantee(1), 1.0);
+  EXPECT_NEAR(lpt_guarantee(2), 7.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(list_scheduling_guarantee(1), 1.0);
+  EXPECT_DOUBLE_EQ(list_scheduling_guarantee(4), 1.75);
+}
+
+TEST(Lpt, LoadsSumToTotal) {
+  const std::vector<Time> w = {4.0, 1.0, 3.0, 2.0, 5.0};
+  const GreedyScheduleResult r = lpt_schedule(w, 3);
+  Time sum = 0;
+  for (Time l : r.loads) sum += l;
+  EXPECT_DOUBLE_EQ(sum, 15.0);
+}
+
+// Property: LPT respects Graham's 4/3 - 1/(3m) bound against the exact
+// optimum, and LS respects 2 - 1/m, over random instances.
+struct KernelCase {
+  std::size_t n;
+  MachineId m;
+  std::uint64_t seed;
+};
+
+class KernelGuaranteeProperty : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelGuaranteeProperty, GrahamBoundsHold) {
+  const auto [n, m, seed] = GetParam();
+  Xoshiro256 rng(seed);
+  std::vector<Time> w;
+  w.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) w.push_back(sample_uniform(rng, 1.0, 20.0));
+
+  const BnbResult opt = branch_and_bound_cmax(w, m);
+  ASSERT_TRUE(opt.proven);
+  ASSERT_GT(opt.best, 0.0);
+
+  const GreedyScheduleResult lpt = lpt_schedule(w, m);
+  EXPECT_LE(lpt.makespan / opt.best, lpt_guarantee(m) + 1e-9);
+
+  const GreedyScheduleResult ls = list_schedule(w, m);
+  EXPECT_LE(ls.makespan / opt.best, list_scheduling_guarantee(m) + 1e-9);
+}
+
+// The classic tight family for LPT: two jobs of each size 2m-1 ... m+1
+// plus three jobs of size m. OPT = 3m (perfectly packed), LPT = 4m-1,
+// so the ratio meets Graham's 4/3 - 1/(3m) bound *exactly*.
+class LptTightFamily : public ::testing::TestWithParam<MachineId> {};
+
+TEST_P(LptTightFamily, AchievesTheBoundExactly) {
+  const MachineId m = GetParam();
+  std::vector<Time> w;
+  for (MachineId s = 2 * m - 1; s >= m + 1; --s) {
+    w.push_back(static_cast<Time>(s));
+    w.push_back(static_cast<Time>(s));
+  }
+  w.push_back(static_cast<Time>(m));
+  w.push_back(static_cast<Time>(m));
+  w.push_back(static_cast<Time>(m));
+  ASSERT_EQ(w.size(), 2 * static_cast<std::size_t>(m) + 1);
+
+  const GreedyScheduleResult lpt = lpt_schedule(w, m);
+  EXPECT_DOUBLE_EQ(lpt.makespan, static_cast<Time>(4 * m - 1));
+  const BnbResult opt = branch_and_bound_cmax(w, m);
+  ASSERT_TRUE(opt.proven);
+  EXPECT_DOUBLE_EQ(opt.best, static_cast<Time>(3 * m));
+  EXPECT_NEAR(lpt.makespan / opt.best, lpt_guarantee(m), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, LptTightFamily, ::testing::Values(2, 3, 4, 5));
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, KernelGuaranteeProperty,
+    ::testing::Values(KernelCase{6, 2, 1}, KernelCase{8, 2, 2}, KernelCase{10, 2, 3},
+                      KernelCase{9, 3, 4}, KernelCase{12, 3, 5}, KernelCase{12, 4, 6},
+                      KernelCase{14, 4, 7}, KernelCase{15, 5, 8}, KernelCase{16, 4, 9},
+                      KernelCase{18, 3, 10}, KernelCase{20, 5, 11},
+                      KernelCase{13, 6, 12}));
+
+}  // namespace
+}  // namespace rdp

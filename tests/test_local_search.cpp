@@ -1,0 +1,103 @@
+// Tests for the move/swap local-search improvement kernel.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "algo/local_search.hpp"
+#include "algo/lpt.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "rng/distributions.hpp"
+#include "rng/rng.hpp"
+
+namespace rdp {
+namespace {
+
+Time eval(const Assignment& a, std::span<const Time> p, MachineId m) {
+  std::vector<Time> loads(m, 0);
+  for (TaskId j = 0; j < p.size(); ++j) loads[a[j]] += p[j];
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+TEST(LocalSearch, FixesLptWorstCase) {
+  // LPT = 7, OPT = 6 on the classic instance; one swap reaches 6.
+  const std::vector<Time> p = {3.0, 3.0, 2.0, 2.0, 2.0};
+  const LocalSearchResult r = lpt_plus_local_search(p, 2);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+  EXPECT_DOUBLE_EQ(eval(r.assignment, p, 2), 6.0);
+  EXPECT_GE(r.moves + r.swaps, 1u);
+}
+
+TEST(LocalSearch, AlreadyOptimalConvergesUnchanged) {
+  const std::vector<Time> p = {4.0, 4.0};
+  Assignment start(2);
+  start.machine_of = {0, 1};
+  const LocalSearchResult r = improve_assignment(p, 2, start);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.moves + r.swaps, 0u);
+  EXPECT_DOUBLE_EQ(r.makespan, 4.0);
+}
+
+TEST(LocalSearch, ImprovesTerribleStart) {
+  // Everything on machine 0.
+  const std::vector<Time> p = {5.0, 4.0, 3.0, 2.0, 1.0, 1.0};
+  Assignment start(6);
+  start.machine_of = {0, 0, 0, 0, 0, 0};
+  const LocalSearchResult r = improve_assignment(p, 3, start);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.makespan, 16.0);
+  const BnbResult opt = branch_and_bound_cmax(p, 3);
+  ASSERT_TRUE(opt.proven);
+  // Local optimum is within the 2-approximation of any jump-optimal
+  // schedule and here actually reaches the optimum.
+  EXPECT_NEAR(r.makespan, opt.best, 1e-9);
+}
+
+TEST(LocalSearch, ValidatesInputs) {
+  const std::vector<Time> p = {1.0};
+  Assignment incomplete(1);
+  EXPECT_THROW((void)improve_assignment(p, 2, incomplete), std::invalid_argument);
+  EXPECT_THROW((void)improve_assignment(p, 0, incomplete), std::invalid_argument);
+}
+
+TEST(LocalSearch, StepBudgetHonored) {
+  Xoshiro256 rng(1);
+  std::vector<Time> p;
+  for (int j = 0; j < 50; ++j) p.push_back(sample_uniform(rng, 1.0, 10.0));
+  Assignment start(50);
+  for (TaskId j = 0; j < 50; ++j) start.machine_of[j] = 0;
+  const LocalSearchResult r = improve_assignment(p, 5, start, /*max_steps=*/1);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.moves + r.swaps, 1u);
+}
+
+// Property: the descent never worsens the start, always converges within
+// the budget on moderate instances, and its result is at least as good
+// as plain LPT when started from LPT.
+class LocalSearchProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalSearchProperty, NeverWorseThanStartAndLpt) {
+  Xoshiro256 rng(GetParam());
+  const std::size_t n = 10 + static_cast<std::size_t>(rng.next_below(15));
+  const MachineId m = 2 + static_cast<MachineId>(rng.next_below(4));
+  std::vector<Time> p;
+  for (std::size_t j = 0; j < n; ++j) p.push_back(sample_uniform(rng, 0.5, 10.0));
+
+  const GreedyScheduleResult lpt = lpt_schedule(p, m);
+  const LocalSearchResult r = improve_assignment(p, m, lpt.assignment);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.makespan, lpt.makespan + 1e-9);
+  EXPECT_NEAR(eval(r.assignment, p, m), r.makespan, 1e-9);
+
+  const BnbResult opt = branch_and_bound_cmax(p, m);
+  ASSERT_TRUE(opt.proven);
+  EXPECT_GE(r.makespan, opt.best - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, LocalSearchProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace rdp

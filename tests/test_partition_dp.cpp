@@ -1,0 +1,117 @@
+// Tests for the pseudo-polynomial two-machine partition solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "exact/branch_and_bound.hpp"
+#include "exact/partition_dp.hpp"
+#include "rng/distributions.hpp"
+#include "rng/rng.hpp"
+
+namespace rdp {
+namespace {
+
+Time assignment_makespan2(const Assignment& a, std::span<const Time> p) {
+  Time l0 = 0, l1 = 0;
+  for (TaskId j = 0; j < p.size(); ++j) {
+    (a[j] == 0 ? l0 : l1) += p[j];
+  }
+  return std::max(l0, l1);
+}
+
+TEST(PartitionDp, PerfectPartitionFound) {
+  const std::vector<Time> p = {3.0, 3.0, 2.0, 2.0, 2.0};
+  const PartitionResult r = partition_cmax(p, 1.0);
+  EXPECT_TRUE(r.exact);
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+  EXPECT_DOUBLE_EQ(assignment_makespan2(r.assignment, p), 6.0);
+}
+
+TEST(PartitionDp, OddTotalHandled) {
+  const std::vector<Time> p = {3.0, 2.0, 2.0};  // total 7, best is 4
+  const PartitionResult r = partition_cmax(p, 1.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 4.0);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(PartitionDp, SingleTask) {
+  const std::vector<Time> p = {5.0};
+  const PartitionResult r = partition_cmax(p, 1.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 5.0);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(PartitionDp, EmptyInput) {
+  const std::vector<Time> p;
+  const PartitionResult r = partition_cmax(p, 1.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(PartitionDp, ParameterValidation) {
+  const std::vector<Time> p = {1.0};
+  EXPECT_THROW((void)partition_cmax(p, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)partition_cmax(p, -1.0), std::invalid_argument);
+  // Guard on discretized size.
+  const std::vector<Time> huge = {1e9};
+  EXPECT_THROW((void)partition_cmax(huge, 1e-3, 1024), std::invalid_argument);
+}
+
+// Property: exact agreement with branch-and-bound on integer instances.
+class PartitionVsBnb : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionVsBnb, IntegerInstancesExact) {
+  Xoshiro256 rng(GetParam());
+  const std::size_t n = 6 + static_cast<std::size_t>(rng.next_below(14));
+  std::vector<Time> p;
+  for (std::size_t j = 0; j < n; ++j) {
+    p.push_back(static_cast<Time>(1 + rng.next_below(40)));
+  }
+  const PartitionResult dp = partition_cmax(p, 1.0);
+  const BnbResult bnb = branch_and_bound_cmax(p, 2);
+  ASSERT_TRUE(bnb.proven);
+  EXPECT_TRUE(dp.exact);
+  EXPECT_NEAR(dp.makespan, bnb.best, 1e-9);
+  EXPECT_NEAR(assignment_makespan2(dp.assignment, p), dp.makespan, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInteger, PartitionVsBnb,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// Property: fractional instances land within the certified interval.
+class PartitionFractional : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionFractional, WithinCertifiedInterval) {
+  Xoshiro256 rng(GetParam() + 100);
+  std::vector<Time> p;
+  for (int j = 0; j < 12; ++j) p.push_back(sample_uniform(rng, 0.5, 9.5));
+  const PartitionResult dp = partition_cmax(p, 1e-4);
+  const BnbResult bnb = branch_and_bound_cmax(p, 2);
+  ASSERT_TRUE(bnb.proven);
+  EXPECT_LE(dp.lower_bound, bnb.best + 1e-9);
+  EXPECT_GE(dp.makespan, bnb.best - 1e-9);
+  // At resolution 1e-4 with 12 tasks the interval is ~6e-4 wide.
+  EXPECT_NEAR(dp.makespan, bnb.best, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFractional, PartitionFractional,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(PartitionDp, MuchFasterPathStillCorrectOnLargerN) {
+  Xoshiro256 rng(5);
+  std::vector<Time> p;
+  for (int j = 0; j < 200; ++j) {
+    p.push_back(static_cast<Time>(1 + rng.next_below(100)));
+  }
+  const PartitionResult dp = partition_cmax(p, 1.0);
+  EXPECT_TRUE(dp.exact);
+  // A perfect or near-perfect split must exist with 200 small integers:
+  // lower bound equals half the total (rounded up).
+  Time total = 0;
+  for (Time v : p) total += v;
+  EXPECT_NEAR(dp.makespan, std::ceil(total / 2.0), 1.0);
+}
+
+}  // namespace
+}  // namespace rdp

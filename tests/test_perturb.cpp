@@ -1,0 +1,187 @@
+// Tests for the stochastic realization models and the adversary
+// constructions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/lpt.hpp"
+#include "algo/strategy.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "core/instance.hpp"
+#include "core/metrics.hpp"
+#include "core/placement.hpp"
+#include "core/realization.hpp"
+#include "perturb/adversary.hpp"
+#include "perturb/stochastic.hpp"
+#include "workload/generators.hpp"
+
+namespace rdp {
+namespace {
+
+Instance inst_for_noise(double alpha = 2.0) {
+  WorkloadParams p;
+  p.num_tasks = 300;
+  p.num_machines = 4;
+  p.alpha = alpha;
+  p.seed = 3;
+  return uniform_workload(p, 1.0, 10.0);
+}
+
+TEST(Stochastic, EveryModelStaysInBand) {
+  const Instance inst = inst_for_noise();
+  for (NoiseModel model : all_noise_models()) {
+    const Realization r = realize(inst, model, 17);
+    EXPECT_TRUE(respects_uncertainty(inst, r)) << to_string(model);
+  }
+}
+
+TEST(Stochastic, NoneIsIdentity) {
+  const Instance inst = inst_for_noise();
+  const Realization r = realize(inst, NoiseModel::kNone, 1);
+  for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+    EXPECT_DOUBLE_EQ(r[j], inst.estimate(j));
+  }
+}
+
+TEST(Stochastic, AlwaysHighAndLowHitTheBandEdges) {
+  const Instance inst = inst_for_noise(1.5);
+  const Realization hi = realize(inst, NoiseModel::kAlwaysHigh, 1);
+  const Realization lo = realize(inst, NoiseModel::kAlwaysLow, 1);
+  for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+    EXPECT_DOUBLE_EQ(hi[j], 1.5 * inst.estimate(j));
+    EXPECT_DOUBLE_EQ(lo[j], inst.estimate(j) / 1.5);
+  }
+}
+
+TEST(Stochastic, TwoPointOnlyTakesExtremes) {
+  const Instance inst = inst_for_noise(2.0);
+  const Realization r = realize(inst, NoiseModel::kTwoPoint, 5);
+  int high = 0, low = 0;
+  for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+    const double f = r[j] / inst.estimate(j);
+    if (std::abs(f - 2.0) < 1e-12) ++high;
+    else if (std::abs(f - 0.5) < 1e-12) ++low;
+    else FAIL() << "factor " << f << " is not an extreme";
+  }
+  EXPECT_GT(high, 100);
+  EXPECT_GT(low, 100);
+}
+
+TEST(Stochastic, DeterministicInSeed) {
+  const Instance inst = inst_for_noise();
+  const Realization a = realize(inst, NoiseModel::kUniform, 9);
+  const Realization b = realize(inst, NoiseModel::kUniform, 9);
+  const Realization c = realize(inst, NoiseModel::kUniform, 10);
+  EXPECT_EQ(a.actual, b.actual);
+  EXPECT_NE(a.actual, c.actual);
+}
+
+TEST(Stochastic, BetaCenteredConcentratesNearOne) {
+  const Instance inst = inst_for_noise(2.0);
+  const Realization r = realize(inst, NoiseModel::kBetaCentered, 5);
+  int near_one = 0;
+  for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+    const double f = r[j] / inst.estimate(j);
+    if (f > 0.7 && f < 1.4) ++near_one;
+  }
+  EXPECT_GT(near_one, 200);  // most factors near 1 (band is [0.5, 2])
+}
+
+TEST(Thm1Adversary, InstanceShape) {
+  const Instance inst = thm1_instance(3, 6, 2.0);
+  EXPECT_EQ(inst.num_tasks(), 18u);
+  for (TaskId j = 0; j < 18; ++j) EXPECT_DOUBLE_EQ(inst.estimate(j), 1.0);
+}
+
+TEST(Thm1Adversary, InflatesOnlyHeaviestMachine) {
+  const Instance inst = thm1_instance(2, 3, 2.0);
+  // Unbalanced singleton placement: machine 0 gets 4 tasks, others 1 each.
+  const Placement p = Placement::singleton({0, 0, 0, 0, 1, 2}, 3);
+  const Realization r = thm1_realization(inst, p);
+  for (TaskId j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(r[j], 2.0);
+  EXPECT_DOUBLE_EQ(r[4], 0.5);
+  EXPECT_DOUBLE_EQ(r[5], 0.5);
+  EXPECT_TRUE(respects_uncertainty(inst, r));
+}
+
+TEST(Thm1Adversary, RequiresSingletonPlacement) {
+  const Instance inst = thm1_instance(1, 2, 2.0);
+  EXPECT_THROW((void)thm1_realization(inst, Placement::everywhere(2, 2)),
+               std::invalid_argument);
+}
+
+TEST(Thm1Adversary, OfflineUpperFormula) {
+  // lambda=3, m=6, B=3, alpha=2 (the paper's Figure 1 numbers):
+  // (1/2)*ceil(15/6) + 2*ceil(3/6) = 1.5 + 2.
+  EXPECT_DOUBLE_EQ(thm1_offline_optimal_upper(3, 6, 2.0, 3), 3.5);
+}
+
+TEST(GenericAdversary, SingletonReducesToThm1Move) {
+  const Instance inst = thm1_instance(2, 3, 2.0);
+  const Placement p = Placement::singleton({0, 0, 0, 1, 1, 2}, 3);
+  const Realization a = adversarial_realization(inst, p);
+  const Realization b = thm1_realization(inst, p);
+  EXPECT_EQ(a.actual, b.actual);
+}
+
+TEST(GenericAdversary, EverywherePlacementCannotDiscriminate) {
+  const Instance inst = inst_for_noise();
+  const Placement p = Placement::everywhere(inst.num_tasks(), 4);
+  const Realization r = adversarial_realization(inst, p);
+  // One group only: everything inflated.
+  for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+    EXPECT_DOUBLE_EQ(r[j], inst.estimate(j) * inst.alpha());
+  }
+}
+
+TEST(GenericAdversary, GroupPlacementInflatesLoadedGroup) {
+  Instance inst = Instance::from_estimates({5.0, 5.0, 1.0}, 4, 2.0);
+  // Group 0 gets the heavy tasks, group 1 the light one.
+  const Placement p = Placement::in_groups({0, 0, 1}, 2, 4);
+  const Realization r = adversarial_realization(inst, p);
+  EXPECT_DOUBLE_EQ(r[0], 10.0);
+  EXPECT_DOUBLE_EQ(r[1], 10.0);
+  EXPECT_DOUBLE_EQ(r[2], 0.5);
+}
+
+TEST(AssignmentAdversary, InflatesCriticalMachine) {
+  Instance inst = Instance::from_estimates({4.0, 3.0, 2.0}, 2, 2.0);
+  Assignment a(3);
+  a.machine_of = {0, 1, 1};  // loads: 4 vs 5 -> machine 1 critical
+  const Realization r = adversarial_realization(inst, a);
+  EXPECT_DOUBLE_EQ(r[0], 2.0);
+  EXPECT_DOUBLE_EQ(r[1], 6.0);
+  EXPECT_DOUBLE_EQ(r[2], 4.0);
+}
+
+TEST(ExhaustiveAdversary, FindsAtLeastTheHeuristicRatio) {
+  WorkloadParams params;
+  params.num_tasks = 8;
+  params.num_machines = 2;
+  params.alpha = 2.0;
+  params.seed = 21;
+  const Instance inst = uniform_workload(params, 1.0, 5.0);
+  const GreedyScheduleResult lpt = lpt_schedule(inst.estimates(), 2);
+
+  const ExhaustiveAdversaryResult ex =
+      exhaustive_two_point_adversary(inst, lpt.assignment);
+  EXPECT_TRUE(respects_uncertainty(inst, ex.realization));
+
+  // The heuristic adversary move is one of the 2^n candidates, so the
+  // exhaustive search returns a ratio at least as large.
+  const Realization heuristic = adversarial_realization(inst, lpt.assignment);
+  const Time algo = makespan(lpt.assignment, heuristic, 2);
+  const BnbResult opt = branch_and_bound_cmax(heuristic.actual, 2);
+  ASSERT_TRUE(opt.proven);
+  EXPECT_GE(ex.ratio + 1e-9, algo / opt.best);
+  EXPECT_GE(ex.ratio, 1.0);
+}
+
+TEST(ExhaustiveAdversary, GuardsAgainstLargeInstances) {
+  const Instance inst = inst_for_noise();
+  Assignment a(inst.num_tasks());
+  EXPECT_THROW((void)exhaustive_two_point_adversary(inst, a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rdp

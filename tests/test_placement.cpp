@@ -1,0 +1,131 @@
+// Unit tests for core/placement.hpp and core/validate.hpp placement checks.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/instance.hpp"
+#include "core/placement.hpp"
+#include "core/validate.hpp"
+
+namespace rdp {
+namespace {
+
+TEST(Placement, SingletonBasics) {
+  const Placement p = Placement::singleton({0, 2, 1}, 3);
+  EXPECT_EQ(p.num_tasks(), 3u);
+  EXPECT_EQ(p.num_machines(), 3u);
+  EXPECT_EQ(p.replication_degree(0), 1u);
+  EXPECT_EQ(p.max_replication_degree(), 1u);
+  EXPECT_TRUE(p.allows(1, 2));
+  EXPECT_FALSE(p.allows(1, 0));
+  EXPECT_EQ(p.total_replicas(), 3u);
+}
+
+TEST(Placement, EverywhereBasics) {
+  const Placement p = Placement::everywhere(4, 3);
+  EXPECT_EQ(p.num_tasks(), 4u);
+  EXPECT_EQ(p.max_replication_degree(), 3u);
+  for (TaskId j = 0; j < 4; ++j) {
+    for (MachineId i = 0; i < 3; ++i) EXPECT_TRUE(p.allows(j, i));
+  }
+  EXPECT_EQ(p.total_replicas(), 12u);
+}
+
+TEST(Placement, GroupsPartitionMachines) {
+  // m=6, k=2 (the paper's Figure 2 configuration): group 0 = {0,1,2},
+  // group 1 = {3,4,5}.
+  const Placement p = Placement::in_groups({0, 1, 0}, 2, 6);
+  EXPECT_EQ(p.machines_for(0), (std::vector<MachineId>{0, 1, 2}));
+  EXPECT_EQ(p.machines_for(1), (std::vector<MachineId>{3, 4, 5}));
+  EXPECT_EQ(p.machines_for(2), (std::vector<MachineId>{0, 1, 2}));
+  EXPECT_EQ(p.max_replication_degree(), 3u);
+}
+
+TEST(Placement, GroupsRequireKDividesM) {
+  EXPECT_THROW(Placement::in_groups({0}, 4, 6), std::invalid_argument);
+  EXPECT_THROW(Placement::in_groups({0}, 0, 6), std::invalid_argument);
+}
+
+TEST(Placement, GroupIdOutOfRangeRejected) {
+  EXPECT_THROW(Placement::in_groups({2}, 2, 6), std::invalid_argument);
+}
+
+TEST(Placement, EmptySetRejected) {
+  std::vector<std::vector<MachineId>> sets = {{}};
+  EXPECT_THROW(Placement(std::move(sets), 2), std::invalid_argument);
+}
+
+TEST(Placement, MachineOutOfRangeRejected) {
+  std::vector<std::vector<MachineId>> sets = {{5}};
+  EXPECT_THROW(Placement(std::move(sets), 2), std::invalid_argument);
+}
+
+TEST(Placement, SetsAreSortedAndDeduplicated) {
+  std::vector<std::vector<MachineId>> sets = {{2, 0, 2, 1, 0}};
+  const Placement p(std::move(sets), 3);
+  EXPECT_EQ(p.machines_for(0), (std::vector<MachineId>{0, 1, 2}));
+  EXPECT_EQ(p.replication_degree(0), 3u);
+}
+
+TEST(Placement, TasksPerMachineInverts) {
+  const Placement p = Placement::in_groups({0, 1}, 2, 4);
+  const auto per_machine = p.tasks_per_machine();
+  ASSERT_EQ(per_machine.size(), 4u);
+  EXPECT_EQ(per_machine[0], (std::vector<TaskId>{0}));
+  EXPECT_EQ(per_machine[1], (std::vector<TaskId>{0}));
+  EXPECT_EQ(per_machine[2], (std::vector<TaskId>{1}));
+  EXPECT_EQ(per_machine[3], (std::vector<TaskId>{1}));
+}
+
+TEST(PlacementValidation, AcceptsMatching) {
+  Instance inst = Instance::from_estimates({1.0, 2.0}, 4, 1.5);
+  const Placement p = Placement::everywhere(2, 4);
+  EXPECT_EQ(check_placement(inst, p), "");
+}
+
+TEST(PlacementValidation, RejectsTaskCountMismatch) {
+  Instance inst = Instance::from_estimates({1.0, 2.0, 3.0}, 4, 1.5);
+  const Placement p = Placement::everywhere(2, 4);
+  EXPECT_NE(check_placement(inst, p), "");
+}
+
+TEST(PlacementValidation, RejectsMachineCountMismatch) {
+  Instance inst = Instance::from_estimates({1.0}, 4, 1.5);
+  const Placement p = Placement::everywhere(1, 3);
+  EXPECT_NE(check_placement(inst, p), "");
+}
+
+TEST(PlacementValidation, ThrowHelperFires) {
+  EXPECT_THROW(throw_if_invalid("broken"), std::invalid_argument);
+  EXPECT_NO_THROW(throw_if_invalid(""));
+}
+
+// Property sweep: group placements always produce equal-size groups that
+// partition the machines.
+class GroupPartitionProperty : public ::testing::TestWithParam<MachineId> {};
+
+TEST_P(GroupPartitionProperty, GroupsPartition) {
+  const MachineId k = GetParam();
+  const MachineId m = 12;
+  ASSERT_EQ(m % k, 0u);
+  std::vector<MachineId> group_of;
+  for (TaskId j = 0; j < 30; ++j) group_of.push_back(j % k);
+  const Placement p = Placement::in_groups(group_of, k, m);
+  // Every replica set has exactly m/k machines and sets of different
+  // groups are disjoint.
+  for (TaskId j = 0; j < 30; ++j) {
+    EXPECT_EQ(p.replication_degree(j), static_cast<std::size_t>(m / k));
+  }
+  for (TaskId a = 0; a < 30; ++a) {
+    for (TaskId b = a + 1; b < 30; ++b) {
+      const bool same_group = group_of[a] == group_of[b];
+      EXPECT_EQ(p.machines_for(a) == p.machines_for(b), same_group);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDivisors, GroupPartitionProperty,
+                         ::testing::Values(1, 2, 3, 4, 6, 12));
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,64 @@
+// Tests for the named workload profiles.
+#include <gtest/gtest.h>
+
+#include "core/realization.hpp"
+#include "stats/descriptive.hpp"
+#include "workload/profiles.hpp"
+
+namespace rdp {
+namespace {
+
+TEST(Profiles, BuiltinsExistAndAreDistinct) {
+  const auto& profiles = builtin_profiles();
+  ASSERT_GE(profiles.size(), 5u);
+  for (const WorkloadProfile& p : profiles) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_FALSE(p.description.empty());
+    EXPECT_GE(p.alpha, 1.0);
+    EXPECT_NE(p.build, nullptr);
+  }
+}
+
+TEST(Profiles, LookupByName) {
+  EXPECT_EQ(profile_by_name("web-requests").name, "web-requests");
+  EXPECT_THROW((void)profile_by_name("nope"), std::invalid_argument);
+}
+
+TEST(Profiles, EveryProfileBuildsAndRealizes) {
+  for (const WorkloadProfile& p : builtin_profiles()) {
+    const ProfiledWorkload w = make_profiled_workload(p.name, 24, 4, 3);
+    EXPECT_EQ(w.instance.num_tasks(), 24u) << p.name;
+    EXPECT_EQ(w.instance.num_machines(), 4u) << p.name;
+    EXPECT_DOUBLE_EQ(w.instance.alpha(), p.alpha) << p.name;
+    EXPECT_TRUE(respects_uncertainty(w.instance, w.actual)) << p.name;
+  }
+}
+
+TEST(Profiles, ShapesMatchTheirStories) {
+  // Out-of-core blocks are heavy-tailed; web requests are lognormal-ish
+  // (max/median moderate); batch analytics is tightly uniform.
+  const ProfiledWorkload ooc = make_profiled_workload("out-of-core-solver", 256, 4, 7);
+  const Summary ooc_summary = summarize(ooc.instance.estimates());
+  EXPECT_GT(ooc_summary.max / ooc_summary.p50, 1.2);
+
+  const ProfiledWorkload batch = make_profiled_workload("batch-analytics", 256, 4, 7);
+  const Summary batch_summary = summarize(batch.instance.estimates());
+  EXPECT_LT(batch_summary.max / batch_summary.p50, 2.0);
+
+  const ProfiledWorkload mr =
+      make_profiled_workload("mapreduce-stragglers", 256, 4, 7);
+  const Summary mr_summary = summarize(mr.instance.estimates());
+  EXPECT_GT(mr_summary.max / mr_summary.p50, 3.0);  // bimodal long tasks
+}
+
+TEST(Profiles, DeterministicInSeed) {
+  const ProfiledWorkload a = make_profiled_workload("ml-training", 30, 3, 11);
+  const ProfiledWorkload b = make_profiled_workload("ml-training", 30, 3, 11);
+  for (TaskId j = 0; j < 30; ++j) {
+    EXPECT_DOUBLE_EQ(a.instance.estimate(j), b.instance.estimate(j));
+    EXPECT_DOUBLE_EQ(a.actual[j], b.actual[j]);
+  }
+}
+
+}  // namespace
+}  // namespace rdp

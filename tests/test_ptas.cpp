@@ -1,0 +1,136 @@
+// Tests for the Hochbaum-Shmoys dual-approximation scheme.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/lpt.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "exact/ptas.hpp"
+#include "rng/distributions.hpp"
+#include "rng/rng.hpp"
+
+namespace rdp {
+namespace {
+
+Time assignment_makespan(const Assignment& a, std::span<const Time> p, MachineId m) {
+  std::vector<Time> loads(m, 0);
+  for (TaskId j = 0; j < p.size(); ++j) loads[a[j]] += p[j];
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+TEST(Ptas, EmptyAndTrivialInstances) {
+  const std::vector<Time> empty;
+  const PtasResult r = ptas_cmax(empty, 3);
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+
+  const std::vector<Time> one = {5.0};
+  const PtasResult r1 = ptas_cmax(one, 3);
+  EXPECT_DOUBLE_EQ(r1.makespan, 5.0);
+}
+
+TEST(Ptas, ParameterValidation) {
+  const std::vector<Time> p = {1.0};
+  EXPECT_THROW((void)ptas_cmax(p, 0, 3), std::invalid_argument);
+  EXPECT_THROW((void)ptas_cmax(p, 2, 1), std::invalid_argument);
+}
+
+TEST(Ptas, BeatsLptOnItsWorstCase) {
+  // Graham's LPT worst case for m=2: {3,3,2,2,2}; LPT = 7, OPT = 6.
+  const std::vector<Time> p = {3.0, 3.0, 2.0, 2.0, 2.0};
+  const PtasResult r = ptas_cmax(p, 2, 4);
+  EXPECT_TRUE(r.exact_decision);
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+  EXPECT_DOUBLE_EQ(assignment_makespan(r.assignment, p, 2), 6.0);
+}
+
+TEST(Ptas, AssignmentConsistentWithReportedMakespan) {
+  Xoshiro256 rng(5);
+  std::vector<Time> p;
+  for (int i = 0; i < 20; ++i) p.push_back(sample_uniform(rng, 0.5, 10.0));
+  const PtasResult r = ptas_cmax(p, 4, 3);
+  EXPECT_NEAR(assignment_makespan(r.assignment, p, 4), r.makespan, 1e-9);
+}
+
+TEST(Ptas, GuaranteeFieldBoundsTheTrueRatio) {
+  Xoshiro256 rng(7);
+  std::vector<Time> p;
+  for (int i = 0; i < 14; ++i) p.push_back(sample_uniform(rng, 0.5, 10.0));
+  const PtasResult r = ptas_cmax(p, 3, 3);
+  const BnbResult opt = branch_and_bound_cmax(p, 3);
+  ASSERT_TRUE(opt.proven);
+  EXPECT_LE(r.makespan / opt.best, r.guarantee + 1e-9);
+}
+
+// Property: for k in {2,3,4}, the scheme is within 1 + 1/k of the exact
+// optimum (modulo binary-search slack, which the guarantee field absorbs)
+// and never worse than LPT.
+struct PtasCase {
+  std::uint64_t seed;
+  std::size_t n;
+  MachineId m;
+  unsigned k;
+};
+
+class PtasGuarantee : public ::testing::TestWithParam<PtasCase> {};
+
+TEST_P(PtasGuarantee, WithinOnePlusOneOverK) {
+  const auto [seed, n, m, k] = GetParam();
+  Xoshiro256 rng(seed);
+  std::vector<Time> p;
+  for (std::size_t i = 0; i < n; ++i) p.push_back(sample_uniform(rng, 0.5, 10.0));
+
+  const PtasResult r = ptas_cmax(p, m, k);
+  ASSERT_TRUE(r.exact_decision);
+
+  const BnbResult opt = branch_and_bound_cmax(p, m);
+  ASSERT_TRUE(opt.proven);
+  const double bound = 1.0 + 1.0 / static_cast<double>(k) + 1e-6;
+  EXPECT_LE(r.makespan, bound * opt.best) << "k=" << k;
+  EXPECT_LE(r.makespan, lpt_schedule(p, m).makespan + 1e-9);
+  EXPECT_GE(r.makespan, opt.best - 1e-9);
+}
+
+std::vector<PtasCase> ptas_grid() {
+  std::vector<PtasCase> cases;
+  std::uint64_t seed = 11;
+  for (unsigned k : {2u, 3u, 4u}) {
+    for (MachineId m : {2u, 3u, 4u}) {
+      cases.push_back({seed++, 12, m, k});
+      cases.push_back({seed++, 18, m, k});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PtasGuarantee, ::testing::ValuesIn(ptas_grid()));
+
+TEST(Ptas, TightBudgetFallsBackToMultifit) {
+  Xoshiro256 rng(9);
+  std::vector<Time> p;
+  for (int i = 0; i < 24; ++i) p.push_back(sample_uniform(rng, 0.5, 10.0));
+  const PtasResult r = ptas_cmax(p, 4, 4, /*state_budget=*/0);
+  EXPECT_FALSE(r.exact_decision);
+  EXPECT_DOUBLE_EQ(r.guarantee, 13.0 / 11.0);
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_NEAR(assignment_makespan(r.assignment, p, 4), r.makespan, 1e-9);
+}
+
+TEST(Ptas, HigherPrecisionNeverWorse) {
+  Xoshiro256 rng(13);
+  std::vector<Time> p;
+  for (int i = 0; i < 16; ++i) p.push_back(sample_uniform(rng, 1.0, 8.0));
+  const PtasResult coarse = ptas_cmax(p, 3, 2);
+  const PtasResult fine = ptas_cmax(p, 3, 5);
+  ASSERT_TRUE(coarse.exact_decision && fine.exact_decision);
+  EXPECT_LE(fine.makespan, coarse.makespan + 1e-9);
+}
+
+TEST(Ptas, UnitTasksSolvedExactly) {
+  const std::vector<Time> p(12, 1.0);
+  const PtasResult r = ptas_cmax(p, 4, 3);
+  EXPECT_DOUBLE_EQ(r.makespan, 3.0);
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,195 @@
+// Unit and statistical tests for the deterministic RNG and distributions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/rng.hpp"
+
+namespace rdp {
+namespace {
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  SplitMix64 a(42), b(42), c(43);
+  const auto x = a.next();
+  EXPECT_EQ(x, b.next());
+  EXPECT_NE(x, c.next());
+}
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro, DoublesInUnitInterval) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro, NextBelowRespectsBound) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro, NextBelowCoversAllResidues) {
+  Xoshiro256 rng(1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Xoshiro, JumpProducesIndependentStream) {
+  Xoshiro256 a(9);
+  Xoshiro256 jumped = a.split(0);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == jumped.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro, SplitIndicesAreDistinct) {
+  const Xoshiro256 base(9);
+  Xoshiro256 s0 = base.split(0);
+  Xoshiro256 s1 = base.split(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (s0.next() == s1.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Distributions, UniformRangeAndMean) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = sample_uniform(rng, 2.0, 4.0);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LT(x, 4.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Distributions, UniformRejectsInvertedRange) {
+  Xoshiro256 rng(3);
+  EXPECT_THROW(sample_uniform(rng, 4.0, 2.0), std::invalid_argument);
+}
+
+TEST(Distributions, LogUniformSymmetricInLogSpace) {
+  Xoshiro256 rng(3);
+  double log_sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = sample_log_uniform(rng, 0.5, 2.0);
+    ASSERT_GE(x, 0.5);
+    ASSERT_LE(x, 2.0);
+    log_sum += std::log(x);
+  }
+  EXPECT_NEAR(log_sum / n, 0.0, 0.02);  // symmetric around 1
+}
+
+TEST(Distributions, NormalMomentsMatch) {
+  Xoshiro256 rng(5);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = sample_normal(rng, 10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Distributions, ParetoAboveScale) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(sample_pareto(rng, 2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Distributions, ParetoMeanMatchesClosedForm) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  const int n = 200000;
+  const double shape = 3.0, xm = 1.0;
+  for (int i = 0; i < n; ++i) sum += sample_pareto(rng, xm, shape);
+  EXPECT_NEAR(sum / n, shape * xm / (shape - 1.0), 0.02);  // = 1.5
+}
+
+TEST(Distributions, BetaInUnitIntervalAndMeanMatches) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = sample_beta(rng, 2.0, 6.0);
+    ASSERT_GT(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);  // a/(a+b)
+}
+
+TEST(Distributions, GammaMeanMatchesShape) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += sample_gamma(rng, 2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Distributions, GammaSmallShapeStillPositive) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(sample_gamma(rng, 0.3), 0.0);
+  }
+}
+
+TEST(Distributions, ZipfZeroExponentIsUniform) {
+  Xoshiro256 rng(6);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[sample_zipf(rng, 4, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c, n / 4, n / 40);
+}
+
+TEST(Distributions, ZipfSkewsTowardLowRanks) {
+  Xoshiro256 rng(6);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[sample_zipf(rng, 8, 1.5)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[3]);
+  EXPECT_GT(counts[3], counts[7]);
+}
+
+TEST(Distributions, ShuffleIsPermutationAndDeterministic) {
+  std::vector<int> v1 = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> v2 = v1;
+  Xoshiro256 a(11), b(11);
+  shuffle(a, v1);
+  shuffle(b, v2);
+  EXPECT_EQ(v1, v2);
+  std::sort(v2.begin(), v2.end());
+  EXPECT_EQ(v2, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,65 @@
+// Tests for schedule diagnostics (utilization, idle time, dispersion).
+#include <gtest/gtest.h>
+
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "core/schedule.hpp"
+#include "stats/schedule_stats.hpp"
+
+namespace rdp {
+namespace {
+
+Schedule schedule_of(const Instance& inst, const std::vector<MachineId>& machines) {
+  Assignment a(inst.num_tasks());
+  a.machine_of = machines;
+  return sequence_assignment(a, exact_realization(inst), inst.num_machines());
+}
+
+TEST(ScheduleStats, PerfectlyBalancedSchedule) {
+  Instance inst = Instance::from_estimates({2.0, 2.0}, 2, 1.0);
+  const ScheduleStats s = compute_schedule_stats(inst, schedule_of(inst, {0, 1}));
+  EXPECT_DOUBLE_EQ(s.makespan, 2.0);
+  EXPECT_DOUBLE_EQ(s.total_busy, 4.0);
+  EXPECT_DOUBLE_EQ(s.total_idle, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(s.min_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(s.load_cv, 0.0);
+}
+
+TEST(ScheduleStats, ImbalancedScheduleShowsIdle) {
+  Instance inst = Instance::from_estimates({4.0, 1.0}, 2, 1.0);
+  const ScheduleStats s = compute_schedule_stats(inst, schedule_of(inst, {0, 1}));
+  EXPECT_DOUBLE_EQ(s.makespan, 4.0);
+  EXPECT_DOUBLE_EQ(s.total_idle, 3.0);        // machine 1 idles 3 of 4
+  EXPECT_DOUBLE_EQ(s.mean_utilization, 5.0 / 8.0);
+  EXPECT_DOUBLE_EQ(s.min_utilization, 0.25);
+  EXPECT_GT(s.load_cv, 0.0);
+}
+
+TEST(ScheduleStats, EmptyScheduleIsZero) {
+  Instance inst({}, 3, 1.0);
+  Schedule empty;
+  const ScheduleStats s = compute_schedule_stats(inst, empty);
+  EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_utilization, 0.0);
+  EXPECT_EQ(s.loads.size(), 3u);
+}
+
+TEST(ScheduleStats, LoadsSumToBusyTime) {
+  Instance inst = Instance::from_estimates({3.0, 2.0, 1.0, 4.0}, 2, 1.0);
+  const ScheduleStats s =
+      compute_schedule_stats(inst, schedule_of(inst, {0, 1, 0, 1}));
+  EXPECT_DOUBLE_EQ(s.loads[0] + s.loads[1], s.total_busy);
+  EXPECT_DOUBLE_EQ(s.total_busy, 10.0);
+}
+
+TEST(ScheduleStats, RenderingMentionsUtilization) {
+  Instance inst = Instance::from_estimates({1.0}, 1, 1.0);
+  const ScheduleStats s = compute_schedule_stats(inst, schedule_of(inst, {0}));
+  const std::string text = to_string(s);
+  EXPECT_NE(text.find("util="), std::string::npos);
+  EXPECT_NE(text.find("cv="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,233 @@
+// Tests for the DES core (EventQueue/Simulator), MachinePool, and the
+// online semi-clairvoyant dispatcher.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algo/dispatch_policies.hpp"
+#include "algo/lpt.hpp"
+#include "core/instance.hpp"
+#include "core/metrics.hpp"
+#include "core/placement.hpp"
+#include "core/realization.hpp"
+#include "core/validate.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/machine_pool.hpp"
+#include "sim/online_dispatcher.hpp"
+#include "sim/trace.hpp"
+
+namespace rdp {
+namespace {
+
+TEST(EventQueue, OrdersByTimeThenFifo) {
+  EventQueue<int> q;
+  q.push(2.0, 10);
+  q.push(1.0, 20);
+  q.push(1.0, 30);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().payload, 20);
+  EXPECT_EQ(q.pop().payload, 30);  // FIFO among equal times
+  EXPECT_EQ(q.pop().payload, 10);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulator, RunsEventsInOrderAndAdvancesClock) {
+  Simulator sim;
+  std::string log;
+  sim.schedule_at(5.0, [&](Simulator& s) {
+    log += "b";
+    EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  });
+  sim.schedule_at(1.0, [&](Simulator& s) {
+    log += "a";
+    s.schedule_in(1.5, [&](Simulator&) { log += "c"; });
+  });
+  const Time end = sim.run();
+  EXPECT_EQ(log, "acb");
+  EXPECT_DOUBLE_EQ(end, 5.0);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, RejectsSchedulingInThePast) {
+  Simulator sim;
+  sim.schedule_at(2.0, [](Simulator& s) {
+    EXPECT_THROW(s.schedule_at(1.0, [](Simulator&) {}), std::invalid_argument);
+  });
+  sim.run();
+}
+
+TEST(MachinePool, NextIdlePrefersEarliestThenLowestId) {
+  MachinePool pool(std::vector<Time>{3.0, 1.0, 1.0});
+  EXPECT_EQ(pool.next_idle(), MachineId{1});
+  pool.occupy(1, 5.0);  // busy until 6
+  EXPECT_EQ(pool.next_idle(), MachineId{2});
+}
+
+TEST(MachinePool, OccupyReturnsInterval) {
+  MachinePool pool(2);
+  const auto [s, f] = pool.occupy(0, 2.5);
+  EXPECT_DOUBLE_EQ(s, 0.0);
+  EXPECT_DOUBLE_EQ(f, 2.5);
+  const auto [s2, f2] = pool.occupy(0, 1.0);
+  EXPECT_DOUBLE_EQ(s2, 2.5);
+  EXPECT_DOUBLE_EQ(f2, 3.5);
+}
+
+TEST(MachinePool, RetiredMachinesAreSkipped) {
+  MachinePool pool(2);
+  pool.retire(0);
+  EXPECT_EQ(pool.next_idle(), MachineId{1});
+  pool.retire(1);
+  EXPECT_FALSE(pool.next_idle().has_value());
+  EXPECT_THROW(pool.occupy(0, 1.0), std::invalid_argument);
+}
+
+TEST(MachinePool, NegativeInputsRejected) {
+  EXPECT_THROW(MachinePool(std::vector<Time>{-1.0}), std::invalid_argument);
+  MachinePool pool(1);
+  EXPECT_THROW(pool.occupy(0, -1.0), std::invalid_argument);
+  EXPECT_THROW(pool.occupy(9, 1.0), std::out_of_range);
+}
+
+Instance five_tasks(MachineId m, double alpha = 1.5) {
+  return Instance::from_estimates({5.0, 4.0, 3.0, 2.0, 1.0}, m, alpha);
+}
+
+TEST(Dispatcher, SingletonPlacementIsStatic) {
+  const Instance inst = five_tasks(2);
+  const Placement p = Placement::singleton({0, 1, 0, 1, 0}, 2);
+  const Realization r = exact_realization(inst);
+  const DispatchResult d =
+      dispatch_online(inst, p, r, make_priority(inst, PriorityRule::kInputOrder));
+  EXPECT_EQ(check_assignment(inst, p, d.schedule.assignment), "");
+  EXPECT_EQ(check_schedule(inst, r, d.schedule, /*require_no_idle=*/true), "");
+  EXPECT_DOUBLE_EQ(d.schedule.makespan(), 9.0);  // 5+3+1 on machine 0
+}
+
+TEST(Dispatcher, EverywherePlacementMatchesOnlineLptLoads) {
+  // With exact realization, online LPT dispatch over full replication
+  // produces the same machine loads as offline LPT.
+  const Instance inst = five_tasks(3);
+  const Placement p = Placement::everywhere(5, 3);
+  const Realization r = exact_realization(inst);
+  const DispatchResult d = dispatch_online(
+      inst, p, r, make_priority(inst, PriorityRule::kLongestEstimateFirst));
+  const GreedyScheduleResult offline = lpt_schedule(inst.estimates(), 3);
+  EXPECT_DOUBLE_EQ(d.schedule.makespan(), offline.makespan);
+}
+
+TEST(Dispatcher, GroupPlacementKeepsTasksInTheirGroup) {
+  const Instance inst = five_tasks(4);
+  const Placement p = Placement::in_groups({0, 1, 0, 1, 0}, 2, 4);
+  const Realization r = exact_realization(inst);
+  const DispatchResult d =
+      dispatch_online(inst, p, r, make_priority(inst, PriorityRule::kInputOrder));
+  EXPECT_EQ(check_assignment(inst, p, d.schedule.assignment), "");
+  // Tasks 0,2,4 only on machines {0,1}; tasks 1,3 only on {2,3}.
+  EXPECT_LT(d.schedule.assignment[0], 2u);
+  EXPECT_GE(d.schedule.assignment[1], 2u);
+}
+
+TEST(Dispatcher, ReactsToActualTimesNotEstimates) {
+  // Two machines, both idle at 0. Task 0 (estimate 10) runs on m0, task 1
+  // (estimate 9) on m1. Task 2 should go to whichever finishes first --
+  // under the realization, m1's task is slow, so m0 takes task 2.
+  Instance inst = Instance::from_estimates({10.0, 9.0, 1.0}, 2, 2.0);
+  const Placement p = Placement::everywhere(3, 2);
+  Realization r{{5.0, 18.0, 1.0}};
+  ASSERT_TRUE(respects_uncertainty(inst, r));
+  const DispatchResult d = dispatch_online(
+      inst, p, r, make_priority(inst, PriorityRule::kLongestEstimateFirst));
+  EXPECT_EQ(d.schedule.assignment[0], 0u);
+  EXPECT_EQ(d.schedule.assignment[1], 1u);
+  EXPECT_EQ(d.schedule.assignment[2], 0u);  // m0 idle at 5 < m1 at 18
+  EXPECT_DOUBLE_EQ(d.schedule.start[2], 5.0);
+}
+
+TEST(Dispatcher, InitialReadyDelaysDispatch) {
+  Instance inst = Instance::from_estimates({1.0}, 2, 1.0);
+  const Placement p = Placement::everywhere(1, 2);
+  const Realization r = exact_realization(inst);
+  const DispatchResult d =
+      dispatch_online(inst, p, r, {0}, std::vector<Time>{4.0, 7.0});
+  EXPECT_EQ(d.schedule.assignment[0], 0u);
+  EXPECT_DOUBLE_EQ(d.schedule.start[0], 4.0);
+}
+
+TEST(Dispatcher, TraceRecordsEveryDispatch) {
+  const Instance inst = five_tasks(2);
+  const Placement p = Placement::everywhere(5, 2);
+  const Realization r = exact_realization(inst);
+  const DispatchResult d = dispatch_online(
+      inst, p, r, make_priority(inst, PriorityRule::kLongestEstimateFirst));
+  EXPECT_EQ(d.trace.size(), 5u);
+  // First two dispatches happen at time 0 on machines 0 and 1.
+  EXPECT_DOUBLE_EQ(d.trace.events[0].when, 0.0);
+  EXPECT_DOUBLE_EQ(d.trace.events[1].when, 0.0);
+  const std::string text = render_trace(d.trace);
+  EXPECT_NE(text.find("task 0"), std::string::npos);
+}
+
+TEST(Dispatcher, RejectsMachineCountMismatch) {
+  // A placement built for more machines than the instance has would
+  // otherwise index out of the dispatcher's per-machine tables.
+  const Instance inst = five_tasks(2);
+  const Placement wide = Placement::everywhere(5, 4);
+  const Realization r = exact_realization(inst);
+  EXPECT_THROW((void)dispatch_online(inst, wide, r,
+                                     make_priority(inst, PriorityRule::kInputOrder)),
+               std::invalid_argument);
+}
+
+TEST(Dispatcher, RejectsBadPriority) {
+  const Instance inst = five_tasks(2);
+  const Placement p = Placement::everywhere(5, 2);
+  const Realization r = exact_realization(inst);
+  EXPECT_THROW((void)dispatch_online(inst, p, r, {0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW((void)dispatch_online(inst, p, r, {0, 0, 1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(Dispatcher, GanttRendersOneRowPerMachine) {
+  const Instance inst = five_tasks(3);
+  const Placement p = Placement::everywhere(5, 3);
+  const Realization r = exact_realization(inst);
+  const DispatchResult d = dispatch_online(
+      inst, p, r, make_priority(inst, PriorityRule::kLongestEstimateFirst));
+  const std::string gantt = render_gantt(inst, d.schedule, 40);
+  EXPECT_NE(gantt.find("m0 |"), std::string::npos);
+  EXPECT_NE(gantt.find("m2 |"), std::string::npos);
+}
+
+// Property: for every placement shape, the dispatched schedule is feasible
+// (assignment within M_j, no overlap, no idling) and its makespan equals
+// the analytic max machine load.
+class DispatcherFeasibility : public ::testing::TestWithParam<int> {};
+
+TEST_P(DispatcherFeasibility, ScheduleFeasibleAndLoadConsistent) {
+  const int shape = GetParam();
+  const Instance inst = Instance::from_estimates(
+      {9.0, 7.0, 5.0, 5.0, 4.0, 3.0, 3.0, 2.0, 1.0, 1.0, 1.0, 0.5}, 4, 2.0);
+  Placement p = [&] {
+    switch (shape) {
+      case 0: return Placement::singleton({0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3}, 4);
+      case 1: return Placement::everywhere(12, 4);
+      default: return Placement::in_groups({0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1}, 2, 4);
+    }
+  }();
+  Realization r{{18.0, 3.5, 10.0, 2.5, 8.0, 1.5, 6.0, 1.0, 2.0, 0.5, 0.5, 1.0}};
+  ASSERT_TRUE(respects_uncertainty(inst, r));
+  const DispatchResult d = dispatch_online(
+      inst, p, r, make_priority(inst, PriorityRule::kLongestEstimateFirst));
+  EXPECT_EQ(check_assignment(inst, p, d.schedule.assignment), "");
+  EXPECT_EQ(check_schedule(inst, r, d.schedule, /*require_no_idle=*/true), "");
+  EXPECT_DOUBLE_EQ(d.schedule.makespan(),
+                   makespan(d.schedule.assignment, r, inst.num_machines()));
+}
+
+INSTANTIATE_TEST_SUITE_P(PlacementShapes, DispatcherFeasibility,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace rdp

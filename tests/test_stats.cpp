@@ -1,0 +1,127 @@
+// Tests for the statistics substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/welford.hpp"
+
+namespace rdp {
+namespace {
+
+TEST(Welford, EmptyIsZero) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+}
+
+TEST(Welford, MeanAndVarianceMatchClosedForm) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+}
+
+TEST(Welford, SingleSampleVarianceZero) {
+  Welford w;
+  w.add(3.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+}
+
+TEST(Welford, NumericallyStableWithLargeOffset) {
+  Welford w;
+  const double offset = 1e12;
+  for (double x : {1.0, 2.0, 3.0}) w.add(offset + x);
+  EXPECT_NEAR(w.variance(), 1.0, 1e-3);
+}
+
+TEST(Welford, MergeEqualsSequential) {
+  Welford all, a, b;
+  const std::vector<double> xs = {1.0, 7.0, 3.0, 9.0, 2.0, 8.0};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    all.add(xs[i]);
+    (i < 3 ? a : b).add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Welford, MergeWithEmptyIsNoop) {
+  Welford a, empty;
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  Welford b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(Percentile, ExactOnSortedSample) {
+  const std::vector<double> s = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(s, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(s, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(s, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(s, 0.25), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  const std::vector<double> s = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(s, 0.75), 7.5);
+}
+
+TEST(Percentile, RejectsBadQuantile) {
+  const std::vector<double> s = {1.0};
+  EXPECT_THROW((void)percentile_sorted(s, 1.5), std::invalid_argument);
+}
+
+TEST(Summarize, FullSummary) {
+  std::vector<double> s;
+  for (int i = 1; i <= 100; ++i) s.push_back(static_cast<double>(i));
+  const Summary sum = summarize(s);
+  EXPECT_EQ(sum.count, 100u);
+  EXPECT_DOUBLE_EQ(sum.mean, 50.5);
+  EXPECT_DOUBLE_EQ(sum.min, 1.0);
+  EXPECT_DOUBLE_EQ(sum.max, 100.0);
+  EXPECT_NEAR(sum.p50, 50.5, 1e-12);
+  EXPECT_NEAR(sum.p90, 90.1, 1e-9);
+}
+
+TEST(Summarize, EmptySample) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Summarize, ToStringMentionsFields) {
+  const Summary s = summarize(std::vector<double>{1.0, 2.0});
+  const std::string text = to_string(s);
+  EXPECT_NE(text.find("mean="), std::string::npos);
+  EXPECT_NE(text.find("p90="), std::string::npos);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputs) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> constant = {5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson(x, constant), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(x, std::vector<double>{1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,70 @@
+// Tests for the textual strategy factory (CLI surface).
+#include <gtest/gtest.h>
+
+#include "algo/strategy.hpp"
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "workload/generators.hpp"
+
+namespace rdp {
+namespace {
+
+TEST(StrategySpec, PaperStrategies) {
+  EXPECT_EQ(strategy_from_spec("lpt-no-choice").name(), "LPT-NoChoice");
+  EXPECT_EQ(strategy_from_spec("lpt-no-restriction").name(), "LPT-NoRestriction");
+  EXPECT_EQ(strategy_from_spec("ls-no-restriction").name(), "LS-NoRestriction");
+  EXPECT_EQ(strategy_from_spec("ls-group:3").name(), "LS-Group(k=3)");
+  EXPECT_EQ(strategy_from_spec("lpt-group:2").name(), "LPT-Group(k=2)");
+}
+
+TEST(StrategySpec, ExtensionStrategies) {
+  EXPECT_EQ(strategy_from_spec("sliding-window:4").name(), "SlidingWindow(r=4)");
+  EXPECT_EQ(strategy_from_spec("random-subset:2:9").name(), "RandomSubset(r=2)");
+  EXPECT_NE(strategy_from_spec("critical-tasks:0.25").name().find("CriticalTasks"),
+            std::string::npos);
+  EXPECT_NE(strategy_from_spec("memory-budget:30").name().find("MemoryBudget"),
+            std::string::npos);
+  EXPECT_EQ(strategy_from_spec("round-robin").name(), "RoundRobin-NoChoice");
+  EXPECT_EQ(strategy_from_spec("random:5").name(), "Random-NoChoice");
+}
+
+TEST(StrategySpec, DefaultsForOptionalSeeds) {
+  EXPECT_NO_THROW((void)strategy_from_spec("random"));
+  EXPECT_NO_THROW((void)strategy_from_spec("random-subset:2"));
+}
+
+TEST(StrategySpec, RejectsBadSpecs) {
+  EXPECT_THROW((void)strategy_from_spec("nope"), std::invalid_argument);
+  EXPECT_THROW((void)strategy_from_spec("ls-group"), std::invalid_argument);
+  EXPECT_THROW((void)strategy_from_spec("ls-group:"), std::invalid_argument);
+  EXPECT_THROW((void)strategy_from_spec("ls-group:abc"), std::invalid_argument);
+  EXPECT_THROW((void)strategy_from_spec(""), std::invalid_argument);
+}
+
+TEST(StrategySpec, ResolvedStrategiesAreRunnable) {
+  WorkloadParams params;
+  params.num_tasks = 12;
+  params.num_machines = 4;
+  params.alpha = 1.5;
+  params.seed = 2;
+  const Instance inst = uniform_workload(params);
+  const Realization actual = exact_realization(inst);
+  for (const char* spec :
+       {"lpt-no-choice", "lpt-no-restriction", "ls-group:2", "sliding-window:3",
+        "random-subset:2:4", "critical-tasks:0.5", "memory-budget:12",
+        "round-robin"}) {
+    const StrategyResult r = strategy_from_spec(spec).run(inst, actual);
+    EXPECT_GT(r.makespan, 0.0) << spec;
+  }
+}
+
+TEST(StrategySpec, KnownSpecListIsNonEmptyAndResolvable) {
+  const auto specs = known_strategy_specs();
+  EXPECT_GE(specs.size(), 10u);
+  // The parameterless entries must resolve as-is.
+  EXPECT_NO_THROW((void)strategy_from_spec("lpt-no-choice"));
+  EXPECT_NO_THROW((void)strategy_from_spec("round-robin"));
+}
+
+}  // namespace
+}  // namespace rdp

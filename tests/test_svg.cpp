@@ -1,0 +1,101 @@
+// Tests for SVG schedule rendering.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "algo/dispatch_policies.hpp"
+#include "core/instance.hpp"
+#include "core/placement.hpp"
+#include "core/realization.hpp"
+#include "io/svg.hpp"
+#include "sim/online_dispatcher.hpp"
+
+namespace rdp {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0, pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+Schedule make_schedule(const Instance& inst) {
+  const Placement p = Placement::everywhere(inst.num_tasks(), inst.num_machines());
+  const Realization r = exact_realization(inst);
+  return dispatch_online(inst, p, r,
+                         make_priority(inst, PriorityRule::kLongestEstimateFirst))
+      .schedule;
+}
+
+TEST(Svg, WellFormedDocument) {
+  Instance inst = Instance::from_estimates({3.0, 2.0, 1.0}, 2, 1.0);
+  const std::string svg = render_svg(inst, make_schedule(inst));
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);  // starts with <svg
+  EXPECT_NE(svg.find("xmlns"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Balanced rect elements: one per task.
+  EXPECT_EQ(count_occurrences(svg, "<rect"), 3u);
+  // One label line per machine.
+  EXPECT_NE(svg.find(">m0<"), std::string::npos);
+  EXPECT_NE(svg.find(">m1<"), std::string::npos);
+}
+
+TEST(Svg, HollowMaskRendersUnfilledRects) {
+  Instance inst = Instance::from_estimates({3.0, 2.0}, 1, 1.0);
+  SvgOptions options;
+  options.hollow = {true, false};
+  const std::string svg = render_svg(inst, make_schedule(inst), options);
+  EXPECT_EQ(count_occurrences(svg, "fill=\"none\""), 1u);
+}
+
+TEST(Svg, HollowMaskSizeValidated) {
+  Instance inst = Instance::from_estimates({3.0, 2.0}, 1, 1.0);
+  SvgOptions options;
+  options.hollow = {true};  // wrong size
+  EXPECT_THROW((void)render_svg(inst, make_schedule(inst), options),
+               std::invalid_argument);
+}
+
+TEST(Svg, GeometryOptionsValidated) {
+  Instance inst = Instance::from_estimates({1.0}, 1, 1.0);
+  SvgOptions bad;
+  bad.width = 0;
+  EXPECT_THROW((void)render_svg(inst, make_schedule(inst), bad),
+               std::invalid_argument);
+}
+
+TEST(Svg, TaskIdsCanBeDisabled) {
+  Instance inst = Instance::from_estimates({5.0}, 1, 1.0);
+  SvgOptions quiet;
+  quiet.show_task_ids = false;
+  const std::string with_ids = render_svg(inst, make_schedule(inst));
+  const std::string without = render_svg(inst, make_schedule(inst), quiet);
+  EXPECT_GT(with_ids.size(), without.size());
+}
+
+TEST(Svg, SaveWritesFile) {
+  Instance inst = Instance::from_estimates({2.0, 1.0}, 2, 1.0);
+  const std::string path = ::testing::TempDir() + "/rdp_test.svg";
+  save_svg(path, inst, make_schedule(inst));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("</svg>"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Svg, SaveToBadPathThrows) {
+  Instance inst = Instance::from_estimates({1.0}, 1, 1.0);
+  EXPECT_THROW(save_svg("/nonexistent-dir/x.svg", inst, make_schedule(inst)),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,318 @@
+// Empirical validation of the paper's theorems (the library's raison
+// d'etre). For every strategy we verify, over adversarial and stochastic
+// realizations, that the measured competitive ratio never exceeds the
+// theorem's bound -- with the optimum certified *exactly* by branch and
+// bound so a failure would be a genuine counterexample, not a loose
+// denominator.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/strategy.hpp"
+#include "bounds/replication_bounds.hpp"
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "exp/ratio_experiment.hpp"
+#include "perturb/adversary.hpp"
+#include "perturb/stochastic.hpp"
+#include "workload/generators.hpp"
+
+namespace rdp {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+struct TheoremCase {
+  std::size_t n;
+  MachineId m;
+  double alpha;
+  std::uint64_t seed;
+};
+
+std::vector<TheoremCase> theorem_grid() {
+  std::vector<TheoremCase> cases;
+  std::uint64_t seed = 1;
+  for (MachineId m : {2u, 3u, 4u}) {
+    for (double alpha : {1.1, 1.5, 2.0}) {
+      for (std::size_t n : {static_cast<std::size_t>(2 * m),
+                            static_cast<std::size_t>(3 * m + 1)}) {
+        cases.push_back({n, m, alpha, seed++});
+      }
+    }
+  }
+  return cases;
+}
+
+Instance grid_instance(const TheoremCase& c) {
+  WorkloadParams params;
+  params.num_tasks = c.n;
+  params.num_machines = c.m;
+  params.alpha = c.alpha;
+  params.seed = c.seed;
+  return uniform_workload(params, 1.0, 10.0);
+}
+
+double exact_ratio(const TwoPhaseStrategy& strategy, const Instance& inst,
+                   const Realization& actual) {
+  const StrategyResult run = strategy.run(inst, actual);
+  const BnbResult opt = branch_and_bound_cmax(actual.actual, inst.num_machines());
+  EXPECT_TRUE(opt.proven) << "optimum must be exact for a sound theorem check";
+  EXPECT_GT(opt.best, 0.0);
+  return run.makespan / opt.best;
+}
+
+// ---------------------------------------------------------------- Thm 2 --
+
+class Theorem2Property : public ::testing::TestWithParam<TheoremCase> {};
+
+TEST_P(Theorem2Property, LptNoChoiceWithinBound) {
+  const TheoremCase c = GetParam();
+  const Instance inst = grid_instance(c);
+  const double bound = thm2_lpt_no_choice(c.alpha, c.m);
+  const TwoPhaseStrategy strategy = make_lpt_no_choice();
+
+  // Placement-aware adversary (the proof's worst case).
+  const Placement placement = strategy.place(inst);
+  const Realization worst = adversarial_realization(inst, placement);
+  EXPECT_LE(exact_ratio(strategy, inst, worst), bound + kTol);
+
+  // Stochastic realizations.
+  for (std::uint64_t t = 0; t < 3; ++t) {
+    const Realization r = realize(inst, NoiseModel::kUniform, 100 + t);
+    EXPECT_LE(exact_ratio(strategy, inst, r), bound + kTol);
+    const Realization r2 = realize(inst, NoiseModel::kTwoPoint, 200 + t);
+    EXPECT_LE(exact_ratio(strategy, inst, r2), bound + kTol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Theorem2Property, ::testing::ValuesIn(theorem_grid()));
+
+// ---------------------------------------------------------------- Thm 3 --
+
+class Theorem3Property : public ::testing::TestWithParam<TheoremCase> {};
+
+TEST_P(Theorem3Property, LptNoRestrictionWithinBound) {
+  const TheoremCase c = GetParam();
+  const Instance inst = grid_instance(c);
+  const double bound = thm3_lpt_no_restriction(c.alpha, c.m);
+  const TwoPhaseStrategy strategy = make_lpt_no_restriction();
+
+  const Placement placement = strategy.place(inst);
+  const Realization worst = adversarial_realization(inst, placement);
+  EXPECT_LE(exact_ratio(strategy, inst, worst), bound + kTol);
+
+  for (std::uint64_t t = 0; t < 3; ++t) {
+    const Realization r = realize(inst, NoiseModel::kLogUniform, 300 + t);
+    EXPECT_LE(exact_ratio(strategy, inst, r), bound + kTol);
+    const Realization r2 = realize(inst, NoiseModel::kTwoPoint, 400 + t);
+    EXPECT_LE(exact_ratio(strategy, inst, r2), bound + kTol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Theorem3Property, ::testing::ValuesIn(theorem_grid()));
+
+// ---------------------------------------------------------------- Thm 4 --
+
+struct GroupCase {
+  TheoremCase base;
+  MachineId k;
+};
+
+std::vector<GroupCase> group_grid() {
+  std::vector<GroupCase> cases;
+  std::uint64_t seed = 50;
+  for (MachineId m : {4u, 6u}) {
+    for (MachineId k = 1; k <= m; ++k) {
+      if (m % k != 0) continue;
+      for (double alpha : {1.2, 2.0}) {
+        cases.push_back({{2 * m + 1, m, alpha, seed++}, k});
+      }
+    }
+  }
+  return cases;
+}
+
+class Theorem4Property : public ::testing::TestWithParam<GroupCase> {};
+
+TEST_P(Theorem4Property, LsGroupWithinBound) {
+  const GroupCase c = GetParam();
+  const Instance inst = grid_instance(c.base);
+  const double bound = thm4_ls_group(c.base.alpha, c.base.m, c.k);
+  const TwoPhaseStrategy strategy = make_ls_group(c.k);
+
+  const Placement placement = strategy.place(inst);
+  const Realization worst = adversarial_realization(inst, placement);
+  EXPECT_LE(exact_ratio(strategy, inst, worst), bound + kTol);
+
+  for (std::uint64_t t = 0; t < 2; ++t) {
+    const Realization r = realize(inst, NoiseModel::kUniform, 500 + t);
+    EXPECT_LE(exact_ratio(strategy, inst, r), bound + kTol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Theorem4Property, ::testing::ValuesIn(group_grid()));
+
+// ------------------------------------------------------- Thm 1 (LB) ------
+
+TEST(Theorem1, AdversaryRatioApproachesBoundAsLambdaGrows) {
+  const MachineId m = 4;
+  const double alpha = 2.0;
+  const double bound = thm1_no_replication_lower_bound(alpha, m);
+
+  double previous = 0.0;
+  for (std::size_t lambda : {1u, 2u, 4u, 8u, 16u}) {
+    const Instance inst = thm1_instance(lambda, m, alpha);
+    // Any singleton placement of unit tasks is balanced; use LPT-NoChoice.
+    const Placement placement = make_lpt_no_choice().place(inst);
+    const Realization worst = thm1_realization(inst, placement);
+
+    // Online algorithm's makespan: alpha * lambda (B = lambda unit tasks).
+    const StrategyResult run = make_lpt_no_choice().run(inst, worst);
+    EXPECT_NEAR(run.makespan, alpha * static_cast<double>(lambda), 1e-9);
+
+    // Offline optimum upper bound from the proof.
+    const Time opt_upper = thm1_offline_optimal_upper(lambda, m, alpha, lambda);
+    const double ratio = run.makespan / opt_upper;
+    EXPECT_GE(ratio + 1e-9, previous);  // non-decreasing in lambda
+    previous = ratio;
+    EXPECT_LE(ratio, bound + kTol);  // converges to the bound from below
+  }
+  // By lambda = 16 the ratio is within 15% of the asymptotic bound.
+  EXPECT_GT(previous, 0.85 * bound);
+}
+
+TEST(Theorem1, ProofOptimumUpperBoundIsAchievable) {
+  // The proof's balancing schedule must be a *feasible* schedule: check
+  // the exact optimum is <= the proof's upper bound.
+  const MachineId m = 3;
+  const double alpha = 1.5;
+  for (std::size_t lambda : {1u, 2u, 3u}) {
+    const Instance inst = thm1_instance(lambda, m, alpha);
+    const Placement placement = make_lpt_no_choice().place(inst);
+    const Realization worst = thm1_realization(inst, placement);
+    const BnbResult opt = branch_and_bound_cmax(worst.actual, m);
+    ASSERT_TRUE(opt.proven);
+    EXPECT_LE(opt.best,
+              thm1_offline_optimal_upper(lambda, m, alpha, lambda) + 1e-9);
+  }
+}
+
+TEST(Theorem1, NoReplicationStrategyCannotBeatBoundOnAdversary) {
+  // The lower bound is about *all* singleton-placement algorithms; check
+  // several placements all suffer >= (something close to) the bound under
+  // their own adversary at large lambda.
+  const MachineId m = 3;
+  const double alpha = 2.0;
+  const std::size_t lambda = 32;
+  const Instance inst = thm1_instance(lambda, m, alpha);
+  for (const TwoPhaseStrategy& s :
+       {make_lpt_no_choice(), make_round_robin_no_choice()}) {
+    const Placement placement = s.place(inst);
+    const Realization worst = thm1_realization(inst, placement);
+    const StrategyResult run = s.run(inst, worst);
+    const Time opt_upper = thm1_offline_optimal_upper(lambda, m, alpha, lambda);
+    EXPECT_GT(run.makespan / opt_upper,
+              0.9 * thm1_no_replication_lower_bound(alpha, m))
+        << s.name();
+  }
+}
+
+// ------------------------------------------------ large-scale sweeps -----
+// At n=200 exact optima are out of reach, but the analytic lower bound
+// (average load / longest task / pairing) is within ~1% on these
+// workloads, so "Cmax / LB <= theorem bound" remains a sound -- merely
+// stricter -- check, and exercises the algorithms at realistic scale.
+
+struct LargeCase {
+  MachineId m;
+  double alpha;
+  std::uint64_t seed;
+};
+
+class LargeScaleTheorems : public ::testing::TestWithParam<LargeCase> {};
+
+TEST_P(LargeScaleTheorems, BoundsHoldAgainstAnalyticLowerBound) {
+  const auto [m, alpha, seed] = GetParam();
+  WorkloadParams params;
+  params.num_tasks = 200;
+  params.num_machines = m;
+  params.alpha = alpha;
+  params.seed = seed;
+  const Instance inst = uniform_workload(params, 1.0, 10.0);
+
+  RatioExperimentConfig config;
+  config.exact_node_budget = 0;  // analytic LB only at this scale
+
+  struct Entry {
+    TwoPhaseStrategy strategy;
+    double bound;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({make_lpt_no_choice(), thm2_lpt_no_choice(alpha, m)});
+  entries.push_back(
+      {make_lpt_no_restriction(), thm3_lpt_no_restriction(alpha, m)});
+  entries.push_back({make_ls_group(m / 2), thm4_ls_group(alpha, m, m / 2)});
+
+  for (const Entry& entry : entries) {
+    const RatioTrial adv =
+        measure_adversarial_ratio(entry.strategy, inst, config);
+    EXPECT_LE(adv.ratio, entry.bound + 1e-9) << entry.strategy.name();
+    const RatioAggregate agg = measure_ratio_batch(
+        entry.strategy, inst, NoiseModel::kTwoPoint, 3, seed * 11, config);
+    EXPECT_LE(agg.ratios.max(), entry.bound + 1e-9) << entry.strategy.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, LargeScaleTheorems,
+                         ::testing::Values(LargeCase{8, 1.5, 1},
+                                           LargeCase{8, 2.0, 2},
+                                           LargeCase{16, 1.5, 3},
+                                           LargeCase{16, 2.5, 4},
+                                           LargeCase{32, 2.0, 5}));
+
+// --------------------------------------------- cross-strategy structure --
+
+TEST(StrategyOrdering, ReplicationNeverHurtsUnderAdversary) {
+  // Replication gives phase 2 room to adapt: under each strategy's own
+  // adversary, full replication's measured ratio is no worse than the
+  // no-replication one on the same instance family.
+  WorkloadParams params;
+  params.num_tasks = 12;
+  params.num_machines = 4;
+  params.alpha = 2.0;
+  params.seed = 9;
+  const Instance inst = uniform_workload(params, 1.0, 4.0);
+
+  const TwoPhaseStrategy pinned = make_lpt_no_choice();
+  const TwoPhaseStrategy everywhere = make_lpt_no_restriction();
+
+  const Realization worst_pinned =
+      adversarial_realization(inst, pinned.place(inst));
+  const Realization worst_everywhere =
+      adversarial_realization(inst, everywhere.place(inst));
+
+  const double r_pinned = exact_ratio(pinned, inst, worst_pinned);
+  const double r_everywhere = exact_ratio(everywhere, inst, worst_everywhere);
+  EXPECT_LE(r_everywhere, r_pinned + kTol);
+}
+
+TEST(StrategyOrdering, GroupRatioGuaranteesInterpolate) {
+  // Guarantee curve: no-choice >= group(k) >= everywhere for every divisor.
+  const double alpha = 1.8;
+  const MachineId m = 12;
+  const double top = thm2_lpt_no_choice(alpha, m);
+  const double bottom = thm3_lpt_no_restriction(alpha, m);
+  for (MachineId k : {2u, 3u, 4u, 6u}) {
+    const double mid = thm4_ls_group(alpha, m, k);
+    EXPECT_LE(bottom, mid + 1e-9) << "k=" << k;
+    // The group guarantee with few groups should beat no-choice.
+    if (k <= 3) {
+      EXPECT_LE(mid, top + 1e-9) << "k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,150 @@
+// Second theorem-validation battery: the same bound checks as
+// test_theorems.cpp but across *workload families* (heavy-tailed,
+// bimodal, lognormal, unit), since the uniform family alone could mask a
+// shape-dependent violation. Exact optima throughout.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "algo/strategy.hpp"
+#include "bounds/replication_bounds.hpp"
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "perturb/adversary.hpp"
+#include "perturb/stochastic.hpp"
+#include "workload/generators.hpp"
+#include "workload/matrix_block.hpp"
+
+namespace rdp {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+struct WorkloadCase {
+  const char* family;
+  std::function<Instance(MachineId m, double alpha, std::uint64_t seed)> build;
+};
+
+std::vector<WorkloadCase> families() {
+  return {
+      {"heavy-tailed",
+       [](MachineId m, double alpha, std::uint64_t seed) {
+         WorkloadParams p;
+         p.num_tasks = 3 * m;
+         p.num_machines = m;
+         p.alpha = alpha;
+         p.seed = seed;
+         return heavy_tailed_workload(p, 1.0, 1.3, 50.0);
+       }},
+      {"bimodal",
+       [](MachineId m, double alpha, std::uint64_t seed) {
+         WorkloadParams p;
+         p.num_tasks = 3 * m;
+         p.num_machines = m;
+         p.alpha = alpha;
+         p.seed = seed;
+         return bimodal_workload(p, 1.0, 10.0, 0.25);
+       }},
+      {"lognormal",
+       [](MachineId m, double alpha, std::uint64_t seed) {
+         WorkloadParams p;
+         p.num_tasks = 3 * m;
+         p.num_machines = m;
+         p.alpha = alpha;
+         p.seed = seed;
+         return lognormal_workload(p, 1.0, 0.8);
+       }},
+      {"unit",
+       [](MachineId m, double alpha, std::uint64_t seed) {
+         (void)seed;
+         return unit_tasks(3 * m + 1, m, alpha);
+       }},
+      {"matrix-block",
+       [](MachineId m, double alpha, std::uint64_t seed) {
+         MatrixBlockParams p;
+         p.num_blocks = 3 * m;
+         p.rows_per_block = 32;
+         p.num_machines = m;
+         p.alpha = alpha;
+         p.seed = seed;
+         return make_matrix_block_workload(p).instance;
+       }},
+  };
+}
+
+struct Cell {
+  std::size_t family_index;
+  MachineId m;
+  double alpha;
+  std::uint64_t seed;
+};
+
+std::vector<Cell> grid() {
+  std::vector<Cell> cells;
+  std::uint64_t seed = 300;
+  for (std::size_t f = 0; f < families().size(); ++f) {
+    for (MachineId m : {2u, 3u}) {
+      for (double alpha : {1.3, 2.0}) {
+        cells.push_back({f, m, alpha, seed++});
+      }
+    }
+  }
+  return cells;
+}
+
+double exact_ratio(const TwoPhaseStrategy& strategy, const Instance& inst,
+                   const Realization& actual) {
+  const StrategyResult run = strategy.run(inst, actual);
+  const BnbResult opt = branch_and_bound_cmax(actual.actual, inst.num_machines());
+  EXPECT_TRUE(opt.proven);
+  EXPECT_GT(opt.best, 0.0);
+  return run.makespan / opt.best;
+}
+
+class WorkloadFamilyTheorems : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(WorkloadFamilyTheorems, AllThreeStrategyBoundsHold) {
+  const Cell cell = GetParam();
+  const WorkloadCase family = families()[cell.family_index];
+  const Instance inst = family.build(cell.m, cell.alpha, cell.seed);
+  SCOPED_TRACE(family.family);
+
+  struct Entry {
+    TwoPhaseStrategy strategy;
+    double bound;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({make_lpt_no_choice(), thm2_lpt_no_choice(cell.alpha, cell.m)});
+  entries.push_back(
+      {make_lpt_no_restriction(), thm3_lpt_no_restriction(cell.alpha, cell.m)});
+  if (cell.m % 2 == 0) {
+    entries.push_back({make_ls_group(2), thm4_ls_group(cell.alpha, cell.m, 2)});
+  }
+  if (cell.m == 3) {
+    entries.push_back({make_ls_group(3), thm4_ls_group(cell.alpha, cell.m, 3)});
+  }
+
+  for (const Entry& entry : entries) {
+    // Adversarial move against this strategy's placement.
+    const Placement placement = entry.strategy.place(inst);
+    const Realization worst = adversarial_realization(inst, placement);
+    EXPECT_LE(exact_ratio(entry.strategy, inst, worst), entry.bound + kTol)
+        << entry.strategy.name() << " adversary";
+    // Two stochastic draws per noise family.
+    for (NoiseModel noise : {NoiseModel::kTwoPoint, NoiseModel::kLogUniform}) {
+      for (std::uint64_t t = 0; t < 2; ++t) {
+        const Realization r = realize(inst, noise, cell.seed * 7 + t);
+        EXPECT_LE(exact_ratio(entry.strategy, inst, r), entry.bound + kTol)
+            << entry.strategy.name() << " " << to_string(noise);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, WorkloadFamilyTheorems,
+                         ::testing::ValuesIn(grid()));
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,156 @@
+// Tests for the workload generators, including the out-of-core matrix
+// block workload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stats/descriptive.hpp"
+#include "workload/generators.hpp"
+#include "workload/matrix_block.hpp"
+
+namespace rdp {
+namespace {
+
+WorkloadParams params(std::uint64_t seed = 1, std::size_t n = 200, MachineId m = 8,
+                      double alpha = 1.5) {
+  WorkloadParams p;
+  p.num_tasks = n;
+  p.num_machines = m;
+  p.alpha = alpha;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Generators, UnitTasksAllOnes) {
+  const Instance inst = unit_tasks(12, 3, 2.0);
+  EXPECT_EQ(inst.num_tasks(), 12u);
+  for (TaskId j = 0; j < 12; ++j) {
+    EXPECT_DOUBLE_EQ(inst.estimate(j), 1.0);
+    EXPECT_DOUBLE_EQ(inst.size(j), 1.0);
+  }
+}
+
+TEST(Generators, UniformWithinRangeAndDeterministic) {
+  const Instance a = uniform_workload(params(7), 2.0, 5.0);
+  const Instance b = uniform_workload(params(7), 2.0, 5.0);
+  for (TaskId j = 0; j < a.num_tasks(); ++j) {
+    EXPECT_DOUBLE_EQ(a.estimate(j), b.estimate(j));
+    EXPECT_GE(a.estimate(j), 2.0);
+    EXPECT_LT(a.estimate(j), 5.0);
+  }
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+  const Instance a = uniform_workload(params(7));
+  const Instance b = uniform_workload(params(8));
+  int same = 0;
+  for (TaskId j = 0; j < a.num_tasks(); ++j) {
+    same += a.estimate(j) == b.estimate(j);
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Generators, HeavyTailedIsSkewed) {
+  const Instance inst = heavy_tailed_workload(params(3, 2000));
+  const auto est = inst.estimates();
+  const Summary s = summarize(est);
+  EXPECT_GT(s.max / s.p50, 5.0);  // heavy tail
+  EXPECT_LE(s.max, 1e4 + 1e-9);   // cap respected
+  EXPECT_GE(s.min, 1.0);
+}
+
+TEST(Generators, BimodalHasTwoModes) {
+  const Instance inst = bimodal_workload(params(3, 2000), 1.0, 50.0, 0.2);
+  int shorts = 0, longs = 0;
+  for (const Task& t : inst.tasks()) {
+    if (t.estimate < 10.0) ++shorts;
+    else ++longs;
+  }
+  EXPECT_GT(shorts, 1000);
+  EXPECT_NEAR(longs, 400, 120);  // ~20%
+}
+
+TEST(Generators, BimodalRejectsBadFraction) {
+  EXPECT_THROW((void)bimodal_workload(params(), 1.0, 50.0, 1.5),
+               std::invalid_argument);
+}
+
+TEST(Generators, LognormalPositive) {
+  const Instance inst = lognormal_workload(params(4, 500));
+  for (const Task& t : inst.tasks()) EXPECT_GT(t.estimate, 0.0);
+}
+
+TEST(Generators, CorrelatedSizesTrackTimes) {
+  const Instance inst = correlated_sizes_workload(params(5, 500));
+  const auto est = inst.estimates();
+  const auto sizes = inst.sizes();
+  EXPECT_GT(pearson(est, sizes), 0.8);
+}
+
+TEST(Generators, AntiCorrelatedSizesOpposeTimes) {
+  const Instance inst = anti_correlated_sizes_workload(params(5, 500));
+  const auto est = inst.estimates();
+  const auto sizes = inst.sizes();
+  EXPECT_LT(pearson(est, sizes), -0.3);
+}
+
+TEST(Generators, IndependentSizesUncorrelated) {
+  const Instance inst = independent_sizes_workload(params(5, 2000));
+  const auto est = inst.estimates();
+  const auto sizes = inst.sizes();
+  EXPECT_LT(std::abs(pearson(est, sizes)), 0.1);
+}
+
+TEST(MatrixBlock, ShapeAndDeterminism) {
+  MatrixBlockParams p;
+  p.num_blocks = 32;
+  p.seed = 11;
+  const MatrixBlockWorkload a = make_matrix_block_workload(p);
+  const MatrixBlockWorkload b = make_matrix_block_workload(p);
+  EXPECT_EQ(a.instance.num_tasks(), 32u);
+  EXPECT_EQ(a.nnz.size(), 32u);
+  for (TaskId j = 0; j < 32; ++j) {
+    EXPECT_DOUBLE_EQ(a.instance.estimate(j), b.instance.estimate(j));
+  }
+}
+
+TEST(MatrixBlock, EstimateProportionalToNnz) {
+  MatrixBlockParams p;
+  p.num_blocks = 16;
+  p.seconds_per_nnz = 2e-6;
+  const MatrixBlockWorkload w = make_matrix_block_workload(p);
+  for (TaskId j = 0; j < 16; ++j) {
+    EXPECT_NEAR(w.instance.estimate(j),
+                2e-6 * static_cast<double>(w.nnz[j]), 1e-12);
+  }
+}
+
+TEST(MatrixBlock, SizesUseBytesPerNnz) {
+  MatrixBlockParams p;
+  p.num_blocks = 8;
+  p.bytes_per_nnz = 16.0;
+  const MatrixBlockWorkload w = make_matrix_block_workload(p);
+  for (TaskId j = 0; j < 8; ++j) {
+    EXPECT_DOUBLE_EQ(w.instance.size(j), 16.0 * static_cast<double>(w.nnz[j]));
+  }
+}
+
+TEST(MatrixBlock, BlockCostsAreSkewed) {
+  MatrixBlockParams p;
+  p.num_blocks = 256;
+  p.rows_per_block = 64;
+  p.degree_zipf_exponent = 1.1;
+  const MatrixBlockWorkload w = make_matrix_block_workload(p);
+  const auto est = w.instance.estimates();
+  const Summary s = summarize(est);
+  EXPECT_GT(s.max, 1.3 * s.p50);  // hub blocks are visibly heavier
+}
+
+TEST(MatrixBlock, RejectsEmptyShapes) {
+  MatrixBlockParams p;
+  p.num_blocks = 0;
+  EXPECT_THROW((void)make_matrix_block_workload(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rdp

@@ -1,0 +1,219 @@
+// rdp_cli -- the library as a command-line tool. Subcommands compose via
+// files (instances and traces in the library's CSV dialects):
+//
+//   rdp_cli generate --kind=uniform --n=40 --m=8 --alpha=1.5 --seed=1
+//           --out=inst.csv
+//   rdp_cli realize  --instance=inst.csv --noise=two-point --seed=7
+//           --out=trace.csv
+//   rdp_cli run      --instance=inst.csv --strategy=ls-group:2
+//           [--trace=trace.csv | --noise=uniform --seed=7]
+//           [--svg=gantt.svg] [--json=result.json]
+//   rdp_cli evaluate --instance=inst.csv --scenarios=12 --seed=3
+//   rdp_cli bounds   --m=8 --alpha=1.5
+//
+// Every command prints a human-readable summary; `run --json` also emits
+// a machine-readable report.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "rdp.hpp"
+
+namespace {
+
+using namespace rdp;
+
+int usage(const char* program) {
+  std::cerr
+      << "usage: " << program
+      << " <generate|realize|run|evaluate|bounds> [--flags]\n\n"
+         "  generate --kind=uniform|heavy-tailed|bimodal|lognormal|"
+         "correlated|anti-correlated|independent|unit|profile:NAME\n"
+         "           --n=N --m=M --alpha=A --seed=S --out=FILE\n"
+         "  realize  --instance=FILE --noise=MODEL --seed=S --out=TRACE\n"
+         "  run      --instance=FILE --strategy=SPEC [--trace=TRACE]\n"
+         "           [--noise=MODEL --seed=S] [--svg=FILE] [--json=FILE]\n"
+         "  evaluate --instance=FILE [--scenarios=K] [--seed=S]\n"
+         "  bounds   --m=M --alpha=A\n\n"
+         "strategies:";
+  for (const std::string& spec : known_strategy_specs()) std::cerr << ' ' << spec;
+  std::cerr << "\nnoise models: none uniform log-uniform two-point"
+               " beta-centered always-high always-low\n";
+  return EXIT_FAILURE;
+}
+
+NoiseModel noise_from_name(const std::string& name) {
+  for (NoiseModel model : all_noise_models()) {
+    if (to_string(model) == name) return model;
+  }
+  throw std::invalid_argument("unknown noise model '" + name + "'");
+}
+
+Instance generate_instance(const Args& args) {
+  WorkloadParams params;
+  params.num_tasks = static_cast<std::size_t>(args.get("n", std::int64_t{40}));
+  params.num_machines = static_cast<MachineId>(args.get("m", std::int64_t{8}));
+  params.alpha = args.get("alpha", 1.5);
+  params.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{1}));
+  const std::string kind = args.get("kind", std::string("uniform"));
+  if (kind == "uniform") return uniform_workload(params);
+  if (kind == "heavy-tailed") return heavy_tailed_workload(params);
+  if (kind == "bimodal") return bimodal_workload(params);
+  if (kind == "lognormal") return lognormal_workload(params);
+  if (kind == "correlated") return correlated_sizes_workload(params);
+  if (kind == "anti-correlated") return anti_correlated_sizes_workload(params);
+  if (kind == "independent") return independent_sizes_workload(params);
+  if (kind == "unit") {
+    return unit_tasks(params.num_tasks, params.num_machines, params.alpha);
+  }
+  if (kind.rfind("profile:", 0) == 0) {
+    const WorkloadProfile& profile = profile_by_name(kind.substr(8));
+    return profile.build(params.num_tasks, params.num_machines, profile.alpha,
+                         params.seed);
+  }
+  throw std::invalid_argument("unknown workload kind '" + kind + "'");
+}
+
+int cmd_generate(const Args& args) {
+  const Instance inst = generate_instance(args);
+  const std::string out = args.get("out", std::string(""));
+  if (out.empty()) throw std::invalid_argument("generate: --out is required");
+  save_instance(out, inst);
+  std::cout << "wrote " << inst.summary() << " to " << out << "\n";
+  return EXIT_SUCCESS;
+}
+
+int cmd_realize(const Args& args) {
+  const std::string in = args.get("instance", std::string(""));
+  const std::string out = args.get("out", std::string(""));
+  if (in.empty() || out.empty()) {
+    throw std::invalid_argument("realize: --instance and --out are required");
+  }
+  const Instance inst = load_instance(in);
+  const NoiseModel model =
+      noise_from_name(args.get("noise", std::string("uniform")));
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{1}));
+  const Realization actual = realize(inst, model, seed);
+  save_trace(out, make_synthetic_trace(inst, actual));
+  std::cout << "wrote trace (" << inst.num_tasks() << " records, noise "
+            << to_string(model) << ") to " << out << "\n";
+  return EXIT_SUCCESS;
+}
+
+int cmd_run(const Args& args) {
+  const std::string in = args.get("instance", std::string(""));
+  if (in.empty()) throw std::invalid_argument("run: --instance is required");
+  Instance inst = load_instance(in);
+
+  Realization actual;
+  const std::string trace_path = args.get("trace", std::string(""));
+  if (!trace_path.empty()) {
+    const ReplayableWorkload workload =
+        workload_from_trace(load_trace(trace_path), inst.num_machines());
+    inst = workload.instance;
+    actual = workload.actual;
+  } else {
+    const NoiseModel model =
+        noise_from_name(args.get("noise", std::string("uniform")));
+    actual = realize(inst, model,
+                     static_cast<std::uint64_t>(args.get("seed", std::int64_t{1})));
+  }
+
+  const TwoPhaseStrategy strategy =
+      strategy_from_spec(args.get("strategy", std::string("lpt-no-restriction")));
+  const StrategyResult result = strategy.run(inst, actual);
+  const CertifiedCmax opt = certified_cmax(actual.actual, inst.num_machines());
+  const ScheduleStats stats = compute_schedule_stats(inst, result.schedule);
+
+  TextTable table({"quantity", "value"});
+  table.add_row({"strategy", strategy.name()});
+  table.add_row({"C_max", fmt(result.makespan, 4)});
+  table.add_row({"OPT lower bound", fmt(opt.lower, 4) + (opt.exact ? " (exact)" : "")});
+  table.add_row({"ratio", fmt(result.makespan / opt.lower, 4)});
+  table.add_row({"Mem_max", fmt(result.max_memory, 2)});
+  table.add_row({"max replicas", std::to_string(result.max_replication)});
+  table.add_row({"diagnostics", to_string(stats)});
+  std::cout << table.render();
+
+  const std::string svg_path = args.get("svg", std::string(""));
+  if (!svg_path.empty()) {
+    save_svg(svg_path, inst, result.schedule);
+    std::cout << "SVG written to " << svg_path << "\n";
+  }
+  const std::string json_path = args.get("json", std::string(""));
+  if (!json_path.empty()) {
+    ExperimentReport report("rdp-cli-run", "single strategy run");
+    report.set_param("strategy", strategy.name());
+    report.set_param("instance", in);
+    Series& series = report.series(
+        "result", {"makespan", "opt_lower", "ratio", "mem_max", "replicas"});
+    series.add_row({result.makespan, opt.lower, result.makespan / opt.lower,
+                    result.max_memory,
+                    static_cast<double>(result.max_replication)});
+    report.save_json(json_path);
+    std::cout << "JSON written to " << json_path << "\n";
+  }
+  return EXIT_SUCCESS;
+}
+
+int cmd_evaluate(const Args& args) {
+  const std::string in = args.get("instance", std::string(""));
+  if (in.empty()) throw std::invalid_argument("evaluate: --instance is required");
+  const Instance inst = load_instance(in);
+  const auto count =
+      static_cast<std::size_t>(args.get("scenarios", std::int64_t{12}));
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{1}));
+  const ScenarioSet scenarios = make_mixed_scenarios(inst, count, seed);
+
+  std::vector<TwoPhaseStrategy> strategies =
+      paper_strategy_family(inst.num_machines());
+  TextTable table({"strategy", "mean", "worst", "worst regret"});
+  for (const TwoPhaseStrategy& s : strategies) {
+    const ScenarioEvaluation eval = evaluate_scenarios(s, inst, scenarios);
+    table.add_row({eval.strategy_name, fmt(eval.mean_makespan, 2),
+                   fmt(eval.worst_makespan, 2), fmt(eval.worst_regret, 2)});
+  }
+  std::cout << table.render();
+  const std::size_t pick = select_min_max(strategies, inst, scenarios);
+  std::cout << "min-max pick: " << strategies[pick].name() << "\n";
+  return EXIT_SUCCESS;
+}
+
+int cmd_bounds(const Args& args) {
+  const auto m = static_cast<MachineId>(args.get("m", std::int64_t{8}));
+  const double alpha = args.get("alpha", 1.5);
+  TextTable table({"replication", "guarantee", "source"});
+  table.add_row({"|M_j|=1 (lower bound)",
+                 fmt(thm1_no_replication_lower_bound(alpha, m)), "Theorem 1"});
+  table.add_row({"|M_j|=1 (LPT-NoChoice)", fmt(thm2_lpt_no_choice(alpha, m)),
+                 "Theorem 2"});
+  for (MachineId r : feasible_replication_degrees(m)) {
+    if (r == 1 || r == m) continue;
+    table.add_row({"|M_j|=" + std::to_string(r) + " (LS-Group)",
+                   fmt(thm4_ls_group(alpha, m, m / r)), "Theorem 4"});
+  }
+  table.add_row({"|M_j|=m (LPT-NoRestriction)",
+                 fmt(thm3_lpt_no_restriction(alpha, m)), "Theorem 3 + Graham"});
+  std::cout << "m=" << m << " alpha=" << alpha << "\n" << table.render();
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string command = argv[1];
+  const Args args(argc - 1, argv + 1);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "realize") return cmd_realize(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "bounds") return cmd_bounds(args);
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage(argv[0]);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}
