@@ -1,7 +1,11 @@
 // Extension experiment C: google-benchmark throughput of the library's
 // kernels -- offline LPT, the online dispatcher across placement shapes,
 // the exact solvers, and MULTIFIT -- to document the cost of each moving
-// part and its scaling in n and m.
+// part and its scaling in n and m. Also measures the observability layer:
+// BM_DispatchEverywhere (no sink attached -- the compiled-in hooks on
+// their no-op path) vs BM_DispatchObsMetrics / BM_DispatchObsFull (sinks
+// attached), plus BM_SweepObservability for the full pipeline
+// (thread pool + parallel sweep + metrics + tracing).
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -13,6 +17,11 @@
 #include "core/realization.hpp"
 #include "exact/branch_and_bound.hpp"
 #include "exact/dual_approx.hpp"
+#include "exp/sweep.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
 #include "perturb/stochastic.hpp"
 #include "workload/generators.hpp"
 
@@ -106,6 +115,74 @@ void BM_Multifit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Multifit)->Arg(1000)->Arg(10000);
+
+// The same dispatch as BM_DispatchEverywhere/1000/16 but with a metrics
+// registry (and optionally a tracer) attached. Comparing against
+// BM_DispatchEverywhere quantifies the enabled cost; comparing
+// BM_DispatchEverywhere against a build without the hooks quantifies the
+// disabled cost (expected: indistinguishable -- the no-op path is one
+// inlined atomic load + dead branch per dispatch call).
+void BM_DispatchObsMetrics(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = bench_instance(n, 16);
+  const Placement placement = Placement::everywhere(n, 16);
+  const Realization actual = realize(inst, NoiseModel::kUniform, 7);
+  const auto priority = make_priority(inst, PriorityRule::kLongestEstimateFirst);
+  obs::MetricsRegistry registry;
+  obs::ObservabilityScope scope(&registry, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dispatch_online(inst, placement, actual, priority));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DispatchObsMetrics)->Arg(1000)->Arg(10000);
+
+void BM_DispatchObsFull(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = bench_instance(n, 16);
+  const Placement placement = Placement::everywhere(n, 16);
+  const Realization actual = realize(inst, NoiseModel::kUniform, 7);
+  const auto priority = make_priority(inst, PriorityRule::kLongestEstimateFirst);
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::ObservabilityScope scope(&registry, &tracer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dispatch_online(inst, placement, actual, priority));
+    if (tracer.size() > 100000) tracer.clear();  // bound memory, off the hot path
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DispatchObsFull)->Arg(1000)->Arg(10000);
+
+// Full pipeline: parallel sweep of dispatch simulations with metrics and
+// tracing attached -- the shape of an instrumented experiment run.
+// Reports cells/sec via the registry's own gauge.
+void BM_SweepObservability(benchmark::State& state) {
+  const auto cells = static_cast<std::size_t>(state.range(0));
+  const Instance inst = bench_instance(500, 8);
+  const Placement placement = Placement::everywhere(500, 8);
+  const auto priority = make_priority(inst, PriorityRule::kLongestEstimateFirst);
+  std::vector<std::uint64_t> seeds(cells);
+  for (std::size_t t = 0; t < cells; ++t) seeds[t] = t + 1;
+  const std::vector<SweepCell> grid = make_grid({8}, {1.5}, seeds);
+  ThreadPool pool(4);
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::ObservabilityScope scope(&registry, &tracer);
+  std::vector<double> results(cells, 0.0);
+  for (auto _ : state) {
+    run_sweep_parallel(pool, grid, [&](const SweepCell& cell) {
+      const Realization actual = realize(inst, NoiseModel::kUniform, cell.seed);
+      results[cell.index] =
+          dispatch_online(inst, placement, actual, priority).schedule.makespan();
+    });
+    if (tracer.size() > 100000) tracer.clear();
+  }
+  state.counters["cells_per_sec"] = registry.gauge("sweep.cells_per_sec").value();
+}
+BENCHMARK(BM_SweepObservability)->Arg(64);
 
 void BM_FullStrategyRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -9,6 +9,9 @@
 #include "exact/optimal.hpp"
 #include "memaware/abo.hpp"
 #include "memaware/sabo.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rdp {
 
@@ -38,6 +41,9 @@ void fill_denominators(MemAwareTrial& trial, const Instance& instance,
 
 MemAwareTrial measure_sabo(const Instance& instance, const Realization& actual,
                            double delta, const MemAwareConfig& config) {
+  obs::MetricsRegistry* const mx = obs::metrics();
+  if (mx) mx->counter("exp.memaware.sabo_trials").add(1);
+  obs::ScopedSpan span(obs::tracer(), "measure_sabo", "exp");
   const SaboResult result = run_sabo(instance, delta);
 
   MemAwareTrial trial;
@@ -55,6 +61,9 @@ MemAwareTrial measure_sabo(const Instance& instance, const Realization& actual,
 
 MemAwareTrial measure_abo(const Instance& instance, const Realization& actual,
                           double delta, const MemAwareConfig& config) {
+  obs::MetricsRegistry* const mx = obs::metrics();
+  if (mx) mx->counter("exp.memaware.abo_trials").add(1);
+  obs::ScopedSpan span(obs::tracer(), "measure_abo", "exp");
   const AboResult result = run_abo(instance, actual, delta);
 
   MemAwareTrial trial;

@@ -5,6 +5,9 @@
 #include "core/instance.hpp"
 #include "core/realization.hpp"
 #include "exact/optimal.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "perturb/adversary.hpp"
 
 namespace rdp {
@@ -16,6 +19,10 @@ RatioTrial finish_trial(Time algo_makespan, const Realization& actual,
                         const RatioExperimentConfig& config) {
   RatioTrial trial;
   trial.algorithm_makespan = algo_makespan;
+  obs::MetricsRegistry* const mx = obs::metrics();
+  if (mx) mx->counter("exp.ratio.trials").add(1);
+  obs::ScopedTimer opt_timer(mx ? &mx->histogram("exp.ratio.certify_seconds")
+                                : nullptr);
   const CertifiedCmax opt =
       certified_cmax(actual.actual, instance.num_machines(), config.exact_node_budget);
   trial.optimal_lower_bound = opt.lower;
@@ -50,6 +57,7 @@ RatioAggregate measure_ratio_batch(const TwoPhaseStrategy& strategy,
                                    const Instance& instance, NoiseModel noise,
                                    std::size_t trials, std::uint64_t seed,
                                    const RatioExperimentConfig& config) {
+  obs::ScopedSpan span(obs::tracer(), "measure_ratio_batch", "exp");
   RatioAggregate agg;
   agg.strategy_name = strategy.name();
   agg.noise_name = to_string(noise);

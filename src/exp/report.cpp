@@ -41,6 +41,10 @@ void ExperimentReport::set_param(const std::string& key, double value) {
   params_[key] = os.str();
 }
 
+void ExperimentReport::attach_metrics(obs::MetricsSnapshot snapshot) {
+  metrics_ = std::move(snapshot);
+}
+
 Series& ExperimentReport::series(const std::string& name,
                                  std::vector<std::string> columns) {
   auto it = series_.find(name);
@@ -77,6 +81,7 @@ std::string ExperimentReport::to_json(int indent) const {
     series_obj[name] = entry;
   }
   root["series"] = series_obj;
+  if (metrics_) root["metrics"] = obs::metrics_snapshot_json(*metrics_);
   return JsonValue(root).dump(indent);
 }
 
@@ -97,6 +102,20 @@ void ExperimentReport::write_csv(std::ostream& out) const {
         cells.push_back(os.str());
       }
       csv.row(cells);
+    }
+  }
+  if (metrics_ && !metrics_->empty()) {
+    out << "# metrics\n";
+    for (const auto& [name, v] : metrics_->counters) {
+      out << "# counter " << name << " = " << v << "\n";
+    }
+    for (const auto& [name, v] : metrics_->gauges) {
+      out << "# gauge " << name << " = " << v << "\n";
+    }
+    out << "# series: metrics.histograms\n";
+    csv.row({"name", "count", "mean", "stddev", "min", "max", "sum"});
+    for (const auto& [name, s] : metrics_->histograms) {
+      csv.typed_row(name, s.count, s.mean, s.stddev, s.min, s.max, s.sum);
     }
   }
 }

@@ -6,8 +6,11 @@
 
 #include <iosfwd>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace rdp {
 
@@ -45,6 +48,14 @@ class ExperimentReport {
   /// re-access.
   Series& series(const std::string& name, std::vector<std::string> columns);
 
+  /// Attaches a metrics snapshot (from obs::MetricsRegistry::snapshot())
+  /// recorded alongside the results. Optional: reports without one
+  /// serialize exactly as before.
+  void attach_metrics(obs::MetricsSnapshot snapshot);
+  [[nodiscard]] const std::optional<obs::MetricsSnapshot>& metrics() const noexcept {
+    return metrics_;
+  }
+
   /// Serializes everything as a JSON object.
   [[nodiscard]] std::string to_json(int indent = 2) const;
 
@@ -62,6 +73,7 @@ class ExperimentReport {
   std::string description_;
   std::map<std::string, std::string> params_;
   std::map<std::string, Series> series_;
+  std::optional<obs::MetricsSnapshot> metrics_;
 };
 
 }  // namespace rdp

@@ -2,6 +2,7 @@
 
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 namespace rdp {
 
@@ -47,10 +48,13 @@ std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
   std::string cell;
   bool in_quotes = false;
   bool row_has_content = false;
+  std::size_t line = 1;             // 1-based, for error messages
+  std::size_t quote_open_line = 0;  // line where the open quoted field began
 
   for (std::size_t i = 0; i < text.size(); ++i) {
     const char c = text[i];
     if (in_quotes) {
+      if (c == '\n') ++line;
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
           cell += '"';
@@ -66,6 +70,7 @@ std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
     switch (c) {
       case '"':
         in_quotes = true;
+        quote_open_line = line;
         row_has_content = true;
         break;
       case ',':
@@ -74,8 +79,9 @@ std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
         row_has_content = true;
         break;
       case '\r':
-        break;  // swallow; \n terminates the row
+        break;  // swallow; \n terminates the row (CRLF leaves no \r behind)
       case '\n':
+        ++line;
         if (row_has_content || !cell.empty()) {
           current_row.push_back(std::move(cell));
           cell.clear();
@@ -89,6 +95,11 @@ std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
         row_has_content = true;
         break;
     }
+  }
+  if (in_quotes) {
+    throw std::runtime_error(
+        "parse_csv: unterminated quoted field starting at line " +
+        std::to_string(quote_open_line));
   }
   if (row_has_content || !cell.empty()) {
     current_row.push_back(std::move(cell));

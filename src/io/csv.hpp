@@ -43,7 +43,9 @@ class CsvWriter {
 };
 
 /// Parses CSV text into rows of cells (handles quoted cells with embedded
-/// separators, quotes, and newlines).
+/// separators, quotes, and newlines; CRLF row endings are accepted and
+/// leave no trailing '\r' in cells). Throws std::runtime_error naming the
+/// offending line on a quoted field left unterminated at end of input.
 [[nodiscard]] std::vector<std::vector<std::string>> parse_csv(const std::string& text);
 
 }  // namespace rdp

@@ -1,0 +1,8 @@
+#include "obs/hooks.hpp"
+
+namespace rdp::obs::detail {
+
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+std::atomic<Tracer*> g_tracer{nullptr};
+
+}  // namespace rdp::obs::detail

@@ -1,0 +1,67 @@
+// The observability seam: instrumented code asks obs::metrics() /
+// obs::tracer() for the currently-installed sinks and does nothing when
+// they are null. Installation is explicit and RAII-scoped
+// (ObservabilityScope); the default state is "no sinks", in which every
+// hook is an inlined atomic load + predicted-not-taken branch, so
+// instrumentation is effectively free for code that never opts in --
+// see bench/perf_algorithms.cpp for the disabled-vs-enabled measurement.
+#pragma once
+
+#include <atomic>
+
+namespace rdp::obs {
+
+class MetricsRegistry;
+class Tracer;
+
+namespace detail {
+// Process-wide current sinks. Writes only happen via ObservabilityScope;
+// readers (hot paths) load once per call and cache the pointer locally.
+extern std::atomic<MetricsRegistry*> g_metrics;
+extern std::atomic<Tracer*> g_tracer;
+}  // namespace detail
+
+/// Currently-installed metrics registry, or nullptr when observability is
+/// off (the default).
+[[nodiscard]] inline MetricsRegistry* metrics() noexcept {
+  return detail::g_metrics.load(std::memory_order_acquire);
+}
+
+/// Currently-installed tracer, or nullptr.
+[[nodiscard]] inline Tracer* tracer() noexcept {
+  return detail::g_tracer.load(std::memory_order_acquire);
+}
+
+[[nodiscard]] inline bool enabled() noexcept {
+  return metrics() != nullptr || tracer() != nullptr;
+}
+
+/// Installs sinks for the duration of a scope and restores the previous
+/// ones on destruction (scopes nest). Either pointer may be null.
+///
+/// The installed sinks are visible to every thread -- a scope is
+/// process-wide, not thread-local -- so experiments that fan work onto a
+/// ThreadPool record into one registry/tracer. Install before spawning
+/// the work; the sinks themselves are thread-safe.
+class ObservabilityScope {
+ public:
+  ObservabilityScope(MetricsRegistry* metrics_registry, Tracer* tracer) noexcept
+      : prev_metrics_(detail::g_metrics.exchange(metrics_registry,
+                                                 std::memory_order_acq_rel)),
+        prev_tracer_(
+            detail::g_tracer.exchange(tracer, std::memory_order_acq_rel)) {}
+
+  ObservabilityScope(const ObservabilityScope&) = delete;
+  ObservabilityScope& operator=(const ObservabilityScope&) = delete;
+
+  ~ObservabilityScope() {
+    detail::g_metrics.store(prev_metrics_, std::memory_order_release);
+    detail::g_tracer.store(prev_tracer_, std::memory_order_release);
+  }
+
+ private:
+  MetricsRegistry* prev_metrics_;
+  Tracer* prev_tracer_;
+};
+
+}  // namespace rdp::obs

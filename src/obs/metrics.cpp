@@ -1,0 +1,70 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "io/json.hpp"
+
+namespace rdp::obs {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return histograms_[name];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h.summary();
+  return snap;
+}
+
+JsonValue metrics_snapshot_json(const MetricsSnapshot& snapshot) {
+  JsonObject root;
+  JsonObject counters_obj;
+  for (const auto& [name, v] : snapshot.counters) counters_obj[name] = v;
+  root["counters"] = counters_obj;
+  JsonObject gauges_obj;
+  for (const auto& [name, v] : snapshot.gauges) gauges_obj[name] = v;
+  root["gauges"] = gauges_obj;
+  JsonObject hists_obj;
+  for (const auto& [name, s] : snapshot.histograms) {
+    JsonObject h;
+    h["count"] = s.count;
+    h["mean"] = s.mean;
+    h["stddev"] = s.stddev;
+    h["min"] = s.min;
+    h["max"] = s.max;
+    h["sum"] = s.sum;
+    hists_obj[name] = h;
+  }
+  root["histograms"] = hists_obj;
+  return JsonValue(root);
+}
+
+std::string MetricsSnapshot::to_json(int indent) const {
+  return metrics_snapshot_json(*this).dump(indent);
+}
+
+void MetricsRegistry::save_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("MetricsRegistry::save_json: cannot open " + path);
+  out << snapshot().to_json() << "\n";
+  if (!out) {
+    throw std::runtime_error("MetricsRegistry::save_json: write failed for " + path);
+  }
+}
+
+}  // namespace rdp::obs

@@ -1,0 +1,155 @@
+// Process-wide but explicitly-scoped metrics: counters, gauges, and
+// streaming histograms (Welford moments, no sample storage). A
+// MetricsRegistry is an explicit object -- nothing is recorded unless one
+// is installed via obs::ObservabilityScope (see obs/hooks.hpp), and the
+// instrumentation sites compile down to a null-pointer check when no
+// registry is attached.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "stats/welford.hpp"
+
+namespace rdp {
+class JsonValue;
+}
+
+namespace rdp::obs {
+
+/// Monotonically increasing event count. Thread-safe, lock-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (queue depth, cells/sec, ...). Thread-safe.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Streaming distribution summary: count/mean/stddev/min/max via
+/// stats/welford, O(1) memory. Thread-safe (one mutex per histogram).
+class Histogram {
+ public:
+  void observe(double x) noexcept {
+    std::lock_guard lock(mutex_);
+    welford_.add(x);
+  }
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+  };
+
+  [[nodiscard]] Summary summary() const noexcept {
+    std::lock_guard lock(mutex_);
+    Summary s;
+    s.count = welford_.count();
+    s.mean = welford_.mean();
+    s.stddev = welford_.stddev();
+    s.min = welford_.count() ? welford_.min() : 0.0;
+    s.max = welford_.count() ? welford_.max() : 0.0;
+    s.sum = welford_.mean() * static_cast<double>(welford_.count());
+    return s;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  Welford welford_;
+};
+
+/// A point-in-time copy of every metric in a registry, detached from the
+/// registry's locks (safe to serialize, attach to reports, compare).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Summary> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Serializes as a JSON object {"counters":{...},"gauges":{...},
+  /// "histograms":{...}}.
+  [[nodiscard]] std::string to_json(int indent = 2) const;
+};
+
+/// The snapshot as a JsonValue (io/json.hpp), for embedding in larger
+/// documents (e.g. ExperimentReport).
+[[nodiscard]] JsonValue metrics_snapshot_json(const MetricsSnapshot& snapshot);
+
+/// Named metric registry. Lookup is mutex-protected; the returned
+/// references are stable for the registry's lifetime (node-based storage),
+/// so hot paths look a metric up once and then touch only atomics.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Writes snapshot().to_json() to `path` (throws std::runtime_error on
+  /// I/O failure).
+  void save_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// RAII wall-clock timer: observes the elapsed seconds into a histogram
+/// on destruction. A null histogram makes it a no-op (and skips the clock
+/// reads entirely).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) noexcept
+      : hist_(hist),
+        start_(hist ? std::chrono::steady_clock::now()
+                    : std::chrono::steady_clock::time_point{}) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (hist_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_->observe(std::chrono::duration<double>(elapsed).count());
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rdp::obs

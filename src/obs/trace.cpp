@@ -1,0 +1,134 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "io/json.hpp"
+
+namespace rdp::obs {
+
+namespace {
+
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void append_event_json(std::string& out, const TraceEvent& e) {
+  out += "{\"name\":";
+  out += json_escape(e.name);
+  out += ",\"cat\":";
+  out += json_escape(e.category.empty() ? "rdp" : e.category);
+  out += ",\"ph\":\"";
+  out += e.phase;
+  out += "\",\"ts\":";
+  out += std::to_string(e.ts_us);
+  if (e.phase == 'X') {
+    out += ",\"dur\":";
+    out += std::to_string(e.dur_us);
+  }
+  out += ",\"pid\":1,\"tid\":";
+  out += std::to_string(e.tid);
+  if (!e.args_json.empty()) {
+    out += ",\"args\":";
+    out += e.args_json;
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::uint32_t current_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer::Tracer() : epoch_ns_(steady_ns()) {}
+
+std::uint64_t Tracer::now_us() const noexcept {
+  return (steady_ns() - epoch_ns_) / 1000;
+}
+
+void Tracer::span(std::string name, std::string category, std::uint64_t start_us,
+                  std::uint64_t dur_us, std::string args_json) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'X';
+  e.ts_us = start_us;
+  e.dur_us = dur_us;
+  e.tid = current_thread_id();
+  e.args_json = std::move(args_json);
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::instant(std::string name, std::string category, std::string args_json) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'i';
+  e.ts_us = now_us();
+  e.tid = current_thread_id();
+  e.args_json = std::move(args_json);
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(e));
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  const std::vector<TraceEvent> snapshot = events();
+  std::string buf = "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (i > 0) buf += ",\n";
+    append_event_json(buf, snapshot[i]);
+  }
+  buf += "],\"displayTimeUnit\":\"ms\"}\n";
+  out << buf;
+}
+
+void Tracer::write_jsonl(std::ostream& out) const {
+  const std::vector<TraceEvent> snapshot = events();
+  std::string buf;
+  for (const TraceEvent& e : snapshot) {
+    append_event_json(buf, e);
+    buf += "\n";
+  }
+  out << buf;
+}
+
+void Tracer::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Tracer::save: cannot open " + path);
+  const bool jsonl =
+      path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
+  if (jsonl) {
+    write_jsonl(out);
+  } else {
+    write_chrome_trace(out);
+  }
+  if (!out) throw std::runtime_error("Tracer::save: write failed for " + path);
+}
+
+}  // namespace rdp::obs

@@ -1,0 +1,95 @@
+// Structured run tracing: named, timestamped spans and instant events
+// recorded per thread, exported as JSONL (one event per line) or as the
+// Chrome trace_event format loadable in chrome://tracing and Perfetto.
+// Complements sim/trace.hpp (which records *simulated-time* dispatch
+// decisions); this records *wall-clock* behaviour of the library itself.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rdp::obs {
+
+/// One trace event. Timestamps are microseconds of wall-clock time since
+/// the tracer's construction (steady clock).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';        ///< 'X' = complete span, 'i' = instant
+  std::uint64_t ts_us = 0;   ///< start (spans) or occurrence (instants)
+  std::uint64_t dur_us = 0;  ///< duration, 'X' only
+  std::uint32_t tid = 0;     ///< dense per-process thread id
+  std::string args_json;     ///< pre-rendered JSON object ("{...}") or empty
+};
+
+/// Thread-safe event collector. All record calls may be issued
+/// concurrently; export functions take a consistent snapshot.
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Microseconds since this tracer was constructed (steady clock).
+  [[nodiscard]] std::uint64_t now_us() const noexcept;
+
+  /// Records a completed span [start_us, start_us + dur_us).
+  void span(std::string name, std::string category, std::uint64_t start_us,
+            std::uint64_t dur_us, std::string args_json = {});
+
+  /// Records an instantaneous event at the current time.
+  void instant(std::string name, std::string category, std::string args_json = {});
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<TraceEvent> events() const;  ///< snapshot copy
+  void clear();
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}); open the file in
+  /// chrome://tracing or https://ui.perfetto.dev.
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// One JSON object per line (jq/grep friendly).
+  void write_jsonl(std::ostream& out) const;
+
+  /// File variants; a path ending in ".jsonl" selects JSONL, anything
+  /// else the Chrome trace_event format. Throw std::runtime_error on I/O
+  /// failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::uint64_t epoch_ns_;  // steady_clock at construction
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Dense id of the calling thread (0, 1, 2, ... in first-use order);
+/// stable for the lifetime of the process, used as "tid" in exports.
+[[nodiscard]] std::uint32_t current_thread_id() noexcept;
+
+/// RAII span: records [construction, destruction) into the tracer. A null
+/// tracer makes it a no-op with no clock reads.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name, const char* category) noexcept
+      : tracer_(tracer), name_(name), category_(category),
+        start_us_(tracer ? tracer->now_us() : 0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (tracer_ == nullptr) return;
+    tracer_->span(name_, category_, start_us_, tracer_->now_us() - start_us_);
+  }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_us_;
+};
+
+}  // namespace rdp::obs

@@ -8,6 +8,9 @@
 
 #include "core/instance.hpp"
 #include "core/realization.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rdp {
 
@@ -83,6 +86,10 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
     rank[j] = r;
   }
 
+  obs::MetricsRegistry* const mx = obs::metrics();
+  obs::Tracer* const tr = obs::tracer();
+  obs::ScopedSpan span(tr, "dispatch_with_failures", "sim");
+
   std::vector<TaskStatus> status(n, TaskStatus::kWaiting);
   std::vector<bool> refetch(n, false);
   std::vector<Time> earliest(n, 0);
@@ -154,6 +161,11 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
         if (failed[i]) break;
         failed[i] = true;
         machine_idle[i] = false;
+        if (mx) mx->counter("sim.failures.machine_failures").add(1);
+        if (tr) {
+          tr->instant("machine_failure", "sim",
+                      "{\"machine\":" + std::to_string(i) + "}");
+        }
         // Kill the running attempt, if any.
         if (running_on[i] != kNoTask) {
           const TaskId j = running_on[i];
@@ -222,6 +234,12 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
   }
 
   result.makespan = result.schedule.makespan();
+  if (mx) {
+    mx->counter("sim.failures.calls").add(1);
+    mx->counter("sim.failures.tasks").add(n);
+    mx->counter("sim.failures.restarts").add(result.restarts);
+    mx->counter("sim.failures.refetches").add(result.refetches);
+  }
   return result;
 }
 

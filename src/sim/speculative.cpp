@@ -8,6 +8,9 @@
 
 #include "core/instance.hpp"
 #include "core/realization.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rdp {
 
@@ -67,6 +70,10 @@ SpeculativeResult dispatch_speculative(const Instance& instance,
     rank[j] = r;
   }
 
+  obs::MetricsRegistry* const mx = obs::metrics();
+  obs::Tracer* const tr = obs::tracer();
+  obs::ScopedSpan obs_span(tr, "dispatch_speculative", "sim");
+
   enum class TaskState { kWaiting, kRunning, kDone };
   std::vector<TaskState> state(n, TaskState::kWaiting);
   std::vector<std::vector<Copy>> copies(n);
@@ -97,7 +104,14 @@ SpeculativeResult dispatch_speculative(const Instance& instance,
     copies[j].push_back(copy);
     machine_busy[i] = true;
     state[j] = TaskState::kRunning;
-    if (is_backup) ++result.duplicates_launched;
+    if (is_backup) {
+      ++result.duplicates_launched;
+      if (tr) {
+        tr->instant("speculative_copy", "sim",
+                    "{\"task\":" + std::to_string(j) +
+                        ",\"machine\":" + std::to_string(i) + "}");
+      }
+    }
     result.trace.events.push_back(DispatchEvent{now, j, i, duration});
     events.push(Event{copy.finish, true, i, j, copies[j].size() - 1, seq++});
   };
@@ -200,6 +214,13 @@ SpeculativeResult dispatch_speculative(const Instance& instance,
   }
 
   result.makespan = result.schedule.makespan();
+  if (mx) {
+    mx->counter("sim.speculative.calls").add(1);
+    mx->counter("sim.speculative.tasks").add(n);
+    mx->counter("sim.speculative.duplicates_launched").add(result.duplicates_launched);
+    mx->counter("sim.speculative.duplicates_won").add(result.duplicates_won);
+    mx->histogram("sim.speculative.wasted_time").observe(result.wasted_time);
+  }
   return result;
 }
 

@@ -8,6 +8,9 @@
 
 #include "core/instance.hpp"
 #include "core/realization.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/machine_pool.hpp"
 
 namespace rdp {
@@ -37,6 +40,9 @@ TransferDispatchResult dispatch_with_transfers(const Instance& instance,
     }
     rank[j] = r;
   }
+
+  obs::MetricsRegistry* const mx = obs::metrics();
+  obs::ScopedSpan span(obs::tracer(), "dispatch_with_transfers", "sim");
 
   std::vector<bool> scheduled(n, false);
   MachinePool pool(m);
@@ -82,6 +88,10 @@ TransferDispatchResult dispatch_with_transfers(const Instance& instance,
       duration += fetch;
       result.transfer_time += fetch;
       ++result.remote_runs;
+      if (mx) {
+        mx->counter("sim.transfer.remote_runs").add(1);
+        mx->histogram("sim.transfer.fetch_time").observe(fetch);
+      }
     }
     const auto [start, finish] = pool.occupy(i, duration);
     scheduled[j] = true;
@@ -93,6 +103,10 @@ TransferDispatchResult dispatch_with_transfers(const Instance& instance,
   }
 
   result.makespan = result.schedule.makespan();
+  if (mx) {
+    mx->counter("sim.transfer.calls").add(1);
+    mx->counter("sim.transfer.tasks").add(n);
+  }
   return result;
 }
 

@@ -3,6 +3,8 @@
 
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "core/instance.hpp"
 #include "io/csv.hpp"
@@ -52,6 +54,49 @@ TEST(Csv, ParseHandlesCrLfAndMissingFinalNewline) {
 TEST(Csv, ParseEmptyInput) {
   EXPECT_TRUE(parse_csv("").empty());
   EXPECT_TRUE(parse_csv("\n\n").empty());
+}
+
+TEST(Csv, ParseRejectsUnterminatedQuoteNamingTheLine) {
+  try {
+    (void)parse_csv("a,b\nc,\"unclosed");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+  // The line reported is where the quoted field *opened*, even if the
+  // field swallows later newlines.
+  try {
+    (void)parse_csv("a\nb\nc,\"spans\nlines");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Csv, CrLfLeavesNoTrailingCarriageReturn) {
+  const auto rows = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(Csv, RoundTripQuotedCrLfAndEmbeddedNewlineCells) {
+  const std::vector<std::vector<std::string>> original = {
+      {"plain", "with,comma", "with\"quote"},
+      {"multi\nline", "crlf\r\ninside", "end"},
+  };
+  std::ostringstream os;
+  CsvWriter w(os);
+  for (const auto& row : original) w.row(row);
+  const auto parsed = parse_csv(os.str());
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(Csv, QuotedCellFollowedByCrLfRowEnding) {
+  const auto rows = parse_csv("\"x,y\"\r\n\"z\"\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"x,y"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"z"}));
 }
 
 TEST(Json, Scalars) {

@@ -1,0 +1,460 @@
+// Tests for the observability layer (src/obs/): metrics registry,
+// tracer, RAII scoping, the determinism guarantee (enabling sinks never
+// changes any simulation result -- ARCHITECTURE.md §5), and a
+// multi-threaded stress test of MetricsRegistry under run_sweep_parallel
+// (run under TSan via the `tsan` CTest label).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algo/dispatch_policies.hpp"
+#include "algo/strategy.hpp"
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "exp/ratio_experiment.hpp"
+#include "exp/report.hpp"
+#include "exp/sweep.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "perturb/stochastic.hpp"
+#include "sim/failures.hpp"
+#include "sim/online_dispatcher.hpp"
+#include "sim/speculative.hpp"
+#include "sim/transfer_dispatcher.hpp"
+#include "workload/generators.hpp"
+
+namespace rdp {
+namespace {
+
+Instance test_instance(std::size_t n = 40, MachineId m = 4) {
+  WorkloadParams params;
+  params.num_tasks = n;
+  params.num_machines = m;
+  params.alpha = 1.5;
+  params.seed = 11;
+  return uniform_workload(params);
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+TEST(Metrics, CountersAccumulate) {
+  obs::MetricsRegistry registry;
+  registry.counter("a").add();
+  registry.counter("a").add(4);
+  registry.counter("b").add(2);
+  EXPECT_EQ(registry.counter("a").value(), 5u);
+  EXPECT_EQ(registry.counter("b").value(), 2u);
+}
+
+TEST(Metrics, GaugeKeepsLastValue) {
+  obs::MetricsRegistry registry;
+  registry.gauge("depth").set(3.0);
+  registry.gauge("depth").set(7.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("depth").value(), 7.5);
+}
+
+TEST(Metrics, HistogramMatchesWelford) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("x");
+  Welford reference;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 10.0}) {
+    h.observe(v);
+    reference.add(v);
+  }
+  const obs::Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, reference.count());
+  EXPECT_DOUBLE_EQ(s.mean, reference.mean());
+  EXPECT_DOUBLE_EQ(s.stddev, reference.stddev());
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.sum, 20.0);
+}
+
+TEST(Metrics, ReferencesAreStableAcrossLookups) {
+  obs::MetricsRegistry registry;
+  obs::Counter& first = registry.counter("same");
+  registry.counter("other").add();  // force more nodes
+  obs::Counter& second = registry.counter("same");
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(Metrics, SnapshotIsDetachedCopy) {
+  obs::MetricsRegistry registry;
+  registry.counter("c").add(3);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h").observe(2.0);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  registry.counter("c").add(100);  // must not affect the snapshot
+  EXPECT_EQ(snap.counters.at("c"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 1.5);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+  EXPECT_FALSE(snap.empty());
+  EXPECT_TRUE(obs::MetricsSnapshot{}.empty());
+}
+
+TEST(Metrics, SnapshotJsonHasAllSections) {
+  obs::MetricsRegistry registry;
+  registry.counter("calls").add(2);
+  registry.histogram("dur").observe(0.5);
+  const std::string json = registry.snapshot().to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"calls\": 2"), std::string::npos);
+}
+
+TEST(Metrics, ScopedTimerObservesElapsedSeconds) {
+  obs::MetricsRegistry registry;
+  { obs::ScopedTimer timer(&registry.histogram("t")); }
+  const obs::Histogram::Summary s = registry.histogram("t").summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_GE(s.min, 0.0);
+  { obs::ScopedTimer noop(nullptr); }  // must not crash
+}
+
+// --- Tracer ---------------------------------------------------------------
+
+TEST(Tracer, RecordsSpansAndInstants) {
+  obs::Tracer tracer;
+  {
+    obs::ScopedSpan span(&tracer, "work", "test");
+  }
+  tracer.instant("tick", "test", "{\"k\":1}");
+  ASSERT_EQ(tracer.size(), 2u);
+  const auto events = tracer.events();
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[1].name, "tick");
+  EXPECT_EQ(events[1].phase, 'i');
+  EXPECT_EQ(events[1].args_json, "{\"k\":1}");
+}
+
+TEST(Tracer, ChromeTraceFormatIsWellFormed) {
+  obs::Tracer tracer;
+  { obs::ScopedSpan span(&tracer, "sp\"an", "cat"); }
+  tracer.instant("i", "cat");
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(out.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(out.find("sp\\\"an"), std::string::npos);  // escaped quote
+}
+
+TEST(Tracer, JsonlEmitsOneLinePerEvent) {
+  obs::Tracer tracer;
+  tracer.instant("a", "c");
+  tracer.instant("b", "c");
+  std::ostringstream os;
+  tracer.write_jsonl(os);
+  const std::string out = os.str();
+  std::size_t lines = 0;
+  for (char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(Tracer, NullScopedSpanIsNoop) {
+  obs::ScopedSpan span(nullptr, "x", "y");
+  SUCCEED();
+}
+
+// --- Scoping --------------------------------------------------------------
+
+TEST(ObsScope, DefaultIsDisabled) {
+  EXPECT_EQ(obs::metrics(), nullptr);
+  EXPECT_EQ(obs::tracer(), nullptr);
+  EXPECT_FALSE(obs::enabled());
+}
+
+TEST(ObsScope, InstallsAndRestoresNested) {
+  obs::MetricsRegistry outer_registry;
+  obs::Tracer tracer;
+  {
+    obs::ObservabilityScope outer(&outer_registry, &tracer);
+    EXPECT_EQ(obs::metrics(), &outer_registry);
+    EXPECT_EQ(obs::tracer(), &tracer);
+    {
+      obs::MetricsRegistry inner_registry;
+      obs::ObservabilityScope inner(&inner_registry, nullptr);
+      EXPECT_EQ(obs::metrics(), &inner_registry);
+      EXPECT_EQ(obs::tracer(), nullptr);
+    }
+    EXPECT_EQ(obs::metrics(), &outer_registry);
+    EXPECT_EQ(obs::tracer(), &tracer);
+  }
+  EXPECT_FALSE(obs::enabled());
+}
+
+// --- Instrumented code paths ----------------------------------------------
+
+TEST(ObsIntegration, DispatchRecordsMetricsAndSpans) {
+  const Instance inst = test_instance();
+  const Placement p = Placement::everywhere(inst.num_tasks(), inst.num_machines());
+  const Realization r = realize(inst, NoiseModel::kUniform, 5);
+  const auto priority = make_priority(inst, PriorityRule::kLongestEstimateFirst);
+
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  {
+    obs::ObservabilityScope scope(&registry, &tracer);
+    (void)dispatch_online(inst, p, r, priority);
+  }
+  EXPECT_EQ(registry.counter("sim.dispatch.calls").value(), 1u);
+  EXPECT_EQ(registry.counter("sim.dispatch.tasks").value(), inst.num_tasks());
+  EXPECT_EQ(registry.histogram("sim.dispatch.machine_idle_time").summary().count,
+            inst.num_machines());
+  ASSERT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.events()[0].name, "dispatch_online");
+}
+
+TEST(ObsIntegration, ThreadPoolRecordsQueueAndTaskMetrics) {
+  obs::MetricsRegistry registry;
+  {
+    obs::ObservabilityScope scope(&registry, nullptr);
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) pool.submit([] {});
+    pool.wait_idle();
+  }
+  EXPECT_EQ(registry.counter("pool.tasks.submitted").value(), 20u);
+  EXPECT_EQ(registry.counter("pool.tasks.completed").value(), 20u);
+  EXPECT_EQ(registry.histogram("pool.task.run_seconds").summary().count, 20u);
+  EXPECT_EQ(registry.histogram("pool.task.wait_seconds").summary().count, 20u);
+}
+
+TEST(ObsIntegration, SweepRecordsCellsAndRate) {
+  obs::MetricsRegistry registry;
+  const auto grid = make_grid({2}, {1.5}, {1, 2, 3, 4});
+  {
+    obs::ObservabilityScope scope(&registry, nullptr);
+    run_sweep(grid, [](const SweepCell&) {});
+  }
+  EXPECT_EQ(registry.counter("sweep.cells_done").value(), grid.size());
+  EXPECT_EQ(registry.histogram("sweep.cell_seconds").summary().count, grid.size());
+  EXPECT_GT(registry.gauge("sweep.cells_per_sec").value(), 0.0);
+}
+
+TEST(ObsIntegration, ReportEmbedsMetricsSnapshot) {
+  obs::MetricsRegistry registry;
+  registry.counter("sim.dispatch.calls").add(3);
+  registry.histogram("sweep.cell_seconds").observe(0.25);
+
+  ExperimentReport report("obs-test", "metrics section");
+  report.series("data", {"x", "y"}).add_row({1.0, 2.0});
+  EXPECT_FALSE(report.metrics().has_value());
+  report.attach_metrics(registry.snapshot());
+  ASSERT_TRUE(report.metrics().has_value());
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("sim.dispatch.calls"), std::string::npos);
+
+  std::ostringstream csv;
+  report.write_csv(csv);
+  EXPECT_NE(csv.str().find("# metrics"), std::string::npos);
+  EXPECT_NE(csv.str().find("sweep.cell_seconds"), std::string::npos);
+}
+
+// --- Determinism differential (ARCHITECTURE.md §5) -------------------------
+
+// Every dispatcher must produce bit-identical schedules whether or not
+// observability sinks are attached.
+
+template <typename Fn>
+auto with_obs(Fn&& fn) {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::ObservabilityScope scope(&registry, &tracer);
+  return fn();
+}
+
+void expect_identical(const Schedule& a, const Schedule& b) {
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  for (std::size_t j = 0; j < a.num_tasks(); ++j) {
+    EXPECT_EQ(a.assignment.machine_of[j], b.assignment.machine_of[j]) << "task " << j;
+    EXPECT_EQ(a.start[j], b.start[j]) << "task " << j;    // bitwise, not approx
+    EXPECT_EQ(a.finish[j], b.finish[j]) << "task " << j;
+  }
+}
+
+TEST(ObsDifferential, OnlineDispatchIsBitIdentical) {
+  const Instance inst = test_instance(60, 6);
+  const Placement p = Placement::everywhere(inst.num_tasks(), inst.num_machines());
+  const Realization r = realize(inst, NoiseModel::kTwoPoint, 9);
+  const auto priority = make_priority(inst, PriorityRule::kLongestEstimateFirst);
+  const DispatchResult plain = dispatch_online(inst, p, r, priority);
+  const DispatchResult observed =
+      with_obs([&] { return dispatch_online(inst, p, r, priority); });
+  expect_identical(plain.schedule, observed.schedule);
+  EXPECT_EQ(plain.trace.size(), observed.trace.size());
+}
+
+TEST(ObsDifferential, FailureDispatchIsBitIdentical) {
+  const Instance inst = test_instance(30, 4);
+  const Placement p = Placement::in_groups({0, 1, 0, 1, 0, 1, 0, 1, 0, 1,
+                                            0, 1, 0, 1, 0, 1, 0, 1, 0, 1,
+                                            0, 1, 0, 1, 0, 1, 0, 1, 0, 1},
+                                           2, 4);
+  const Realization r = realize(inst, NoiseModel::kUniform, 3);
+  const auto priority = make_priority(inst, PriorityRule::kLongestEstimateFirst);
+  FailurePlan plan;
+  plan.failures = {{0, 5.0}};
+  plan.refetch_penalty = 2.0;
+  const FailureDispatchResult plain =
+      dispatch_with_failures(inst, p, r, priority, plan);
+  const FailureDispatchResult observed = with_obs(
+      [&] { return dispatch_with_failures(inst, p, r, priority, plan); });
+  expect_identical(plain.schedule, observed.schedule);
+  EXPECT_EQ(plain.restarts, observed.restarts);
+  EXPECT_EQ(plain.refetches, observed.refetches);
+}
+
+TEST(ObsDifferential, TransferDispatchIsBitIdentical) {
+  const Instance inst = test_instance(30, 4);
+  const Placement p =
+      Placement::in_groups({0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2,
+                            3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1},
+                           4, 4);
+  const Realization r = realize(inst, NoiseModel::kUniform, 3);
+  const auto priority = make_priority(inst, PriorityRule::kLongestEstimateFirst);
+  TransferModel model;
+  model.bandwidth = 10.0;
+  model.latency = 0.5;
+  const TransferDispatchResult plain =
+      dispatch_with_transfers(inst, p, r, priority, model);
+  const TransferDispatchResult observed = with_obs(
+      [&] { return dispatch_with_transfers(inst, p, r, priority, model); });
+  expect_identical(plain.schedule, observed.schedule);
+  EXPECT_EQ(plain.remote_runs, observed.remote_runs);
+  EXPECT_EQ(plain.transfer_time, observed.transfer_time);
+}
+
+TEST(ObsDifferential, SpeculativeDispatchIsBitIdentical) {
+  const Instance inst = test_instance(30, 4);
+  const Placement p = Placement::everywhere(inst.num_tasks(), inst.num_machines());
+  const Realization r = realize(inst, NoiseModel::kTwoPoint, 13);
+  const auto priority = make_priority(inst, PriorityRule::kLongestEstimateFirst);
+  const SpeedProfile speeds(std::vector<double>{1.0, 1.0, 0.5, 2.0});
+  SpeculationPolicy policy;
+  const SpeculativeResult plain =
+      dispatch_speculative(inst, p, r, priority, speeds, policy);
+  const SpeculativeResult observed = with_obs(
+      [&] { return dispatch_speculative(inst, p, r, priority, speeds, policy); });
+  expect_identical(plain.schedule, observed.schedule);
+  EXPECT_EQ(plain.duplicates_launched, observed.duplicates_launched);
+  EXPECT_EQ(plain.wasted_time, observed.wasted_time);
+}
+
+TEST(ObsDifferential, RatioExperimentSeriesAreBitIdentical) {
+  const Instance inst = test_instance(16, 4);
+  const TwoPhaseStrategy strategy = make_ls_group(2);
+  RatioExperimentConfig config;
+  config.exact_node_budget = 50'000;
+
+  auto run_experiment = [&] {
+    ExperimentReport report("obs-diff", "ratio sweep");
+    Series& series = report.series("ratios", {"seed", "ratio"});
+    const RatioAggregate agg =
+        measure_ratio_batch(strategy, inst, NoiseModel::kUniform, 8, 21, config);
+    series.add_row({static_cast<double>(agg.ratios.count()), agg.ratios.mean()});
+    series.add_row({agg.ratios.min(), agg.ratios.max()});
+    return report.to_json();
+  };
+
+  const std::string plain = run_experiment();
+  const std::string observed = with_obs(run_experiment);
+  EXPECT_EQ(plain, observed);
+}
+
+TEST(ObsDifferential, ParallelSweepResultsAreBitIdentical) {
+  const Instance inst = test_instance(24, 4);
+  const Placement p = Placement::everywhere(inst.num_tasks(), inst.num_machines());
+  const auto priority = make_priority(inst, PriorityRule::kLongestEstimateFirst);
+  std::vector<std::uint64_t> seeds(32);
+  for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = i + 1;
+  const auto grid = make_grid({inst.num_machines()}, {inst.alpha()}, seeds);
+
+  auto sweep = [&](std::vector<double>& out) {
+    ThreadPool pool(4);
+    run_sweep_parallel(pool, grid, [&](const SweepCell& cell) {
+      const Realization r = realize(inst, NoiseModel::kUniform, cell.seed);
+      out[cell.index] =
+          dispatch_online(inst, p, r, priority).schedule.makespan();
+    });
+  };
+
+  std::vector<double> plain(grid.size(), -1.0);
+  sweep(plain);
+  std::vector<double> observed(grid.size(), -1.0);
+  with_obs([&] {
+    sweep(observed);
+    return 0;
+  });
+  EXPECT_EQ(plain, observed);
+}
+
+// --- Multi-threaded stress (TSan target) ----------------------------------
+
+TEST(ObsStress, RegistrySurvivesParallelSweepHammering) {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  constexpr std::size_t kCells = 512;
+  std::vector<std::uint64_t> seeds(kCells);
+  for (std::size_t i = 0; i < kCells; ++i) seeds[i] = i;
+  const auto grid = make_grid({4}, {1.5}, seeds);
+
+  {
+    obs::ObservabilityScope scope(&registry, &tracer);
+    ThreadPool pool(4);
+    run_sweep_parallel(pool, grid, [&](const SweepCell& cell) {
+      // Hammer every metric kind from every worker, including first-use
+      // creation races on named metrics.
+      registry.counter("stress.total").add(1);
+      registry.counter("stress.shard." + std::to_string(cell.index % 8)).add(1);
+      registry.gauge("stress.last_index").set(static_cast<double>(cell.index));
+      registry.histogram("stress.value").observe(static_cast<double>(cell.index));
+      tracer.instant("stress.cell", "test");
+    });
+  }
+
+  EXPECT_EQ(registry.counter("stress.total").value(), kCells);
+  std::uint64_t sharded = 0;
+  for (int s = 0; s < 8; ++s) {
+    sharded += registry.counter("stress.shard." + std::to_string(s)).value();
+  }
+  EXPECT_EQ(sharded, kCells);
+  const obs::Histogram::Summary summary = registry.histogram("stress.value").summary();
+  EXPECT_EQ(summary.count, kCells);
+  EXPECT_DOUBLE_EQ(summary.min, 0.0);
+  EXPECT_DOUBLE_EQ(summary.max, static_cast<double>(kCells - 1));
+  // Instants from the bodies plus spans from sweep/pool instrumentation.
+  EXPECT_GE(tracer.size(), kCells);
+  // The sweep-layer counters agree with the body-level ones.
+  EXPECT_EQ(registry.counter("sweep.cells_done").value(), kCells);
+}
+
+TEST(ObsStress, ConcurrentScopedTimersOnOneHistogram) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist = registry.histogram("timed");
+  std::vector<std::thread> threads;
+  constexpr int kPerThread = 200;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < kPerThread; ++i) obs::ScopedTimer timer(&hist);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(hist.summary().count, 4u * kPerThread);
+}
+
+}  // namespace
+}  // namespace rdp

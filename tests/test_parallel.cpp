@@ -1,11 +1,15 @@
-// Tests for the thread pool and parallel_for substrate.
+// Tests for the thread pool and parallel_for substrate, including the
+// cancel-on-first-error policy and its agreement with the sweep engine.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "exp/sweep.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -91,6 +95,102 @@ TEST(ParallelFor, ExceptionFromBodyPropagates) {
                      if (i == 5) throw std::logic_error("bad index");
                    }),
                std::logic_error);
+}
+
+TEST(ThreadPool, CancelPendingDropsQueuedTasksAfterError) {
+  // One worker: the throwing task runs first, so every queued task after
+  // it must be dropped -- deterministically zero side effects.
+  ThreadPool pool(1);
+  ASSERT_EQ(pool.error_policy(), ThreadPool::ErrorPolicy::kCancelPending);
+  std::atomic<int> counter{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 0);
+  EXPECT_EQ(pool.cancelled_count(), 100u);
+  // The error was consumed: the pool is usable again.
+  pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, RunAllPolicyKeepsExecutingAfterError) {
+  ThreadPool pool(1, ThreadPool::ErrorPolicy::kRunAll);
+  std::atomic<int> counter{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 50);
+  EXPECT_EQ(pool.cancelled_count(), 0u);
+}
+
+TEST(Sweep, SerialStopsAtFirstError) {
+  const auto grid = make_grid({2}, {1.5}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  std::vector<int> results(grid.size(), -1);  // -1 = never ran
+  std::size_t visits = 0;
+  EXPECT_THROW(run_sweep(grid,
+                         [&](const SweepCell& cell) {
+                           ++visits;
+                           if (cell.index == 3) throw std::runtime_error("cell 3");
+                           results[cell.index] = static_cast<int>(cell.index);
+                         }),
+               std::runtime_error);
+  EXPECT_EQ(visits, 4u);  // cells 0..2 completed, cell 3 threw
+  for (std::size_t i = 4; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], -1) << "cell " << i << " ran after the error";
+  }
+}
+
+TEST(Sweep, ParallelSingleThreadStopsSchedulingAfterError) {
+  // With one worker, block execution is sequential, so the parallel path
+  // must match the serial one: nothing after the throwing block runs and
+  // unrun result slots keep their initialized state.
+  std::vector<std::uint64_t> seeds(200);
+  for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = i;
+  const auto grid = make_grid({2}, {1.5}, seeds);
+  std::vector<int> results(grid.size(), -1);
+  std::atomic<std::size_t> visits{0};
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      run_sweep_parallel(pool, grid,
+                         [&](const SweepCell& cell) {
+                           visits.fetch_add(1, std::memory_order_relaxed);
+                           if (cell.index == 0) throw std::runtime_error("cell 0");
+                           results[cell.index] = static_cast<int>(cell.index);
+                         }),
+      std::runtime_error);
+  EXPECT_EQ(visits.load(), 1u);  // the throwing cell only
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], -1) << "cell " << i << " ran after the error";
+  }
+}
+
+TEST(Sweep, ParallelMultiThreadCancelsPendingCells) {
+  // Multi-threaded: blocks already in flight when the error lands may
+  // finish, but queued blocks must be dropped, so far fewer than all
+  // cells run and every unrun slot keeps its sentinel.
+  std::vector<std::uint64_t> seeds(400);
+  for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = i;
+  const auto grid = make_grid({2}, {1.5}, seeds);
+  std::vector<std::atomic<int>> ran(grid.size());
+  for (auto& r : ran) r.store(0);
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      run_sweep_parallel(pool, grid,
+                         [&](const SweepCell& cell) {
+                           if (cell.index == 0) throw std::runtime_error("cell 0");
+                           std::this_thread::sleep_for(std::chrono::microseconds(200));
+                           ran[cell.index].store(1);
+                         }),
+      std::runtime_error);
+  std::size_t executed = 0;
+  for (const auto& r : ran) executed += static_cast<std::size_t>(r.load());
+  EXPECT_LT(executed, grid.size());
+  EXPECT_GT(pool.cancelled_count(), 0u);
 }
 
 }  // namespace

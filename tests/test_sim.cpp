@@ -2,6 +2,7 @@
 // online semi-clairvoyant dispatcher.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -153,6 +154,46 @@ TEST(Dispatcher, InitialReadyDelaysDispatch) {
       dispatch_online(inst, p, r, {0}, std::vector<Time>{4.0, 7.0});
   EXPECT_EQ(d.schedule.assignment[0], 0u);
   EXPECT_DOUBLE_EQ(d.schedule.start[0], 4.0);
+}
+
+TEST(Dispatcher, RejectsWrongSizedInitialReady) {
+  Instance inst = Instance::from_estimates({1.0, 2.0}, 2, 1.0);
+  const Placement p = Placement::everywhere(2, 2);
+  const Realization r = exact_realization(inst);
+  const auto priority = make_priority(inst, PriorityRule::kInputOrder);
+  // Too short and too long both die at the seam instead of corrupting the
+  // machine heap.
+  EXPECT_THROW((void)dispatch_online(inst, p, r, priority, std::vector<Time>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)dispatch_online(inst, p, r, priority, std::vector<Time>{1.0, 2.0, 3.0}),
+      std::invalid_argument);
+}
+
+TEST(Dispatcher, RejectsNegativeOrNonFiniteInitialReady) {
+  Instance inst = Instance::from_estimates({1.0, 2.0}, 2, 1.0);
+  const Placement p = Placement::everywhere(2, 2);
+  const Realization r = exact_realization(inst);
+  const auto priority = make_priority(inst, PriorityRule::kInputOrder);
+  EXPECT_THROW(
+      (void)dispatch_online(inst, p, r, priority, std::vector<Time>{0.0, -1.0}),
+      std::invalid_argument);
+  const Time nan = std::numeric_limits<Time>::quiet_NaN();
+  EXPECT_THROW((void)dispatch_online(inst, p, r, priority, std::vector<Time>{0.0, nan}),
+               std::invalid_argument);
+  const Time inf = std::numeric_limits<Time>::infinity();
+  EXPECT_THROW((void)dispatch_online(inst, p, r, priority, std::vector<Time>{inf, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Dispatcher, AcceptsZeroInitialReady) {
+  Instance inst = Instance::from_estimates({1.0, 2.0}, 2, 1.0);
+  const Placement p = Placement::everywhere(2, 2);
+  const Realization r = exact_realization(inst);
+  const auto priority = make_priority(inst, PriorityRule::kInputOrder);
+  const DispatchResult d =
+      dispatch_online(inst, p, r, priority, std::vector<Time>{0.0, 0.0});
+  EXPECT_DOUBLE_EQ(d.schedule.start[0], 0.0);
 }
 
 TEST(Dispatcher, TraceRecordsEveryDispatch) {

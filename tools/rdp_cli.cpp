@@ -9,12 +9,19 @@
 //           [--trace=trace.csv | --noise=uniform --seed=7]
 //           [--svg=gantt.svg] [--json=result.json]
 //   rdp_cli evaluate --instance=inst.csv --scenarios=12 --seed=3
+//   rdp_cli sweep    --instance=inst.csv --strategy=ls-group:2 --trials=64
+//           --threads=4 --metrics-out=metrics.json --trace-out=run.json
 //   rdp_cli bounds   --m=8 --alpha=1.5
 //
 // Every command prints a human-readable summary; `run --json` also emits
-// a machine-readable report.
+// a machine-readable report. The global flags --metrics-out=FILE and
+// --trace-out=FILE work with every command: they install an observability
+// scope for the command's duration and write a metrics snapshot (JSON)
+// and a wall-clock trace (Chrome trace_event format, or JSONL when FILE
+// ends in .jsonl) on exit.
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "rdp.hpp"
@@ -26,7 +33,7 @@ using namespace rdp;
 int usage(const char* program) {
   std::cerr
       << "usage: " << program
-      << " <generate|realize|run|evaluate|bounds> [--flags]\n\n"
+      << " <generate|realize|run|evaluate|sweep|bounds> [--flags]\n\n"
          "  generate --kind=uniform|heavy-tailed|bimodal|lognormal|"
          "correlated|anti-correlated|independent|unit|profile:NAME\n"
          "           --n=N --m=M --alpha=A --seed=S --out=FILE\n"
@@ -34,7 +41,11 @@ int usage(const char* program) {
          "  run      --instance=FILE --strategy=SPEC [--trace=TRACE]\n"
          "           [--noise=MODEL --seed=S] [--svg=FILE] [--json=FILE]\n"
          "  evaluate --instance=FILE [--scenarios=K] [--seed=S]\n"
+         "  sweep    --instance=FILE --strategy=SPEC [--noise=MODEL]\n"
+         "           [--trials=K] [--threads=T] [--seed=S] [--json=FILE]\n"
          "  bounds   --m=M --alpha=A\n\n"
+         "global:  --metrics-out=FILE (metrics snapshot JSON)\n"
+         "         --trace-out=FILE   (Chrome trace_event; .jsonl for JSONL)\n\n"
          "strategies:";
   for (const std::string& spec : known_strategy_specs()) std::cerr << ' ' << spec;
   std::cerr << "\nnoise models: none uniform log-uniform two-point"
@@ -150,6 +161,72 @@ int cmd_run(const Args& args) {
     series.add_row({result.makespan, opt.lower, result.makespan / opt.lower,
                     result.max_memory,
                     static_cast<double>(result.max_replication)});
+    if (obs::MetricsRegistry* mx = obs::metrics()) {
+      report.attach_metrics(mx->snapshot());
+    }
+    report.save_json(json_path);
+    std::cout << "JSON written to " << json_path << "\n";
+  }
+  return EXIT_SUCCESS;
+}
+
+int cmd_sweep(const Args& args) {
+  const std::string in = args.get("instance", std::string(""));
+  if (in.empty()) throw std::invalid_argument("sweep: --instance is required");
+  const Instance inst = load_instance(in);
+  const TwoPhaseStrategy strategy =
+      strategy_from_spec(args.get("strategy", std::string("lpt-no-restriction")));
+  const NoiseModel model =
+      noise_from_name(args.get("noise", std::string("uniform")));
+  const auto trials =
+      static_cast<std::size_t>(args.get("trials", std::int64_t{32}));
+  const auto threads =
+      static_cast<std::size_t>(args.get("threads", std::int64_t{0}));
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{1}));
+  if (trials == 0) throw std::invalid_argument("sweep: --trials must be >= 1");
+
+  std::vector<std::uint64_t> seeds(trials);
+  for (std::size_t t = 0; t < trials; ++t) seeds[t] = seed + t;
+  const std::vector<SweepCell> grid =
+      make_grid({inst.num_machines()}, {inst.alpha()}, seeds);
+
+  // Phase 1 is deterministic: place once, re-dispatch per realization.
+  const Placement placement = strategy.place(inst);
+  std::vector<double> makespans(grid.size(), 0.0);
+  ThreadPool pool(threads);
+  run_sweep_parallel(pool, grid, [&](const SweepCell& cell) {
+    const Realization actual = realize(inst, model, cell.seed);
+    const DispatchResult dispatched =
+        dispatch_with_rule(inst, placement, actual, strategy.rule());
+    makespans[cell.index] = dispatched.schedule.makespan();
+  });
+
+  Welford agg;
+  for (double v : makespans) agg.add(v);
+  TextTable table({"quantity", "value"});
+  table.add_row({"strategy", strategy.name()});
+  table.add_row({"noise", to_string(model)});
+  table.add_row({"trials", std::to_string(trials)});
+  table.add_row({"threads", std::to_string(pool.num_threads())});
+  table.add_row({"mean C_max", fmt(agg.mean(), 4)});
+  table.add_row({"stddev C_max", fmt(agg.stddev(), 4)});
+  table.add_row({"min C_max", fmt(agg.min(), 4)});
+  table.add_row({"max C_max", fmt(agg.max(), 4)});
+  std::cout << table.render();
+
+  const std::string json_path = args.get("json", std::string(""));
+  if (!json_path.empty()) {
+    ExperimentReport report("rdp-cli-sweep", "parallel makespan sweep");
+    report.set_param("strategy", strategy.name());
+    report.set_param("noise", to_string(model));
+    report.set_param("instance", in);
+    Series& series = report.series("makespans", {"seed", "makespan"});
+    for (const SweepCell& cell : grid) {
+      series.add_row({static_cast<double>(cell.seed), makespans[cell.index]});
+    }
+    if (obs::MetricsRegistry* mx = obs::metrics()) {
+      report.attach_metrics(mx->snapshot());
+    }
     report.save_json(json_path);
     std::cout << "JSON written to " << json_path << "\n";
   }
@@ -205,13 +282,42 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args(argc - 1, argv + 1);
   try {
-    if (command == "generate") return cmd_generate(args);
-    if (command == "realize") return cmd_realize(args);
-    if (command == "run") return cmd_run(args);
-    if (command == "evaluate") return cmd_evaluate(args);
-    if (command == "bounds") return cmd_bounds(args);
-    std::cerr << "unknown command '" << command << "'\n";
-    return usage(argv[0]);
+    // Optional observability sinks, shared by every command.
+    const std::string metrics_path = args.get("metrics-out", std::string(""));
+    const std::string trace_path = args.get("trace-out", std::string(""));
+    std::unique_ptr<obs::MetricsRegistry> registry;
+    std::unique_ptr<obs::Tracer> tracer;
+    if (!metrics_path.empty()) registry = std::make_unique<obs::MetricsRegistry>();
+    if (!trace_path.empty()) tracer = std::make_unique<obs::Tracer>();
+    obs::ObservabilityScope scope(registry.get(), tracer.get());
+
+    int status = EXIT_FAILURE;
+    if (command == "generate") {
+      status = cmd_generate(args);
+    } else if (command == "realize") {
+      status = cmd_realize(args);
+    } else if (command == "run") {
+      status = cmd_run(args);
+    } else if (command == "evaluate") {
+      status = cmd_evaluate(args);
+    } else if (command == "sweep") {
+      status = cmd_sweep(args);
+    } else if (command == "bounds") {
+      status = cmd_bounds(args);
+    } else {
+      std::cerr << "unknown command '" << command << "'\n";
+      return usage(argv[0]);
+    }
+
+    if (registry) {
+      registry->save_json(metrics_path);
+      std::cout << "metrics written to " << metrics_path << "\n";
+    }
+    if (tracer) {
+      tracer->save(trace_path);
+      std::cout << "trace written to " << trace_path << "\n";
+    }
+    return status;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return EXIT_FAILURE;
