@@ -16,6 +16,7 @@
 #include "core/instance.hpp"
 #include "core/realization.hpp"
 #include "exact/branch_and_bound.hpp"
+#include "exact/certify.hpp"
 #include "exact/dual_approx.hpp"
 #include "exp/sweep.hpp"
 #include "obs/hooks.hpp"
@@ -105,6 +106,84 @@ void BM_BranchAndBound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BranchAndBound)->Arg(12)->Arg(16)->Arg(20);
+
+// ----- certification engine: cold vs cached vs warm batch vs parallel ---
+// All four run over the same realizations of one instance, so the numbers
+// are directly comparable: BM_CertifyCold is the per-denominator price the
+// experiment harness used to pay, the others are what the engine layers
+// (memo cache, warm-started batch dedup, thread-pool fan-out) recover.
+
+std::vector<std::vector<Time>> certify_inputs(std::size_t count, std::size_t n,
+                                              MachineId m) {
+  const Instance inst = bench_instance(n, m);
+  std::vector<std::vector<Time>> inputs;
+  inputs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    inputs.push_back(realize(inst, NoiseModel::kUniform, i + 1).actual);
+  }
+  return inputs;
+}
+
+void BM_CertifyCold(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inputs = certify_inputs(16, n, 8);
+  std::size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        certified_cmax(inputs[next], 8, /*node_budget=*/200'000));
+    next = (next + 1) % inputs.size();
+  }
+}
+BENCHMARK(BM_CertifyCold)->Arg(16)->Arg(20)->Arg(24);
+
+void BM_CertifyCachedHit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inputs = certify_inputs(16, n, 8);
+  CertifyEngine engine;
+  CertifyOptions options;
+  options.node_budget = 200'000;
+  for (const auto& p : inputs) benchmark::DoNotOptimize(engine.certify(p, 8, options));
+  std::size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.certify(inputs[next], 8, options));
+    next = (next + 1) % inputs.size();
+  }
+}
+BENCHMARK(BM_CertifyCachedHit)->Arg(16)->Arg(20)->Arg(24);
+
+void BM_CertifyBatchWarm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inputs = certify_inputs(16, n, 8);
+  std::vector<CertifyRequest> batch;
+  for (const auto& p : inputs) batch.push_back({p, 8});
+  CertifyOptions options;
+  options.node_budget = 200'000;
+  for (auto _ : state) {
+    CertifyEngine engine;  // fresh: measures warm-started solves, not hits
+    benchmark::DoNotOptimize(engine.certify_batch(batch, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inputs.size()));
+}
+BENCHMARK(BM_CertifyBatchWarm)->Arg(16)->Arg(20)->Arg(24);
+
+void BM_CertifyBatchParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inputs = certify_inputs(16, n, 8);
+  std::vector<CertifyRequest> batch;
+  for (const auto& p : inputs) batch.push_back({p, 8});
+  ThreadPool pool(8);
+  CertifyOptions options;
+  options.node_budget = 200'000;
+  options.pool = &pool;
+  for (auto _ : state) {
+    CertifyEngine engine;
+    benchmark::DoNotOptimize(engine.certify_batch(batch, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inputs.size()));
+}
+BENCHMARK(BM_CertifyBatchParallel)->Arg(16)->Arg(20)->Arg(24);
 
 void BM_Multifit(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

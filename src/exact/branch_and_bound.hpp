@@ -20,10 +20,21 @@ struct BnbResult {
   Assignment assignment;   ///< assignment achieving `best`
 };
 
+/// Optional warm start for the search: an assignment (task -> machine, in
+/// the caller's task index space) whose makespan under `p` seeds the
+/// incumbent when it beats LPT. Typical source: the solution of a similar
+/// instance (e.g. another realization of the same workload); any complete
+/// assignment is a valid upper bound, so warm starting never changes
+/// which bounds are certified -- it only prunes the search earlier.
+struct BnbWarmStart {
+  const Assignment* assignment = nullptr;  ///< nullptr = no warm start
+};
+
 /// Solves (or bounds) min-makespan scheduling of `p` on `m` machines.
 /// `node_budget` caps the search; on exhaustion `proven` is false and
 /// [lower_bound, best] brackets the optimum.
 [[nodiscard]] BnbResult branch_and_bound_cmax(std::span<const Time> p, MachineId m,
-                                              std::uint64_t node_budget = 20'000'000);
+                                              std::uint64_t node_budget = 20'000'000,
+                                              const BnbWarmStart& warm = {});
 
 }  // namespace rdp

@@ -1,0 +1,322 @@
+#include "exact/certify.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <list>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rdp {
+
+namespace {
+
+// ------------------------------------------------------- canonical form --
+
+// Canonical form of a processing-time vector: entries sorted
+// non-increasing (ties toward the smaller original index, so the rank ->
+// original-index map is deterministic) and divided by the largest entry.
+// Permutations of one multiset canonicalize identically; uniform
+// rescalings usually do too (exact when the divisions round alike).
+struct Canonical {
+  std::vector<Time> values;    // sorted non-increasing, values[0] == 1
+  std::vector<TaskId> order;   // order[rank] = original index
+  Time scale = 1.0;            // the divisor (largest original entry)
+  bool trivial = false;        // empty / all-zero / invalid: solve directly
+};
+
+Canonical canonicalize(std::span<const Time> p) {
+  Canonical c;
+  c.order.resize(p.size());
+  std::iota(c.order.begin(), c.order.end(), TaskId{0});
+  std::sort(c.order.begin(), c.order.end(), [&](TaskId a, TaskId b) {
+    return p[a] != p[b] ? p[a] > p[b] : a < b;
+  });
+  if (p.empty()) {
+    c.trivial = true;
+    return c;
+  }
+  c.scale = p[c.order.front()];
+  if (!(c.scale > 0)) {
+    // All-zero (degenerate) or negative (domain violation) inputs bypass
+    // the cache and keep certified_cmax's own behaviour.
+    c.trivial = true;
+    return c;
+  }
+  c.values.resize(p.size());
+  for (std::size_t r = 0; r < p.size(); ++r) c.values[r] = p[c.order[r]] / c.scale;
+  return c;
+}
+
+// ------------------------------------------------------------ cache key --
+
+struct CacheKey {
+  MachineId m = 0;
+  std::vector<Time> values;
+
+  bool operator==(const CacheKey& other) const {
+    return m == other.m && values == other.values;
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const noexcept {
+    // FNV-1a over the machine count and the exact bit patterns.
+    std::uint64_t h = 14695981039346656037ull;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (8 * byte)) & 0xffull;
+        h *= 1099511628211ull;
+      }
+    };
+    mix(key.m);
+    mix(key.values.size());
+    for (const Time v : key.values) mix(std::bit_cast<std::uint64_t>(v));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// Maps a canonical-space result back to the caller's index space and
+// scale. The upper bound is re-derived from the assignment's loads under
+// the original times, so `upper` always equals the recomputed makespan;
+// the lower bound is clamped so `lower <= upper` survives rounding.
+CertifiedCmax denormalize(const CertifiedCmax& canon, const Canonical& c,
+                          std::span<const Time> p, MachineId m) {
+  CertifiedCmax out;
+  out.exact = canon.exact;
+  out.assignment = Assignment(p.size());
+  for (std::size_t r = 0; r < p.size(); ++r) {
+    out.assignment.machine_of[c.order[r]] = canon.assignment.machine_of[r];
+  }
+  std::vector<Time> loads(m, 0);
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    loads[out.assignment.machine_of[j]] += p[j];
+  }
+  out.upper = *std::max_element(loads.begin(), loads.end());
+  out.lower = canon.exact ? out.upper : std::min(canon.lower * c.scale, out.upper);
+  return out;
+}
+
+bool assignment_complete_for(const CertifiedCmax& result, std::size_t n,
+                             MachineId m) {
+  if (result.assignment.machine_of.size() != n) return false;
+  for (const MachineId i : result.assignment.machine_of) {
+    if (i >= m) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ the cache --
+
+struct CertifyEngine::Impl {
+  using LruList = std::list<std::pair<CacheKey, CertifiedCmax>>;
+
+  mutable std::mutex mutex;
+  std::size_t capacity;
+  LruList lru;  // front = most recently used
+  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> index;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  explicit Impl(std::size_t cap) : capacity(cap) {}
+
+  // Looks up `key`, refreshing recency. Does not touch the counters --
+  // the batch layer attributes hits/misses per request.
+  bool lookup(const CacheKey& key, CertifiedCmax* out) {
+    std::lock_guard lock(mutex);
+    const auto it = index.find(key);
+    if (it == index.end()) return false;
+    lru.splice(lru.begin(), lru, it->second);
+    *out = it->second->second;
+    return true;
+  }
+
+  // Inserts a solved entry; first writer wins when two batches race.
+  void insert(const CacheKey& key, const CertifiedCmax& value) {
+    if (capacity == 0) return;
+    std::lock_guard lock(mutex);
+    if (index.contains(key)) return;
+    lru.emplace_front(key, value);
+    index.emplace(key, lru.begin());
+    while (index.size() > capacity) {
+      index.erase(lru.back().first);
+      lru.pop_back();
+      ++evictions;
+    }
+  }
+
+  void count(std::uint64_t batch_hits, std::uint64_t batch_misses) {
+    std::lock_guard lock(mutex);
+    hits += batch_hits;
+    misses += batch_misses;
+  }
+};
+
+CertifyEngine::CertifyEngine(std::size_t cache_capacity)
+    : impl_(std::make_unique<Impl>(cache_capacity)) {}
+
+CertifyEngine::~CertifyEngine() = default;
+
+CertifiedCmax CertifyEngine::certify(std::span<const Time> p, MachineId m,
+                                     const CertifyOptions& options) {
+  const CertifyRequest request{p, m};
+  return certify_batch({&request, 1}, options)[0];
+}
+
+std::vector<CertifiedCmax> CertifyEngine::certify_batch(
+    std::span<const CertifyRequest> batch, const CertifyOptions& options) {
+  const std::size_t count = batch.size();
+  std::vector<CertifiedCmax> results(count);
+
+  // Canonicalize every request; trivial ones bypass the cache entirely.
+  std::vector<Canonical> canons(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (batch[i].m == 0) {
+      throw std::invalid_argument("certify_batch: m must be >= 1");
+    }
+    canons[i] = canonicalize(batch[i].p);
+    if (canons[i].trivial) {
+      results[i] = certified_cmax(batch[i].p, batch[i].m, options.node_budget);
+    }
+  }
+
+  // Dedup the remainder: one slot per distinct (m, canonical values).
+  struct Slot {
+    CacheKey key;
+    std::vector<std::size_t> requests;  // batch indices sharing this slot
+    CertifiedCmax result;               // canonical-space result
+    bool resolved = false;              // cache hit or already solved
+  };
+  std::vector<Slot> slots;
+  std::unordered_map<CacheKey, std::size_t, CacheKeyHash> slot_of;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (canons[i].trivial) continue;
+    CacheKey key{batch[i].m, canons[i].values};
+    const auto [it, inserted] = slot_of.try_emplace(std::move(key), slots.size());
+    if (inserted) {
+      slots.push_back(Slot{it->first, {}, {}, false});
+    }
+    slots[it->second].requests.push_back(i);
+  }
+
+  // Resolve from the cache (sequentially, so LRU recency stays
+  // deterministic for a deterministic call sequence).
+  std::uint64_t solves = 0;
+  for (Slot& slot : slots) {
+    slot.resolved = impl_->lookup(slot.key, &slot.result);
+  }
+
+  // Warm-start seeds: per (n, m) shape, the first slot of that shape in
+  // first-occurrence order. A seed that is a miss is solved inline (cold)
+  // before the fan-out, so every remaining solve has a deterministic seed
+  // regardless of thread count.
+  std::map<std::pair<std::size_t, MachineId>, std::size_t> seed_slot;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    seed_slot.try_emplace({slots[s].key.values.size(), slots[s].key.m}, s);
+  }
+  const auto solve_slot = [&](std::size_t s) {
+    Slot& slot = slots[s];
+    BnbWarmStart warm;
+    if (options.warm_start) {
+      const std::size_t seed =
+          seed_slot.at({slot.key.values.size(), slot.key.m});
+      if (seed != s && slots[seed].resolved) {
+        warm.assignment = &slots[seed].result.assignment;
+      }
+    }
+    slot.result =
+        certified_cmax(slot.key.values, slot.key.m, options.node_budget, warm);
+  };
+  std::vector<std::size_t> pending;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (slots[s].resolved) continue;
+    ++solves;
+    const auto shape = std::make_pair(slots[s].key.values.size(), slots[s].key.m);
+    if (seed_slot.at(shape) == s) {
+      solve_slot(s);
+      slots[s].resolved = true;
+    } else {
+      pending.push_back(s);
+    }
+  }
+  if (options.pool != nullptr && pending.size() > 1) {
+    parallel_for_each_index(*options.pool, pending.size(),
+                            [&](std::size_t k) { solve_slot(pending[k]); });
+  } else {
+    for (const std::size_t s : pending) solve_slot(s);
+  }
+  for (const std::size_t s : pending) slots[s].resolved = true;
+
+  // Publish the new solves (slot order keeps insertion deterministic).
+  for (const Slot& slot : slots) {
+    impl_->insert(slot.key, slot.result);
+  }
+
+  // Map every request back through its own permutation and scale.
+  std::uint64_t served = 0;
+  for (const Slot& slot : slots) {
+    for (const std::size_t i : slot.requests) {
+      ++served;
+      if (assignment_complete_for(slot.result, batch[i].p.size(), batch[i].m)) {
+        results[i] = denormalize(slot.result, canons[i], batch[i].p, batch[i].m);
+      } else {
+        // Defensive: an unexpected partial assignment falls back to a
+        // direct solve rather than producing an invalid result.
+        results[i] = certified_cmax(batch[i].p, batch[i].m, options.node_budget);
+      }
+    }
+  }
+
+  const std::uint64_t batch_hits = served - solves;
+  impl_->count(batch_hits, solves);
+  if (obs::MetricsRegistry* const mx = obs::metrics()) {
+    // Unconditional adds so both counters appear in --metrics-out
+    // snapshots even when one side is zero for the whole run.
+    mx->counter("exp.certify.cache_hits").add(batch_hits);
+    mx->counter("exp.certify.cache_misses").add(solves);
+    mx->gauge("exp.certify.cache_size")
+        .set(static_cast<double>(cache_stats().size));
+  }
+  return results;
+}
+
+CertifyCacheStats CertifyEngine::cache_stats() const {
+  std::lock_guard lock(impl_->mutex);
+  CertifyCacheStats stats;
+  stats.hits = impl_->hits;
+  stats.misses = impl_->misses;
+  stats.evictions = impl_->evictions;
+  stats.size = impl_->index.size();
+  stats.capacity = impl_->capacity;
+  return stats;
+}
+
+void CertifyEngine::clear() {
+  std::lock_guard lock(impl_->mutex);
+  impl_->lru.clear();
+  impl_->index.clear();
+}
+
+CertifyEngine& default_certify_engine() {
+  static CertifyEngine engine;
+  return engine;
+}
+
+std::vector<CertifiedCmax> certified_cmax_batch(
+    std::span<const CertifyRequest> batch, const CertifyOptions& options) {
+  return default_certify_engine().certify_batch(batch, options);
+}
+
+}  // namespace rdp

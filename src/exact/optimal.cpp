@@ -13,7 +13,7 @@
 namespace rdp {
 
 CertifiedCmax certified_cmax(std::span<const Time> p, MachineId m,
-                             std::uint64_t node_budget) {
+                             std::uint64_t node_budget, const BnbWarmStart& warm) {
   CertifiedCmax result;
   result.assignment = Assignment(p.size());
   if (p.empty()) {
@@ -54,7 +54,7 @@ CertifiedCmax certified_cmax(std::span<const Time> p, MachineId m,
   }
 
   if (node_budget > 0) {
-    const BnbResult bnb = branch_and_bound_cmax(p, m, node_budget);
+    const BnbResult bnb = branch_and_bound_cmax(p, m, node_budget, warm);
     if (bnb.best < result.upper) {
       result.upper = bnb.best;
       result.assignment = bnb.assignment;

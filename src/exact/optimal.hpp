@@ -10,6 +10,7 @@
 
 #include "core/schedule.hpp"
 #include "core/types.hpp"
+#include "exact/branch_and_bound.hpp"
 
 namespace rdp {
 
@@ -25,8 +26,10 @@ struct CertifiedCmax {
 
 /// Computes a certified optimum bracket. `node_budget` bounds the
 /// branch-and-bound effort (0 disables B&B entirely and returns the
-/// heuristic bracket).
+/// heuristic bracket). `warm` optionally seeds the branch-and-bound
+/// incumbent (see BnbWarmStart); it can only tighten the result.
 [[nodiscard]] CertifiedCmax certified_cmax(std::span<const Time> p, MachineId m,
-                                           std::uint64_t node_budget = 5'000'000);
+                                           std::uint64_t node_budget = 5'000'000,
+                                           const BnbWarmStart& warm = {});
 
 }  // namespace rdp

@@ -6,7 +6,7 @@
 #include "core/instance.hpp"
 #include "core/metrics.hpp"
 #include "core/realization.hpp"
-#include "exact/optimal.hpp"
+#include "exact/certify.hpp"
 #include "memaware/abo.hpp"
 #include "memaware/sabo.hpp"
 #include "obs/hooks.hpp"
@@ -19,20 +19,27 @@ namespace {
 
 void fill_denominators(MemAwareTrial& trial, const Instance& instance,
                        const Realization& actual, const MemAwareConfig& config) {
-  const CertifiedCmax cmax_opt =
-      certified_cmax(actual.actual, instance.num_machines(), config.exact_node_budget);
-  trial.cmax_lower_bound = cmax_opt.lower;
-  trial.cmax_exact = cmax_opt.exact;
+  CertifyEngine& engine =
+      config.engine != nullptr ? *config.engine : default_certify_engine();
+  CertifyOptions copts;
+  copts.node_budget = config.exact_node_budget;
+  // Both denominators in one batch: the size vector is fixed per
+  // instance, so after the first trial its solve is always a cache hit.
+  const CertifyRequest requests[] = {
+      {actual.actual, instance.num_machines()},
+      {instance.sizes(), instance.num_machines()},
+  };
+  const std::vector<CertifiedCmax> optima = engine.certify_batch(requests, copts);
+
+  trial.cmax_lower_bound = optima[0].lower;
+  trial.cmax_exact = optima[0].exact;
   if (trial.cmax_lower_bound <= 0) {
     throw std::logic_error("memaware experiment: degenerate Cmax optimum");
   }
   trial.makespan_ratio = trial.makespan / trial.cmax_lower_bound;
 
-  const CertifiedCmax mem_opt =
-      certified_cmax(instance.sizes(), instance.num_machines(),
-                     config.exact_node_budget);
-  trial.mem_lower_bound = mem_opt.lower;
-  trial.mem_exact = mem_opt.exact;
+  trial.mem_lower_bound = optima[1].lower;
+  trial.mem_exact = optima[1].exact;
   trial.memory_ratio =
       trial.mem_lower_bound > 0 ? trial.memory / trial.mem_lower_bound : 0.0;
 }

@@ -10,6 +10,7 @@
 
 namespace rdp {
 
+class CertifyEngine;
 class Instance;
 struct Realization;
 
@@ -31,6 +32,10 @@ struct MemAwareTrial {
 
 struct MemAwareConfig {
   std::uint64_t exact_node_budget = 2'000'000;
+  /// Certification engine; nullptr uses the process-default engine. The
+  /// memory denominator (a P||Cmax instance over the fixed size vector)
+  /// is identical every trial, so the cache turns it into a single solve.
+  CertifyEngine* engine = nullptr;
 };
 
 /// SABO_Delta against one realization.

@@ -4,27 +4,25 @@
 
 #include "core/instance.hpp"
 #include "core/realization.hpp"
-#include "exact/optimal.hpp"
+#include "exact/certify.hpp"
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
 #include "perturb/adversary.hpp"
 
 namespace rdp {
 
 namespace {
 
-RatioTrial finish_trial(Time algo_makespan, const Realization& actual,
-                        const Instance& instance,
-                        const RatioExperimentConfig& config) {
+CertifyEngine& engine_for(const RatioExperimentConfig& config) {
+  return config.engine != nullptr ? *config.engine : default_certify_engine();
+}
+
+RatioTrial make_trial(Time algo_makespan, const CertifiedCmax& opt) {
   RatioTrial trial;
   trial.algorithm_makespan = algo_makespan;
-  obs::MetricsRegistry* const mx = obs::metrics();
-  if (mx) mx->counter("exp.ratio.trials").add(1);
-  obs::ScopedTimer opt_timer(mx ? &mx->histogram("exp.ratio.certify_seconds")
-                                : nullptr);
-  const CertifiedCmax opt =
-      certified_cmax(actual.actual, instance.num_machines(), config.exact_node_budget);
   trial.optimal_lower_bound = opt.lower;
   trial.exact_optimum = opt.exact;
   if (opt.lower <= 0) {
@@ -32,6 +30,23 @@ RatioTrial finish_trial(Time algo_makespan, const Realization& actual,
   }
   trial.ratio = algo_makespan / opt.lower;
   return trial;
+}
+
+RatioTrial finish_trial(Time algo_makespan, const Realization& actual,
+                        const Instance& instance,
+                        const RatioExperimentConfig& config) {
+  obs::MetricsRegistry* const mx = obs::metrics();
+  if (mx) mx->counter("exp.ratio.trials").add(1);
+  CertifyOptions options;
+  options.node_budget = config.exact_node_budget;
+  CertifiedCmax opt;
+  {
+    obs::ScopedTimer opt_timer(mx ? &mx->histogram("exp.ratio.certify_seconds")
+                                  : nullptr);
+    opt = engine_for(config).certify(actual.actual, instance.num_machines(),
+                                     options);
+  }
+  return make_trial(algo_makespan, opt);
 }
 
 }  // namespace
@@ -53,22 +68,73 @@ RatioTrial measure_adversarial_ratio(const TwoPhaseStrategy& strategy,
   return finish_trial(dispatched.schedule.makespan(), actual, instance, config);
 }
 
+std::vector<RatioTrial> measure_ratio_trials(const TwoPhaseStrategy& strategy,
+                                             const Instance& instance,
+                                             NoiseModel noise, std::size_t trials,
+                                             std::uint64_t seed,
+                                             const RatioExperimentConfig& config) {
+  if (trials == 0) {
+    throw std::invalid_argument("measure_ratio_trials: trials must be >= 1");
+  }
+  obs::ScopedSpan span(obs::tracer(), "measure_ratio_trials", "exp");
+  // Phase 1 is deterministic: place once, re-dispatch per realization.
+  const Placement placement = strategy.place(instance);
+
+  // Per-trial slots are index-addressed, so the parallel path writes the
+  // same bytes the sequential path would.
+  std::vector<Realization> actuals(trials);
+  std::vector<Time> makespans(trials);
+  const auto run_trial = [&](std::size_t t) {
+    actuals[t] = realize(instance, noise, seed + t);
+    const DispatchResult dispatched =
+        dispatch_with_rule(instance, placement, actuals[t], strategy.rule());
+    makespans[t] = dispatched.schedule.makespan();
+  };
+  if (config.pool != nullptr && trials > 1) {
+    parallel_for_each_index(*config.pool, trials, run_trial);
+  } else {
+    for (std::size_t t = 0; t < trials; ++t) run_trial(t);
+  }
+
+  obs::MetricsRegistry* const mx = obs::metrics();
+  if (mx) mx->counter("exp.ratio.trials").add(trials);
+  std::vector<CertifyRequest> requests(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    requests[t] = CertifyRequest{actuals[t].actual, instance.num_machines()};
+  }
+  CertifyOptions options;
+  options.node_budget = config.exact_node_budget;
+  options.pool = config.pool;
+  std::vector<CertifiedCmax> optima;
+  {
+    obs::ScopedTimer certify_timer(
+        mx ? &mx->histogram("exp.ratio.certify_seconds") : nullptr);
+    optima = engine_for(config).certify_batch(requests, options);
+  }
+
+  std::vector<RatioTrial> out(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    out[t] = make_trial(makespans[t], optima[t]);
+  }
+  return out;
+}
+
 RatioAggregate measure_ratio_batch(const TwoPhaseStrategy& strategy,
                                    const Instance& instance, NoiseModel noise,
                                    std::size_t trials, std::uint64_t seed,
                                    const RatioExperimentConfig& config) {
+  if (trials == 0) {
+    throw std::invalid_argument("measure_ratio_batch: trials must be >= 1");
+  }
   obs::ScopedSpan span(obs::tracer(), "measure_ratio_batch", "exp");
   RatioAggregate agg;
   agg.strategy_name = strategy.name();
   agg.noise_name = to_string(noise);
-  // Phase 1 is deterministic: place once, re-dispatch per realization.
-  const Placement placement = strategy.place(instance);
-  for (std::size_t t = 0; t < trials; ++t) {
-    const Realization actual = realize(instance, noise, seed + t);
-    const DispatchResult dispatched =
-        dispatch_with_rule(instance, placement, actual, strategy.rule());
-    const RatioTrial trial =
-        finish_trial(dispatched.schedule.makespan(), actual, instance, config);
+  // Welford aggregation happens after the batch barrier, in trial order,
+  // so the aggregate is bit-identical to the sequential order.
+  const std::vector<RatioTrial> series =
+      measure_ratio_trials(strategy, instance, noise, trials, seed, config);
+  for (const RatioTrial& trial : series) {
     agg.ratios.add(trial.ratio);
     if (trial.ratio > agg.worst.ratio) agg.worst = trial;
   }

@@ -4,6 +4,12 @@
 // the denominator never exceeds OPT, measured ratios over-estimate the
 // true competitive ratio, keeping "measured <= theorem bound" checks
 // sound.
+//
+// Certification is the dominant cost, so every entry point routes through
+// a CertifyEngine (exact/certify.hpp): denominators are canonicalized,
+// memo-cached, and -- for batches -- solved in parallel on an optional
+// ThreadPool. Batch aggregation happens after the parallel barrier in
+// trial order, so results are bit-identical across thread counts.
 #pragma once
 
 #include <cstdint>
@@ -17,12 +23,20 @@
 
 namespace rdp {
 
+class CertifyEngine;
 class Instance;
+class ThreadPool;
 struct Realization;
 
 struct RatioExperimentConfig {
   /// Branch-and-bound node budget for the optimum (0 = analytic LB only).
   std::uint64_t exact_node_budget = 2'000'000;
+  /// Certification engine (cache + batch solver); nullptr uses the
+  /// process-default engine.
+  CertifyEngine* engine = nullptr;
+  /// When non-null, batch trial loops (dispatch + certification) run on
+  /// this pool; results are bit-identical to the sequential path.
+  ThreadPool* pool = nullptr;
 };
 
 struct RatioTrial {
@@ -44,6 +58,16 @@ struct RatioTrial {
     const TwoPhaseStrategy& strategy, const Instance& instance,
     const RatioExperimentConfig& config = {});
 
+/// `trials` independent stochastic realizations (seeds seed, seed+1, ...),
+/// one RatioTrial per realization in trial order. Phase 1 runs once (it is
+/// realization-independent); dispatch and certification are batched and,
+/// with `config.pool`, parallel. Throws std::invalid_argument when
+/// `trials == 0`.
+[[nodiscard]] std::vector<RatioTrial> measure_ratio_trials(
+    const TwoPhaseStrategy& strategy, const Instance& instance, NoiseModel noise,
+    std::size_t trials, std::uint64_t seed,
+    const RatioExperimentConfig& config = {});
+
 struct RatioAggregate {
   std::string strategy_name;
   std::string noise_name;
@@ -51,7 +75,10 @@ struct RatioAggregate {
   RatioTrial worst;  ///< the trial with the largest ratio
 };
 
-/// `trials` independent stochastic realizations (seeds seed, seed+1, ...).
+/// Aggregate over measure_ratio_trials; the Welford stream is fed in
+/// trial order after the (possibly parallel) batch completes, so the
+/// aggregate is bit-identical to a sequential run. Throws
+/// std::invalid_argument when `trials == 0`.
 [[nodiscard]] RatioAggregate measure_ratio_batch(const TwoPhaseStrategy& strategy,
                                                  const Instance& instance,
                                                  NoiseModel noise, std::size_t trials,

@@ -6,7 +6,9 @@
 #include <stdexcept>
 
 #include "core/instance.hpp"
-#include "exact/optimal.hpp"
+#include "exact/certify.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace rdp {
 
@@ -44,21 +46,46 @@ ScenarioEvaluation evaluate_scenarios(const TwoPhaseStrategy& strategy,
   ScenarioEvaluation eval;
   eval.strategy_name = strategy.name();
   const Placement placement = strategy.place(instance);
+  const std::size_t count = scenarios.size();
 
+  // Dispatch into index-addressed slots (parallel-safe), then certify the
+  // whole set in one batch so identical realizations share a solve.
+  eval.makespans.resize(count);
+  const auto run_scenario = [&](std::size_t s) {
+    const DispatchResult run = dispatch_with_rule(
+        instance, placement, scenarios.scenarios[s], strategy.rule());
+    eval.makespans[s] = run.schedule.makespan();
+  };
+  if (config.pool != nullptr && count > 1) {
+    parallel_for_each_index(*config.pool, count, run_scenario);
+  } else {
+    for (std::size_t s = 0; s < count; ++s) run_scenario(s);
+  }
+
+  std::vector<CertifyRequest> requests(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    requests[s] =
+        CertifyRequest{scenarios.scenarios[s].actual, instance.num_machines()};
+  }
+  CertifyOptions copts;
+  copts.node_budget = config.exact_node_budget;
+  copts.pool = config.pool;
+  CertifyEngine& engine =
+      config.engine != nullptr ? *config.engine : default_certify_engine();
+  const std::vector<CertifiedCmax> optima = engine.certify_batch(requests, copts);
+
+  // Aggregate in scenario order after the batch barrier, so the numbers
+  // are bit-identical across thread counts.
   double total = 0;
-  for (const Realization& actual : scenarios.scenarios) {
-    const DispatchResult run =
-        dispatch_with_rule(instance, placement, actual, strategy.rule());
-    const Time cmax = run.schedule.makespan();
-    const CertifiedCmax opt = certified_cmax(actual.actual, instance.num_machines(),
-                                             config.exact_node_budget);
-    eval.makespans.push_back(cmax);
-    eval.optima.push_back(opt.lower);
+  eval.optima.resize(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    const Time cmax = eval.makespans[s];
+    eval.optima[s] = optima[s].lower;
     total += cmax;
     eval.worst_makespan = std::max(eval.worst_makespan, cmax);
-    if (opt.lower > 0) {
-      eval.worst_regret = std::max(eval.worst_regret, cmax - opt.lower);
-      eval.worst_ratio = std::max(eval.worst_ratio, cmax / opt.lower);
+    if (optima[s].lower > 0) {
+      eval.worst_regret = std::max(eval.worst_regret, cmax - optima[s].lower);
+      eval.worst_ratio = std::max(eval.worst_ratio, cmax / optima[s].lower);
     }
   }
   eval.mean_makespan = total / static_cast<double>(scenarios.size());

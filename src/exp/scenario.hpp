@@ -16,7 +16,9 @@
 
 namespace rdp {
 
+class CertifyEngine;
 class Instance;
+class ThreadPool;
 
 /// A named bundle of realizations of one instance.
 struct ScenarioSet {
@@ -48,10 +50,18 @@ struct ScenarioEvaluation {
 
 struct ScenarioConfig {
   std::uint64_t exact_node_budget = 200'000;
+  /// Certification engine (cache + batch solver); nullptr uses the
+  /// process-default engine.
+  CertifyEngine* engine = nullptr;
+  /// When non-null, per-scenario dispatch and certification run on this
+  /// pool; aggregates are bit-identical to the sequential path.
+  ThreadPool* pool = nullptr;
 };
 
 /// Places once (phase 1 is scenario-independent by construction), then
-/// dispatches per scenario and aggregates.
+/// dispatches per scenario and aggregates. Dispatch and certification are
+/// batched through the certify engine; aggregation walks scenarios in
+/// order after the batch, so results match a sequential run bitwise.
 [[nodiscard]] ScenarioEvaluation evaluate_scenarios(const TwoPhaseStrategy& strategy,
                                                     const Instance& instance,
                                                     const ScenarioSet& scenarios,

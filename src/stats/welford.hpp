@@ -23,6 +23,10 @@ class Welford {
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
 
+  /// Raw second central moment (sum of squared deviations); exposed so
+  /// tests can assert bitwise-identical aggregation across thread counts.
+  [[nodiscard]] double m2() const noexcept { return m2_; }
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;

@@ -1,0 +1,339 @@
+// Tests for the batched, cached, warm-started certification engine
+// (exact/certify.hpp): bracket/assignment properties against brute force,
+// bitwise reproducibility of cache hits and parallel batches, dedup and
+// counter accounting, LRU eviction, and concurrent access to one engine.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "exact/brute_force.hpp"
+#include "exact/certify.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/distributions.hpp"
+#include "rng/rng.hpp"
+
+namespace rdp {
+namespace {
+
+std::vector<Time> random_times(Xoshiro256& rng, std::size_t n, double lo = 0.5,
+                               double hi = 10.0) {
+  std::vector<Time> p;
+  p.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) p.push_back(sample_uniform(rng, lo, hi));
+  return p;
+}
+
+Time recomputed_makespan(const CertifiedCmax& result, std::span<const Time> p,
+                         MachineId m) {
+  std::vector<Time> loads(m, 0);
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    loads[result.assignment.machine_of[j]] += p[j];
+  }
+  Time cmax = 0;
+  for (const Time load : loads) cmax = std::max(cmax, load);
+  return cmax;
+}
+
+// Bitwise equality, not value equality: the reproducibility contract is
+// "the same bytes", which EXPECT_DOUBLE_EQ (4-ulp tolerance) would mask.
+void expect_bitwise_equal(const CertifiedCmax& a, const CertifiedCmax& b) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.lower),
+            std::bit_cast<std::uint64_t>(b.lower));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.upper),
+            std::bit_cast<std::uint64_t>(b.upper));
+  EXPECT_EQ(a.exact, b.exact);
+  EXPECT_EQ(a.assignment.machine_of, b.assignment.machine_of);
+}
+
+// Property: on random tiny instances the engine's bracket contains the
+// brute-force optimum, exactness collapses the bracket, and the returned
+// assignment achieves exactly `upper`.
+class CertifyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CertifyProperty, BracketAssignmentAndExactness) {
+  Xoshiro256 rng(GetParam());
+  const std::size_t n = 5 + static_cast<std::size_t>(rng.next_below(6));  // 5..10
+  const MachineId m = 2 + static_cast<MachineId>(rng.next_below(3));      // 2..4
+  const std::vector<Time> p = random_times(rng, n);
+
+  CertifyEngine engine;
+  const CertifiedCmax c = engine.certify(p, m);
+  EXPECT_LE(c.lower, c.upper + 1e-12);
+  if (c.exact) {
+    EXPECT_DOUBLE_EQ(c.lower, c.upper);
+  }
+  EXPECT_DOUBLE_EQ(recomputed_makespan(c, p, m), c.upper);
+
+  const BruteForceResult bf = brute_force_cmax(p, m);
+  EXPECT_LE(c.lower, bf.optimal + 1e-9);
+  EXPECT_GE(c.upper, bf.optimal - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTiny, CertifyProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+TEST(CertifyCache, HitIsBitwiseIdenticalToCold) {
+  Xoshiro256 rng(11);
+  const std::vector<Time> p = random_times(rng, 12);
+  CertifyEngine engine;
+  const CertifiedCmax cold = engine.certify(p, 3);
+  const CertifiedCmax hit = engine.certify(p, 3);
+  expect_bitwise_equal(cold, hit);
+  const CertifyCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(CertifyCache, PermutationSharesTheSolve) {
+  Xoshiro256 rng(12);
+  std::vector<Time> p = random_times(rng, 10);
+  CertifyEngine engine;
+  const CertifiedCmax original = engine.certify(p, 3);
+
+  std::vector<Time> reversed(p.rbegin(), p.rend());
+  const CertifiedCmax permuted = engine.certify(reversed, 3);
+  EXPECT_EQ(engine.cache_stats().misses, 1u);
+  EXPECT_EQ(engine.cache_stats().hits, 1u);
+  // Same canonical solve; the upper bounds agree up to summation order
+  // (per-machine loads are re-accumulated in the caller's index order).
+  EXPECT_NEAR(permuted.upper, original.upper, 1e-12);
+  // The assignment is un-permuted into the caller's index space.
+  EXPECT_DOUBLE_EQ(recomputed_makespan(permuted, reversed, 3), permuted.upper);
+}
+
+TEST(CertifyCache, UniformRescalingSharesTheSolve) {
+  Xoshiro256 rng(13);
+  std::vector<Time> p = random_times(rng, 10);
+  std::vector<Time> scaled = p;
+  for (Time& v : scaled) v *= 4.0;  // power of two: exact in binary
+
+  CertifyEngine engine;
+  const CertifiedCmax base = engine.certify(p, 3);
+  const CertifiedCmax big = engine.certify(scaled, 3);
+  EXPECT_EQ(engine.cache_stats().misses, 1u);
+  EXPECT_EQ(engine.cache_stats().hits, 1u);
+  EXPECT_DOUBLE_EQ(big.upper, 4.0 * base.upper);
+  EXPECT_DOUBLE_EQ(recomputed_makespan(big, scaled, 3), big.upper);
+}
+
+TEST(CertifyCache, BatchDedupsWithinTheBatch) {
+  Xoshiro256 rng(14);
+  const std::vector<Time> a = random_times(rng, 9);
+  const std::vector<Time> b = random_times(rng, 9);
+  const std::vector<Time> a_reversed(a.rbegin(), a.rend());
+
+  // 5 requests, 2 distinct canonical instances (a == a_reversed, b).
+  const std::vector<CertifyRequest> batch = {
+      {a, 3}, {b, 3}, {a_reversed, 3}, {a, 3}, {b, 3}};
+  CertifyEngine engine;
+  const std::vector<CertifiedCmax> results = engine.certify_batch(batch);
+  ASSERT_EQ(results.size(), 5u);
+  const CertifyCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.size, 2u);
+  expect_bitwise_equal(results[0], results[3]);
+  expect_bitwise_equal(results[1], results[4]);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(recomputed_makespan(results[i], batch[i].p, batch[i].m),
+                     results[i].upper);
+  }
+}
+
+TEST(CertifyCache, SameTimesDifferentMachineCountsAreDistinct) {
+  Xoshiro256 rng(15);
+  const std::vector<Time> p = random_times(rng, 8);
+  CertifyEngine engine;
+  (void)engine.certify(p, 2);
+  (void)engine.certify(p, 3);
+  EXPECT_EQ(engine.cache_stats().misses, 2u);
+  EXPECT_EQ(engine.cache_stats().hits, 0u);
+}
+
+TEST(CertifyCache, LruEvictsBeyondCapacity) {
+  Xoshiro256 rng(16);
+  const std::vector<Time> a = random_times(rng, 8);
+  const std::vector<Time> b = random_times(rng, 8);
+  const std::vector<Time> c = random_times(rng, 8);
+
+  CertifyEngine engine(/*cache_capacity=*/2);
+  (void)engine.certify(a, 3);
+  (void)engine.certify(b, 3);
+  (void)engine.certify(c, 3);  // evicts a (least recently used)
+  CertifyCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.capacity, 2u);
+
+  (void)engine.certify(a, 3);  // must re-solve
+  stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  (void)engine.certify(a, 3);  // now cached again
+  EXPECT_EQ(engine.cache_stats().hits, 1u);
+}
+
+TEST(CertifyCache, ZeroCapacityDisablesCaching) {
+  Xoshiro256 rng(17);
+  const std::vector<Time> p = random_times(rng, 8);
+  CertifyEngine engine(/*cache_capacity=*/0);
+  const CertifiedCmax first = engine.certify(p, 3);
+  const CertifiedCmax second = engine.certify(p, 3);
+  expect_bitwise_equal(first, second);  // still deterministic
+  const CertifyCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.size, 0u);
+}
+
+TEST(CertifyCache, ClearDropsEntriesKeepsCounters) {
+  Xoshiro256 rng(18);
+  const std::vector<Time> p = random_times(rng, 8);
+  CertifyEngine engine;
+  (void)engine.certify(p, 3);
+  (void)engine.certify(p, 3);
+  engine.clear();
+  CertifyCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.size, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  (void)engine.certify(p, 3);  // re-solve after clear
+  EXPECT_EQ(engine.cache_stats().misses, 2u);
+}
+
+TEST(CertifyCache, TrivialInputsBypassTheCache) {
+  CertifyEngine engine;
+  const std::vector<Time> empty;
+  const CertifiedCmax e = engine.certify(empty, 3);
+  EXPECT_TRUE(e.exact);
+  EXPECT_DOUBLE_EQ(e.upper, 0.0);
+
+  const std::vector<Time> zeros(5, 0.0);
+  const CertifiedCmax z = engine.certify(zeros, 2);
+  EXPECT_DOUBLE_EQ(z.upper, 0.0);
+
+  const CertifyCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.size, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(CertifyCache, ZeroMachinesThrows) {
+  CertifyEngine engine;
+  const std::vector<Time> p = {1.0, 2.0};
+  EXPECT_THROW((void)engine.certify(p, 0), std::invalid_argument);
+}
+
+TEST(CertifyCache, WarmStartDisabledStillCorrect) {
+  Xoshiro256 rng(19);
+  std::vector<CertifyRequest> batch;
+  std::vector<std::vector<Time>> storage;
+  for (int i = 0; i < 6; ++i) storage.push_back(random_times(rng, 9));
+  for (const auto& p : storage) batch.push_back({p, 3});
+
+  CertifyEngine warm_engine;
+  CertifyEngine cold_engine;
+  CertifyOptions no_warm;
+  no_warm.warm_start = false;
+  const auto warm = warm_engine.certify_batch(batch);
+  const auto cold = cold_engine.certify_batch(batch, no_warm);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    // Warm starting prunes the search, never the answer (up to the
+    // branch-and-bound incumbent tolerance of 1e-12).
+    EXPECT_NEAR(warm[i].upper, cold[i].upper, 1e-9);
+    EXPECT_EQ(warm[i].exact, cold[i].exact);
+  }
+}
+
+// The headline determinism contract: a parallel batch returns exactly the
+// bytes the sequential batch returns, per index, on a fresh engine.
+TEST(CertifyParallel, BatchBitwiseIdenticalAcrossThreadCounts) {
+  Xoshiro256 rng(20);
+  std::vector<std::vector<Time>> storage;
+  for (int i = 0; i < 24; ++i) storage.push_back(random_times(rng, 10));
+  // Sprinkle in duplicates and permutations so dedup paths engage.
+  storage.push_back(storage[0]);
+  storage.push_back({storage[1].rbegin(), storage[1].rend()});
+  std::vector<CertifyRequest> batch;
+  for (const auto& p : storage) batch.push_back({p, 4});
+
+  CertifyEngine sequential_engine;
+  const auto sequential = sequential_engine.certify_batch(batch);
+
+  for (const std::size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    CertifyOptions options;
+    options.pool = &pool;
+    CertifyEngine parallel_engine;
+    const auto parallel = parallel_engine.certify_batch(batch, options);
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+      expect_bitwise_equal(parallel[i], sequential[i]);
+    }
+  }
+}
+
+// Exercised under -DRDP_SANITIZE=thread (`ctest -L tsan`): several
+// threads hammer one engine with overlapping batches while each batch
+// also fans out over a shared pool. Which thread's solve lands in the
+// cache is racy by design (first writer wins), so the assertions are
+// semantic -- every result is a valid, near-reference bracket -- rather
+// than bitwise.
+TEST(CertifyParallel, ConcurrentBatchesOnSharedEngine) {
+  Xoshiro256 rng(21);
+  std::vector<std::vector<Time>> storage;
+  for (int i = 0; i < 12; ++i) storage.push_back(random_times(rng, 9));
+
+  CertifyEngine reference_engine;
+  std::vector<CertifiedCmax> reference;
+  for (const auto& p : storage) {
+    reference.push_back(reference_engine.certify(p, 3));
+  }
+
+  CertifyEngine shared(/*cache_capacity=*/8);  // small: forces evictions too
+  ThreadPool pool(4);
+  std::vector<std::thread> workers;
+  std::vector<std::vector<CertifyRequest>> batches(4);
+  std::vector<std::vector<CertifiedCmax>> outputs(4);
+  for (std::size_t w = 0; w < 4; ++w) {
+    // Each worker starts at a different offset so batches overlap.
+    for (std::size_t i = 0; i < storage.size(); ++i) {
+      batches[w].push_back({storage[(i + w * 3) % storage.size()], 3});
+    }
+    workers.emplace_back([&, w] {
+      CertifyOptions options;
+      options.pool = &pool;
+      outputs[w] = shared.certify_batch(batches[w], options);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  for (std::size_t w = 0; w < 4; ++w) {
+    ASSERT_EQ(outputs[w].size(), storage.size());
+    for (std::size_t i = 0; i < storage.size(); ++i) {
+      const std::size_t src = (i + w * 3) % storage.size();
+      const CertifiedCmax& got = outputs[w][i];
+      EXPECT_LE(got.lower, got.upper + 1e-12);
+      EXPECT_DOUBLE_EQ(recomputed_makespan(got, storage[src], 3), got.upper);
+      EXPECT_NEAR(got.upper, reference[src].upper, 1e-9);
+    }
+  }
+}
+
+TEST(CertifyBatchFree, RoutesThroughDefaultEngine) {
+  Xoshiro256 rng(22);
+  const std::vector<Time> p = random_times(rng, 8);
+  const CertifyRequest request{p, 3};
+  const auto results = certified_cmax_batch({&request, 1});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(recomputed_makespan(results[0], p, 3), results[0].upper);
+}
+
+}  // namespace
+}  // namespace rdp

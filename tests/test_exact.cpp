@@ -121,6 +121,84 @@ TEST_P(BnbVsBruteForce, Agree) {
 INSTANTIATE_TEST_SUITE_P(RandomTiny, BnbVsBruteForce,
                          ::testing::Range<std::uint64_t>(1, 16));
 
+TEST(BranchAndBound, WarmStartNeverExpandsMoreNodes) {
+  Xoshiro256 rng(51);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 10 + static_cast<std::size_t>(rng.next_below(5));
+    const MachineId m = 3 + static_cast<MachineId>(rng.next_below(2));
+    std::vector<Time> p;
+    for (std::size_t j = 0; j < n; ++j) p.push_back(sample_uniform(rng, 0.5, 10.0));
+
+    const BnbResult cold = branch_and_bound_cmax(p, m);
+    ASSERT_TRUE(cold.proven);
+
+    BnbWarmStart warm;
+    warm.assignment = &cold.assignment;
+    const BnbResult seeded = branch_and_bound_cmax(p, m, 20'000'000, warm);
+    ASSERT_TRUE(seeded.proven);
+    // Seeding with an optimal incumbent can only prune earlier; the value
+    // it certifies is the same optimum (up to the incumbent tolerance).
+    EXPECT_NEAR(seeded.best, cold.best, 1e-9);
+    EXPECT_LE(seeded.nodes, cold.nodes);
+  }
+}
+
+TEST(BranchAndBound, WarmStartFromInvalidAssignmentIsIgnored) {
+  const std::vector<Time> p = {3.0, 3.0, 2.0, 2.0, 2.0};
+  Assignment bogus(p.size());
+  bogus.machine_of = {0, 7, 0, 0, 0};  // machine 7 does not exist for m=2
+  BnbWarmStart warm;
+  warm.assignment = &bogus;
+  const BnbResult r = branch_and_bound_cmax(p, 2, 20'000'000, warm);
+  EXPECT_TRUE(r.proven);
+  EXPECT_DOUBLE_EQ(r.best, 6.0);
+
+  Assignment wrong_size(p.size() - 1);
+  warm.assignment = &wrong_size;
+  const BnbResult s = branch_and_bound_cmax(p, 2, 20'000'000, warm);
+  EXPECT_TRUE(s.proven);
+  EXPECT_DOUBLE_EQ(s.best, 6.0);
+}
+
+TEST(BranchAndBound, WarmStartFromPoorAssignmentStillOptimal) {
+  const std::vector<Time> p = {7.0, 5.0, 4.0, 4.0, 3.0, 2.0, 2.0};
+  Assignment everything_on_one(p.size());  // terrible but complete
+  BnbWarmStart warm;
+  warm.assignment = &everything_on_one;
+  const BnbResult r = branch_and_bound_cmax(p, 3, 20'000'000, warm);
+  const BnbResult cold = branch_and_bound_cmax(p, 3);
+  ASSERT_TRUE(r.proven);
+  EXPECT_NEAR(r.best, cold.best, 1e-9);
+}
+
+TEST(BranchAndBound, ManyMachinesBeyondSixtyFour) {
+  // The pre-rewrite symmetry dedup used a fixed 64-slot seen-loads array,
+  // silently degrading for m > 64. With 10 tasks on 70 machines the
+  // optimum is the longest task, and the sorted-order dedup must prove it
+  // in a handful of nodes (one non-symmetric machine choice per depth).
+  Xoshiro256 rng(52);
+  std::vector<Time> p;
+  for (int j = 0; j < 10; ++j) p.push_back(sample_uniform(rng, 1.0, 5.0));
+  const Time longest = *std::max_element(p.begin(), p.end());
+  const BnbResult r = branch_and_bound_cmax(p, 70);
+  ASSERT_TRUE(r.proven);
+  EXPECT_DOUBLE_EQ(r.best, longest);
+  EXPECT_LE(r.nodes, 1000u);
+}
+
+TEST(BranchAndBound, DuplicateHeavyInstancesPruneSymmetry) {
+  // 12 tasks drawn from only two distinct values create massive machine
+  // symmetry; adjacent-equal-load skipping must keep the tree tiny while
+  // still matching brute force.
+  const std::vector<Time> p = {5.0, 5.0, 5.0, 5.0, 5.0, 5.0,
+                               3.0, 3.0, 3.0, 3.0, 3.0, 3.0};
+  const BruteForceResult bf = brute_force_cmax(p, 4);
+  const BnbResult r = branch_and_bound_cmax(p, 4);
+  ASSERT_TRUE(r.proven);
+  EXPECT_NEAR(r.best, bf.optimal, 1e-9);
+  EXPECT_LE(r.nodes, 20'000u);
+}
+
 TEST(Multifit, FfdFeasibilityBasics) {
   const std::vector<Time> p = {4.0, 3.0, 3.0, 2.0};
   EXPECT_TRUE(ffd_fits(p, 2, 6.0));

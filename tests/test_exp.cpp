@@ -7,6 +7,7 @@
 #include "algo/strategy.hpp"
 #include "core/instance.hpp"
 #include "core/realization.hpp"
+#include "exact/certify.hpp"
 #include "exp/memaware_experiment.hpp"
 #include "exp/ratio_experiment.hpp"
 #include "exp/sweep.hpp"
@@ -73,6 +74,83 @@ TEST(RatioExperiment, BatchIsDeterministic) {
                                                NoiseModel::kTwoPoint, 5, 7);
   EXPECT_DOUBLE_EQ(a.ratios.mean(), b.ratios.mean());
   EXPECT_DOUBLE_EQ(a.worst.ratio, b.worst.ratio);
+}
+
+TEST(RatioExperiment, ZeroTrialsThrows) {
+  const Instance inst = small_instance();
+  EXPECT_THROW((void)measure_ratio_batch(make_lpt_no_restriction(), inst,
+                                         NoiseModel::kUniform, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)measure_ratio_trials(make_lpt_no_restriction(), inst,
+                                          NoiseModel::kUniform, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(RatioExperiment, TrialsMatchBatchAggregation) {
+  const Instance inst = small_instance();
+  CertifyEngine engine;
+  RatioExperimentConfig config;
+  config.engine = &engine;
+  const std::vector<RatioTrial> series = measure_ratio_trials(
+      make_lpt_no_restriction(), inst, NoiseModel::kUniform, 6, 42, config);
+  ASSERT_EQ(series.size(), 6u);
+  const RatioAggregate agg = measure_ratio_batch(
+      make_lpt_no_restriction(), inst, NoiseModel::kUniform, 6, 42, config);
+  Welford manual;
+  for (const RatioTrial& trial : series) manual.add(trial.ratio);
+  EXPECT_EQ(agg.ratios.count(), manual.count());
+  EXPECT_EQ(agg.ratios.mean(), manual.mean());
+  EXPECT_EQ(agg.ratios.m2(), manual.m2());
+}
+
+// The determinism contract of the parallel trial loop: for every thread
+// count the aggregate is bit-identical (EXPECT_EQ on doubles, not NEAR)
+// to the sequential run, because per-trial results are index-addressed
+// and Welford runs after the barrier in trial order.
+TEST(RatioExperiment, ParallelBatchBitIdenticalAcrossThreadCounts) {
+  const Instance inst = small_instance();
+  const auto run = [&](std::size_t threads) {
+    // Fresh engine per run: the shared-cache bytes then depend only on
+    // this batch, not on other tests.
+    CertifyEngine engine;
+    RatioExperimentConfig config;
+    config.engine = &engine;
+    ThreadPool pool(threads);
+    if (threads > 0) config.pool = &pool;
+    return measure_ratio_batch(make_ls_group(3), inst, NoiseModel::kTwoPoint,
+                               16, 7, config);
+  };
+  const RatioAggregate sequential = run(0);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const RatioAggregate parallel = run(threads);
+    EXPECT_EQ(parallel.ratios.count(), sequential.ratios.count());
+    EXPECT_EQ(parallel.ratios.mean(), sequential.ratios.mean());
+    EXPECT_EQ(parallel.ratios.m2(), sequential.ratios.m2());
+    EXPECT_EQ(parallel.ratios.min(), sequential.ratios.min());
+    EXPECT_EQ(parallel.ratios.max(), sequential.ratios.max());
+    EXPECT_EQ(parallel.worst.ratio, sequential.worst.ratio);
+    EXPECT_EQ(parallel.worst.algorithm_makespan,
+              sequential.worst.algorithm_makespan);
+    EXPECT_EQ(parallel.worst.optimal_lower_bound,
+              sequential.worst.optimal_lower_bound);
+  }
+}
+
+TEST(RatioExperiment, SharedEngineCachesAcrossStrategies) {
+  // Different strategies replay the same realizations (same noise+seed),
+  // so their certification denominators collide in the cache.
+  const Instance inst = small_instance();
+  CertifyEngine engine;
+  RatioExperimentConfig config;
+  config.engine = &engine;
+  (void)measure_ratio_batch(make_lpt_no_restriction(), inst, NoiseModel::kUniform,
+                            8, 42, config);
+  const CertifyCacheStats first = engine.cache_stats();
+  (void)measure_ratio_batch(make_lpt_no_choice(), inst, NoiseModel::kUniform,
+                            8, 42, config);
+  const CertifyCacheStats second = engine.cache_stats();
+  EXPECT_EQ(second.misses, first.misses);       // all denominators reused
+  EXPECT_EQ(second.hits, first.hits + 8);
 }
 
 TEST(MemAwareExperiment, TrialFieldsConsistent) {

@@ -10,7 +10,8 @@
 //           [--svg=gantt.svg] [--json=result.json]
 //   rdp_cli evaluate --instance=inst.csv --scenarios=12 --seed=3
 //   rdp_cli sweep    --instance=inst.csv --strategy=ls-group:2 --trials=64
-//           --threads=4 --metrics-out=metrics.json --trace-out=run.json
+//           --threads=4 --ratios --cache-size=4096 --certify-budget=2000000
+//           --metrics-out=metrics.json --trace-out=run.json
 //   rdp_cli bounds   --m=8 --alpha=1.5
 //
 // Every command prints a human-readable summary; `run --json` also emits
@@ -43,6 +44,8 @@ int usage(const char* program) {
          "  evaluate --instance=FILE [--scenarios=K] [--seed=S]\n"
          "  sweep    --instance=FILE --strategy=SPEC [--noise=MODEL]\n"
          "           [--trials=K] [--threads=T] [--seed=S] [--json=FILE]\n"
+         "           [--ratios] (certified competitive ratios per trial)\n"
+         "           [--cache-size=N] [--certify-budget=B] (with --ratios)\n"
          "  bounds   --m=M --alpha=A\n\n"
          "global:  --metrics-out=FILE (metrics snapshot JSON)\n"
          "         --trace-out=FILE   (Chrome trace_event; .jsonl for JSONL)\n\n"
@@ -184,6 +187,67 @@ int cmd_sweep(const Args& args) {
       static_cast<std::size_t>(args.get("threads", std::int64_t{0}));
   const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{1}));
   if (trials == 0) throw std::invalid_argument("sweep: --trials must be >= 1");
+
+  if (args.get("ratios", false)) {
+    // Certified-ratio mode: every trial's makespan is divided by a
+    // certified optimum, so denominators route through a batched,
+    // canonicalizing cache (exact/certify.hpp) and solve in parallel.
+    const auto cache_size = static_cast<std::size_t>(args.get(
+        "cache-size",
+        static_cast<std::int64_t>(CertifyEngine::kDefaultCacheCapacity)));
+    CertifyEngine engine(cache_size);
+    ThreadPool pool(threads);
+    RatioExperimentConfig config;
+    config.exact_node_budget = static_cast<std::uint64_t>(
+        args.get("certify-budget", std::int64_t{2'000'000}));
+    config.engine = &engine;
+    config.pool = &pool;
+    const std::vector<RatioTrial> series =
+        measure_ratio_trials(strategy, inst, model, trials, seed, config);
+    Welford ratios;
+    std::size_t exact = 0;
+    for (const RatioTrial& trial : series) {
+      ratios.add(trial.ratio);
+      exact += trial.exact_optimum ? 1 : 0;
+    }
+    const CertifyCacheStats cache = engine.cache_stats();
+
+    TextTable table({"quantity", "value"});
+    table.add_row({"strategy", strategy.name()});
+    table.add_row({"noise", to_string(model)});
+    table.add_row({"trials", std::to_string(trials)});
+    table.add_row({"threads", std::to_string(pool.num_threads())});
+    table.add_row({"mean ratio", fmt(ratios.mean(), 4)});
+    table.add_row({"stddev ratio", fmt(ratios.stddev(), 4)});
+    table.add_row({"worst ratio", fmt(ratios.max(), 4)});
+    table.add_row({"exact optima", std::to_string(exact) + "/" +
+                                       std::to_string(trials)});
+    table.add_row({"cache hits", std::to_string(cache.hits)});
+    table.add_row({"cache misses", std::to_string(cache.misses)});
+    table.add_row({"cache hit rate", fmt(cache.hit_rate(), 4)});
+    std::cout << table.render();
+
+    const std::string json_path = args.get("json", std::string(""));
+    if (!json_path.empty()) {
+      ExperimentReport report("rdp-cli-sweep", "certified ratio sweep");
+      report.set_param("strategy", strategy.name());
+      report.set_param("noise", to_string(model));
+      report.set_param("instance", in);
+      Series& out = report.series(
+          "ratios", {"seed", "makespan", "opt_lower", "ratio", "exact"});
+      for (std::size_t t = 0; t < series.size(); ++t) {
+        out.add_row({static_cast<double>(seed + t), series[t].algorithm_makespan,
+                     series[t].optimal_lower_bound, series[t].ratio,
+                     series[t].exact_optimum ? 1.0 : 0.0});
+      }
+      if (obs::MetricsRegistry* mx = obs::metrics()) {
+        report.attach_metrics(mx->snapshot());
+      }
+      report.save_json(json_path);
+      std::cout << "JSON written to " << json_path << "\n";
+    }
+    return EXIT_SUCCESS;
+  }
 
   std::vector<std::uint64_t> seeds(trials);
   for (std::size_t t = 0; t < trials; ++t) seeds[t] = seed + t;
