@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ablation_groups.dir/ext_ablation_groups.cpp.o"
+  "CMakeFiles/ext_ablation_groups.dir/ext_ablation_groups.cpp.o.d"
+  "ext_ablation_groups"
+  "ext_ablation_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ablation_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_alpha_sensitivity.dir/ext_alpha_sensitivity.cpp.o"
+  "CMakeFiles/ext_alpha_sensitivity.dir/ext_alpha_sensitivity.cpp.o.d"
+  "ext_alpha_sensitivity"
+  "ext_alpha_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_alpha_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

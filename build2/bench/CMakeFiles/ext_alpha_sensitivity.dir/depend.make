@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_alpha_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_amortization.dir/ext_amortization.cpp.o"
+  "CMakeFiles/ext_amortization.dir/ext_amortization.cpp.o.d"
+  "ext_amortization"
+  "ext_amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_amortization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_certify_speedup.dir/ext_certify_speedup.cpp.o"
+  "CMakeFiles/ext_certify_speedup.dir/ext_certify_speedup.cpp.o.d"
+  "ext_certify_speedup"
+  "ext_certify_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_certify_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

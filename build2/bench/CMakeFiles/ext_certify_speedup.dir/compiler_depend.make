@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_certify_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_certify_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_empirical_ratios.dir/ext_empirical_ratios.cpp.o"
+  "CMakeFiles/ext_empirical_ratios.dir/ext_empirical_ratios.cpp.o.d"
+  "ext_empirical_ratios"
+  "ext_empirical_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_empirical_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_empirical_ratios.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fault_tolerance.dir/ext_fault_tolerance.cpp.o"
+  "CMakeFiles/ext_fault_tolerance.dir/ext_fault_tolerance.cpp.o.d"
+  "ext_fault_tolerance"
+  "ext_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

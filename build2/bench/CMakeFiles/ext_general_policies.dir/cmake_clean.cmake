@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_general_policies.dir/ext_general_policies.cpp.o"
+  "CMakeFiles/ext_general_policies.dir/ext_general_policies.cpp.o.d"
+  "ext_general_policies"
+  "ext_general_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_general_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

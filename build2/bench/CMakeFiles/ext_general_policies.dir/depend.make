@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_general_policies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hetero_bands.dir/ext_hetero_bands.cpp.o"
+  "CMakeFiles/ext_hetero_bands.dir/ext_hetero_bands.cpp.o.d"
+  "ext_hetero_bands"
+  "ext_hetero_bands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hetero_bands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

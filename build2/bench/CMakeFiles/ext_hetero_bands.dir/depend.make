@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_hetero_bands.
+# This may be replaced when dependencies are built.

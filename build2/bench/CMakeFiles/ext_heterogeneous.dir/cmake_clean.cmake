@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_heterogeneous.dir/ext_heterogeneous.cpp.o"
+  "CMakeFiles/ext_heterogeneous.dir/ext_heterogeneous.cpp.o.d"
+  "ext_heterogeneous"
+  "ext_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lb_search.dir/ext_lb_search.cpp.o"
+  "CMakeFiles/ext_lb_search.dir/ext_lb_search.cpp.o.d"
+  "ext_lb_search"
+  "ext_lb_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lb_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_memaware_empirical.dir/ext_memaware_empirical.cpp.o"
+  "CMakeFiles/ext_memaware_empirical.dir/ext_memaware_empirical.cpp.o.d"
+  "ext_memaware_empirical"
+  "ext_memaware_empirical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_memaware_empirical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_memaware_empirical.
+# This may be replaced when dependencies are built.

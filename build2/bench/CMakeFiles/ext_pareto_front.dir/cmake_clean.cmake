@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_pareto_front.dir/ext_pareto_front.cpp.o"
+  "CMakeFiles/ext_pareto_front.dir/ext_pareto_front.cpp.o.d"
+  "ext_pareto_front"
+  "ext_pareto_front.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pareto_front.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

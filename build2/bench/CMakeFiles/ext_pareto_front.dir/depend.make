@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_pareto_front.
+# This may be replaced when dependencies are built.

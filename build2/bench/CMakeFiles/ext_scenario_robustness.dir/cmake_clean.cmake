@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scenario_robustness.dir/ext_scenario_robustness.cpp.o"
+  "CMakeFiles/ext_scenario_robustness.dir/ext_scenario_robustness.cpp.o.d"
+  "ext_scenario_robustness"
+  "ext_scenario_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scenario_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_selective_replication.dir/ext_selective_replication.cpp.o"
+  "CMakeFiles/ext_selective_replication.dir/ext_selective_replication.cpp.o.d"
+  "ext_selective_replication"
+  "ext_selective_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_selective_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

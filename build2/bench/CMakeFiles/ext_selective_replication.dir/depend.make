@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_selective_replication.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_solver_quality.dir/ext_solver_quality.cpp.o"
+  "CMakeFiles/ext_solver_quality.dir/ext_solver_quality.cpp.o.d"
+  "ext_solver_quality"
+  "ext_solver_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_solver_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_speculative.dir/ext_speculative.cpp.o"
+  "CMakeFiles/ext_speculative.dir/ext_speculative.cpp.o.d"
+  "ext_speculative"
+  "ext_speculative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_speculative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_transfer_crossover.dir/ext_transfer_crossover.cpp.o"
+  "CMakeFiles/ext_transfer_crossover.dir/ext_transfer_crossover.cpp.o.d"
+  "ext_transfer_crossover"
+  "ext_transfer_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_transfer_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

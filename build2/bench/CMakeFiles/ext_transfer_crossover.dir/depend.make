@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_transfer_crossover.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_adversary.dir/fig1_adversary.cpp.o"
+  "CMakeFiles/fig1_adversary.dir/fig1_adversary.cpp.o.d"
+  "fig1_adversary"
+  "fig1_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_groups.dir/fig2_groups.cpp.o"
+  "CMakeFiles/fig2_groups.dir/fig2_groups.cpp.o.d"
+  "fig2_groups"
+  "fig2_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ratio_replication.dir/fig3_ratio_replication.cpp.o"
+  "CMakeFiles/fig3_ratio_replication.dir/fig3_ratio_replication.cpp.o.d"
+  "fig3_ratio_replication"
+  "fig3_ratio_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ratio_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_ratio_replication.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sabo_schedule.dir/fig4_sabo_schedule.cpp.o"
+  "CMakeFiles/fig4_sabo_schedule.dir/fig4_sabo_schedule.cpp.o.d"
+  "fig4_sabo_schedule"
+  "fig4_sabo_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sabo_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_sabo_schedule.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_abo_schedule.dir/fig5_abo_schedule.cpp.o"
+  "CMakeFiles/fig5_abo_schedule.dir/fig5_abo_schedule.cpp.o.d"
+  "fig5_abo_schedule"
+  "fig5_abo_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_abo_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_memory_makespan.dir/fig6_memory_makespan.cpp.o"
+  "CMakeFiles/fig6_memory_makespan.dir/fig6_memory_makespan.cpp.o.d"
+  "fig6_memory_makespan"
+  "fig6_memory_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_memory_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_algorithms.dir/perf_algorithms.cpp.o"
+  "CMakeFiles/perf_algorithms.dir/perf_algorithms.cpp.o.d"
+  "perf_algorithms"
+  "perf_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

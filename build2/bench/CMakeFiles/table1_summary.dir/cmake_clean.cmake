@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_summary.dir/table1_summary.cpp.o"
+  "CMakeFiles/table1_summary.dir/table1_summary.cpp.o.d"
+  "table1_summary"
+  "table1_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

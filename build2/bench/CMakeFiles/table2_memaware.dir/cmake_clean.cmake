@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_memaware.dir/table2_memaware.cpp.o"
+  "CMakeFiles/table2_memaware.dir/table2_memaware.cpp.o.d"
+  "table2_memaware"
+  "table2_memaware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_memaware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

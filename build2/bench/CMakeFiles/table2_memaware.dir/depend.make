@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_memaware.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_game.dir/adversary_game.cpp.o"
+  "CMakeFiles/adversary_game.dir/adversary_game.cpp.o.d"
+  "adversary_game"
+  "adversary_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for adversary_game.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for adversary_game.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_and_schedule.dir/calibrate_and_schedule.cpp.o"
+  "CMakeFiles/calibrate_and_schedule.dir/calibrate_and_schedule.cpp.o.d"
+  "calibrate_and_schedule"
+  "calibrate_and_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_and_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for calibrate_and_schedule.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for calibrate_and_schedule.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_replication.dir/cluster_replication.cpp.o"
+  "CMakeFiles/cluster_replication.dir/cluster_replication.cpp.o.d"
+  "cluster_replication"
+  "cluster_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

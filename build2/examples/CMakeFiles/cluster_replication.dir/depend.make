@@ -1,0 +1,2 @@
+# Empty dependencies file for cluster_replication.
+# This may be replaced when dependencies are built.

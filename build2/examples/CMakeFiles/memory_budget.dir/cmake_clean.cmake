@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_budget.dir/memory_budget.cpp.o"
+  "CMakeFiles/memory_budget.dir/memory_budget.cpp.o.d"
+  "memory_budget"
+  "memory_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

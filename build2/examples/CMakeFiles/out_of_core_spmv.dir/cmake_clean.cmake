@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core_spmv.dir/out_of_core_spmv.cpp.o"
+  "CMakeFiles/out_of_core_spmv.dir/out_of_core_spmv.cpp.o.d"
+  "out_of_core_spmv"
+  "out_of_core_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

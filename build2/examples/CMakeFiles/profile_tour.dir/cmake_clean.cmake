@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_tour.dir/profile_tour.cpp.o"
+  "CMakeFiles/profile_tour.dir/profile_tour.cpp.o.d"
+  "profile_tour"
+  "profile_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

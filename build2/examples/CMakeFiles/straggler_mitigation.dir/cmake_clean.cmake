@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/straggler_mitigation.dir/straggler_mitigation.cpp.o"
+  "CMakeFiles/straggler_mitigation.dir/straggler_mitigation.cpp.o.d"
+  "straggler_mitigation"
+  "straggler_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/straggler_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build2/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_smoke_quickstart "/root/repo/build2/examples/quickstart")
+set_tests_properties(example_smoke_quickstart PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;rdp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_out_of_core_spmv "/root/repo/build2/examples/out_of_core_spmv")
+set_tests_properties(example_smoke_out_of_core_spmv PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;rdp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_cluster_replication "/root/repo/build2/examples/cluster_replication")
+set_tests_properties(example_smoke_cluster_replication PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;rdp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_memory_budget "/root/repo/build2/examples/memory_budget")
+set_tests_properties(example_smoke_memory_budget PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;rdp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_adversary_game "/root/repo/build2/examples/adversary_game")
+set_tests_properties(example_smoke_adversary_game PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;rdp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_calibrate_and_schedule "/root/repo/build2/examples/calibrate_and_schedule")
+set_tests_properties(example_smoke_calibrate_and_schedule PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;16;rdp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_trace_replay "/root/repo/build2/examples/trace_replay")
+set_tests_properties(example_smoke_trace_replay PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;17;rdp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_straggler_mitigation "/root/repo/build2/examples/straggler_mitigation")
+set_tests_properties(example_smoke_straggler_mitigation PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;18;rdp_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_profile_tour "/root/repo/build2/examples/profile_tour")
+set_tests_properties(example_smoke_profile_tour PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;19;rdp_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,84 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/dispatch_policies.cpp" "src/CMakeFiles/rdp.dir/algo/dispatch_policies.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/algo/dispatch_policies.cpp.o.d"
+  "/root/repo/src/algo/list_scheduling.cpp" "src/CMakeFiles/rdp.dir/algo/list_scheduling.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/algo/list_scheduling.cpp.o.d"
+  "/root/repo/src/algo/local_search.cpp" "src/CMakeFiles/rdp.dir/algo/local_search.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/algo/local_search.cpp.o.d"
+  "/root/repo/src/algo/lpt.cpp" "src/CMakeFiles/rdp.dir/algo/lpt.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/algo/lpt.cpp.o.d"
+  "/root/repo/src/algo/overlap.cpp" "src/CMakeFiles/rdp.dir/algo/overlap.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/algo/overlap.cpp.o.d"
+  "/root/repo/src/algo/placement_policies.cpp" "src/CMakeFiles/rdp.dir/algo/placement_policies.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/algo/placement_policies.cpp.o.d"
+  "/root/repo/src/algo/selective.cpp" "src/CMakeFiles/rdp.dir/algo/selective.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/algo/selective.cpp.o.d"
+  "/root/repo/src/algo/strategy.cpp" "src/CMakeFiles/rdp.dir/algo/strategy.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/algo/strategy.cpp.o.d"
+  "/root/repo/src/bounds/memaware_bounds.cpp" "src/CMakeFiles/rdp.dir/bounds/memaware_bounds.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/bounds/memaware_bounds.cpp.o.d"
+  "/root/repo/src/bounds/replication_bounds.cpp" "src/CMakeFiles/rdp.dir/bounds/replication_bounds.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/bounds/replication_bounds.cpp.o.d"
+  "/root/repo/src/cli/args.cpp" "src/CMakeFiles/rdp.dir/cli/args.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/cli/args.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/CMakeFiles/rdp.dir/core/instance.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/core/instance.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/rdp.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/CMakeFiles/rdp.dir/core/placement.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/core/placement.cpp.o.d"
+  "/root/repo/src/core/realization.cpp" "src/CMakeFiles/rdp.dir/core/realization.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/core/realization.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/rdp.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/CMakeFiles/rdp.dir/core/validate.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/core/validate.cpp.o.d"
+  "/root/repo/src/exact/branch_and_bound.cpp" "src/CMakeFiles/rdp.dir/exact/branch_and_bound.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/exact/branch_and_bound.cpp.o.d"
+  "/root/repo/src/exact/brute_force.cpp" "src/CMakeFiles/rdp.dir/exact/brute_force.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/exact/brute_force.cpp.o.d"
+  "/root/repo/src/exact/certify.cpp" "src/CMakeFiles/rdp.dir/exact/certify.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/exact/certify.cpp.o.d"
+  "/root/repo/src/exact/dual_approx.cpp" "src/CMakeFiles/rdp.dir/exact/dual_approx.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/exact/dual_approx.cpp.o.d"
+  "/root/repo/src/exact/lower_bounds.cpp" "src/CMakeFiles/rdp.dir/exact/lower_bounds.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/exact/lower_bounds.cpp.o.d"
+  "/root/repo/src/exact/optimal.cpp" "src/CMakeFiles/rdp.dir/exact/optimal.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/exact/optimal.cpp.o.d"
+  "/root/repo/src/exact/partition_dp.cpp" "src/CMakeFiles/rdp.dir/exact/partition_dp.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/exact/partition_dp.cpp.o.d"
+  "/root/repo/src/exact/ptas.cpp" "src/CMakeFiles/rdp.dir/exact/ptas.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/exact/ptas.cpp.o.d"
+  "/root/repo/src/exp/memaware_experiment.cpp" "src/CMakeFiles/rdp.dir/exp/memaware_experiment.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/exp/memaware_experiment.cpp.o.d"
+  "/root/repo/src/exp/ratio_experiment.cpp" "src/CMakeFiles/rdp.dir/exp/ratio_experiment.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/exp/ratio_experiment.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "src/CMakeFiles/rdp.dir/exp/report.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/exp/report.cpp.o.d"
+  "/root/repo/src/exp/scenario.cpp" "src/CMakeFiles/rdp.dir/exp/scenario.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/exp/scenario.cpp.o.d"
+  "/root/repo/src/exp/sweep.cpp" "src/CMakeFiles/rdp.dir/exp/sweep.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/exp/sweep.cpp.o.d"
+  "/root/repo/src/hetero/uniform_machines.cpp" "src/CMakeFiles/rdp.dir/hetero/uniform_machines.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/hetero/uniform_machines.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/rdp.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/instance_io.cpp" "src/CMakeFiles/rdp.dir/io/instance_io.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/io/instance_io.cpp.o.d"
+  "/root/repo/src/io/json.cpp" "src/CMakeFiles/rdp.dir/io/json.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/io/json.cpp.o.d"
+  "/root/repo/src/io/svg.cpp" "src/CMakeFiles/rdp.dir/io/svg.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/io/svg.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/CMakeFiles/rdp.dir/io/table.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/io/table.cpp.o.d"
+  "/root/repo/src/memaware/abo.cpp" "src/CMakeFiles/rdp.dir/memaware/abo.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/memaware/abo.cpp.o.d"
+  "/root/repo/src/memaware/pareto.cpp" "src/CMakeFiles/rdp.dir/memaware/pareto.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/memaware/pareto.cpp.o.d"
+  "/root/repo/src/memaware/pi_schedules.cpp" "src/CMakeFiles/rdp.dir/memaware/pi_schedules.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/memaware/pi_schedules.cpp.o.d"
+  "/root/repo/src/memaware/sabo.cpp" "src/CMakeFiles/rdp.dir/memaware/sabo.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/memaware/sabo.cpp.o.d"
+  "/root/repo/src/memaware/sbo.cpp" "src/CMakeFiles/rdp.dir/memaware/sbo.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/memaware/sbo.cpp.o.d"
+  "/root/repo/src/obs/hooks.cpp" "src/CMakeFiles/rdp.dir/obs/hooks.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/obs/hooks.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/CMakeFiles/rdp.dir/obs/metrics.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/CMakeFiles/rdp.dir/obs/trace.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/obs/trace.cpp.o.d"
+  "/root/repo/src/parallel/parallel_for.cpp" "src/CMakeFiles/rdp.dir/parallel/parallel_for.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/parallel/parallel_for.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/rdp.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/perturb/adversary.cpp" "src/CMakeFiles/rdp.dir/perturb/adversary.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/perturb/adversary.cpp.o.d"
+  "/root/repo/src/perturb/alpha_fit.cpp" "src/CMakeFiles/rdp.dir/perturb/alpha_fit.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/perturb/alpha_fit.cpp.o.d"
+  "/root/repo/src/perturb/heterogeneous.cpp" "src/CMakeFiles/rdp.dir/perturb/heterogeneous.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/perturb/heterogeneous.cpp.o.d"
+  "/root/repo/src/perturb/stochastic.cpp" "src/CMakeFiles/rdp.dir/perturb/stochastic.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/perturb/stochastic.cpp.o.d"
+  "/root/repo/src/rng/distributions.cpp" "src/CMakeFiles/rdp.dir/rng/distributions.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/rng/distributions.cpp.o.d"
+  "/root/repo/src/rng/rng.cpp" "src/CMakeFiles/rdp.dir/rng/rng.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/rng/rng.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/rdp.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/failures.cpp" "src/CMakeFiles/rdp.dir/sim/failures.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/sim/failures.cpp.o.d"
+  "/root/repo/src/sim/machine_pool.cpp" "src/CMakeFiles/rdp.dir/sim/machine_pool.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/sim/machine_pool.cpp.o.d"
+  "/root/repo/src/sim/online_dispatcher.cpp" "src/CMakeFiles/rdp.dir/sim/online_dispatcher.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/sim/online_dispatcher.cpp.o.d"
+  "/root/repo/src/sim/speculative.cpp" "src/CMakeFiles/rdp.dir/sim/speculative.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/sim/speculative.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/rdp.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/transfer_dispatcher.cpp" "src/CMakeFiles/rdp.dir/sim/transfer_dispatcher.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/sim/transfer_dispatcher.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/CMakeFiles/rdp.dir/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/schedule_stats.cpp" "src/CMakeFiles/rdp.dir/stats/schedule_stats.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/stats/schedule_stats.cpp.o.d"
+  "/root/repo/src/stats/welford.cpp" "src/CMakeFiles/rdp.dir/stats/welford.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/stats/welford.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/CMakeFiles/rdp.dir/workload/generators.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/workload/generators.cpp.o.d"
+  "/root/repo/src/workload/matrix_block.cpp" "src/CMakeFiles/rdp.dir/workload/matrix_block.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/workload/matrix_block.cpp.o.d"
+  "/root/repo/src/workload/profiles.cpp" "src/CMakeFiles/rdp.dir/workload/profiles.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/workload/profiles.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/rdp.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/rdp.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alpha_fit.dir/test_alpha_fit.cpp.o"
+  "CMakeFiles/test_alpha_fit.dir/test_alpha_fit.cpp.o.d"
+  "test_alpha_fit"
+  "test_alpha_fit.pdb"
+  "test_alpha_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alpha_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_alpha_fit.
+# This may be replaced when dependencies are built.

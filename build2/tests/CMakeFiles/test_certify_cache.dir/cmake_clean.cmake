@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_certify_cache.dir/test_certify_cache.cpp.o"
+  "CMakeFiles/test_certify_cache.dir/test_certify_cache.cpp.o.d"
+  "test_certify_cache"
+  "test_certify_cache.pdb"
+  "test_certify_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_certify_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

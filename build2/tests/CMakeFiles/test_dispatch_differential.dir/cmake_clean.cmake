@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dispatch_differential.dir/test_dispatch_differential.cpp.o"
+  "CMakeFiles/test_dispatch_differential.dir/test_dispatch_differential.cpp.o.d"
+  "test_dispatch_differential"
+  "test_dispatch_differential.pdb"
+  "test_dispatch_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dispatch_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

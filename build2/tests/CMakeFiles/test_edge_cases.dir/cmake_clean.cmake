@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_cases.dir/test_edge_cases.cpp.o"
+  "CMakeFiles/test_edge_cases.dir/test_edge_cases.cpp.o.d"
+  "test_edge_cases"
+  "test_edge_cases.pdb"
+  "test_edge_cases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact.dir/test_exact.cpp.o"
+  "CMakeFiles/test_exact.dir/test_exact.cpp.o.d"
+  "test_exact"
+  "test_exact.pdb"
+  "test_exact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exhaustive_adversary.dir/test_exhaustive_adversary.cpp.o"
+  "CMakeFiles/test_exhaustive_adversary.dir/test_exhaustive_adversary.cpp.o.d"
+  "test_exhaustive_adversary"
+  "test_exhaustive_adversary.pdb"
+  "test_exhaustive_adversary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exhaustive_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp.dir/test_exp.cpp.o"
+  "CMakeFiles/test_exp.dir/test_exp.cpp.o.d"
+  "test_exp"
+  "test_exp.pdb"
+  "test_exp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_exp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failures.dir/test_failures.cpp.o"
+  "CMakeFiles/test_failures.dir/test_failures.cpp.o.d"
+  "test_failures"
+  "test_failures.pdb"
+  "test_failures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden.dir/test_golden.cpp.o"
+  "CMakeFiles/test_golden.dir/test_golden.cpp.o.d"
+  "test_golden"
+  "test_golden.pdb"
+  "test_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

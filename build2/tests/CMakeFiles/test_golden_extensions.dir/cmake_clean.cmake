@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_extensions.dir/test_golden_extensions.cpp.o"
+  "CMakeFiles/test_golden_extensions.dir/test_golden_extensions.cpp.o.d"
+  "test_golden_extensions"
+  "test_golden_extensions.pdb"
+  "test_golden_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetero.dir/test_hetero.cpp.o"
+  "CMakeFiles/test_hetero.dir/test_hetero.cpp.o.d"
+  "test_hetero"
+  "test_hetero.pdb"
+  "test_hetero[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

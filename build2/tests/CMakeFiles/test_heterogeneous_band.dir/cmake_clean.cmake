@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heterogeneous_band.dir/test_heterogeneous_band.cpp.o"
+  "CMakeFiles/test_heterogeneous_band.dir/test_heterogeneous_band.cpp.o.d"
+  "test_heterogeneous_band"
+  "test_heterogeneous_band.pdb"
+  "test_heterogeneous_band[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heterogeneous_band.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

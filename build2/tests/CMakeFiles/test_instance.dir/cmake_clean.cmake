@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instance.dir/test_instance.cpp.o"
+  "CMakeFiles/test_instance.dir/test_instance.cpp.o.d"
+  "test_instance"
+  "test_instance.pdb"
+  "test_instance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_list_scheduling.dir/test_list_scheduling.cpp.o"
+  "CMakeFiles/test_list_scheduling.dir/test_list_scheduling.cpp.o.d"
+  "test_list_scheduling"
+  "test_list_scheduling.pdb"
+  "test_list_scheduling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_list_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

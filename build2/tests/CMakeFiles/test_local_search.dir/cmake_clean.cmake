@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_search.dir/test_local_search.cpp.o"
+  "CMakeFiles/test_local_search.dir/test_local_search.cpp.o.d"
+  "test_local_search"
+  "test_local_search.pdb"
+  "test_local_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memaware.dir/test_memaware.cpp.o"
+  "CMakeFiles/test_memaware.dir/test_memaware.cpp.o.d"
+  "test_memaware"
+  "test_memaware.pdb"
+  "test_memaware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memaware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlap.dir/test_overlap.cpp.o"
+  "CMakeFiles/test_overlap.dir/test_overlap.cpp.o.d"
+  "test_overlap"
+  "test_overlap.pdb"
+  "test_overlap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pareto.dir/test_pareto.cpp.o"
+  "CMakeFiles/test_pareto.dir/test_pareto.cpp.o.d"
+  "test_pareto"
+  "test_pareto.pdb"
+  "test_pareto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

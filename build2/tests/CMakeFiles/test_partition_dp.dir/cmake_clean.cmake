@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_dp.dir/test_partition_dp.cpp.o"
+  "CMakeFiles/test_partition_dp.dir/test_partition_dp.cpp.o.d"
+  "test_partition_dp"
+  "test_partition_dp.pdb"
+  "test_partition_dp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

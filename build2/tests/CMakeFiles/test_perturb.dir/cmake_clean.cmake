@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perturb.dir/test_perturb.cpp.o"
+  "CMakeFiles/test_perturb.dir/test_perturb.cpp.o.d"
+  "test_perturb"
+  "test_perturb.pdb"
+  "test_perturb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perturb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

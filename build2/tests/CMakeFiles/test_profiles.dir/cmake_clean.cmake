@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profiles.dir/test_profiles.cpp.o"
+  "CMakeFiles/test_profiles.dir/test_profiles.cpp.o.d"
+  "test_profiles"
+  "test_profiles.pdb"
+  "test_profiles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

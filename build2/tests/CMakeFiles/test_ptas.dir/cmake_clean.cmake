@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptas.dir/test_ptas.cpp.o"
+  "CMakeFiles/test_ptas.dir/test_ptas.cpp.o.d"
+  "test_ptas"
+  "test_ptas.pdb"
+  "test_ptas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rng.dir/test_rng.cpp.o"
+  "CMakeFiles/test_rng.dir/test_rng.cpp.o.d"
+  "test_rng"
+  "test_rng.pdb"
+  "test_rng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_metrics.dir/test_schedule_metrics.cpp.o"
+  "CMakeFiles/test_schedule_metrics.dir/test_schedule_metrics.cpp.o.d"
+  "test_schedule_metrics"
+  "test_schedule_metrics.pdb"
+  "test_schedule_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

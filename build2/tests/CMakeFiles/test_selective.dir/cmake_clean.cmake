@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selective.dir/test_selective.cpp.o"
+  "CMakeFiles/test_selective.dir/test_selective.cpp.o.d"
+  "test_selective"
+  "test_selective.pdb"
+  "test_selective[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speculative.dir/test_speculative.cpp.o"
+  "CMakeFiles/test_speculative.dir/test_speculative.cpp.o.d"
+  "test_speculative"
+  "test_speculative.pdb"
+  "test_speculative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speculative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_speculative.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strategies.dir/test_strategies.cpp.o"
+  "CMakeFiles/test_strategies.dir/test_strategies.cpp.o.d"
+  "test_strategies"
+  "test_strategies.pdb"
+  "test_strategies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strategy_spec.dir/test_strategy_spec.cpp.o"
+  "CMakeFiles/test_strategy_spec.dir/test_strategy_spec.cpp.o.d"
+  "test_strategy_spec"
+  "test_strategy_spec.pdb"
+  "test_strategy_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strategy_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_strategy_spec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svg.dir/test_svg.cpp.o"
+  "CMakeFiles/test_svg.dir/test_svg.cpp.o.d"
+  "test_svg"
+  "test_svg.pdb"
+  "test_svg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_theorems.dir/test_theorems.cpp.o"
+  "CMakeFiles/test_theorems.dir/test_theorems.cpp.o.d"
+  "test_theorems"
+  "test_theorems.pdb"
+  "test_theorems[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_theorems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

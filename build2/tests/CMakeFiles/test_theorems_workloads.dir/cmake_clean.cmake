@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_theorems_workloads.dir/test_theorems_workloads.cpp.o"
+  "CMakeFiles/test_theorems_workloads.dir/test_theorems_workloads.cpp.o.d"
+  "test_theorems_workloads"
+  "test_theorems_workloads.pdb"
+  "test_theorems_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_theorems_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transfer.dir/test_transfer.cpp.o"
+  "CMakeFiles/test_transfer.dir/test_transfer.cpp.o.d"
+  "test_transfer"
+  "test_transfer.pdb"
+  "test_transfer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

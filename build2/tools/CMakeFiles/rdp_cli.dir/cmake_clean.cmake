@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_cli.dir/rdp_cli.cpp.o"
+  "CMakeFiles/rdp_cli.dir/rdp_cli.cpp.o.d"
+  "rdp_cli"
+  "rdp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

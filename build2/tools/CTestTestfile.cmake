@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build2/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke_generate "/root/repo/build2/tools/rdp_cli" "generate" "--kind=uniform" "--n=20" "--m=4" "--alpha=1.5" "--seed=3" "--out=/root/repo/build2/tools/cli_inst.csv")
+set_tests_properties(cli_smoke_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_realize "/root/repo/build2/tools/rdp_cli" "realize" "--instance=/root/repo/build2/tools/cli_inst.csv" "--noise=two-point" "--seed=5" "--out=/root/repo/build2/tools/cli_trace.csv")
+set_tests_properties(cli_smoke_realize PROPERTIES  DEPENDS "cli_smoke_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_run "/root/repo/build2/tools/rdp_cli" "run" "--instance=/root/repo/build2/tools/cli_inst.csv" "--strategy=ls-group:2" "--trace=/root/repo/build2/tools/cli_trace.csv" "--json=/root/repo/build2/tools/cli_run.json")
+set_tests_properties(cli_smoke_run PROPERTIES  DEPENDS "cli_smoke_generate;cli_smoke_realize" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_evaluate "/root/repo/build2/tools/rdp_cli" "evaluate" "--instance=/root/repo/build2/tools/cli_inst.csv" "--scenarios=4" "--seed=2")
+set_tests_properties(cli_smoke_evaluate PROPERTIES  DEPENDS "cli_smoke_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_bounds "/root/repo/build2/tools/rdp_cli" "bounds" "--m=8" "--alpha=2.0")
+set_tests_properties(cli_smoke_bounds PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
