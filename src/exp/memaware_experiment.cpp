@@ -25,9 +25,11 @@ void fill_denominators(MemAwareTrial& trial, const Instance& instance,
   copts.node_budget = config.exact_node_budget;
   // Both denominators in one batch: the size vector is fixed per
   // instance, so after the first trial its solve is always a cache hit.
+  // The sizes must outlive certify_batch -- CertifyRequest holds a span.
+  const std::vector<double> sizes = instance.sizes();
   const CertifyRequest requests[] = {
       {actual.actual, instance.num_machines()},
-      {instance.sizes(), instance.num_machines()},
+      {sizes, instance.num_machines()},
   };
   const std::vector<CertifiedCmax> optima = engine.certify_batch(requests, copts);
 

@@ -7,6 +7,7 @@
 
 #include "io/csv.hpp"
 #include "io/json.hpp"
+#include "io/table.hpp"
 
 namespace rdp {
 
@@ -118,6 +119,22 @@ void ExperimentReport::write_csv(std::ostream& out) const {
       csv.typed_row(name, s.count, s.mean, s.stddev, s.min, s.max, s.sum);
     }
   }
+}
+
+std::string ExperimentReport::to_markdown(int precision) const {
+  std::ostringstream out;
+  if (!params_.empty()) {
+    TextTable params({"parameter", "value"});
+    for (const auto& [k, v] : params_) params.add_row({k, v});
+    out << params.render_markdown() << "\n";
+  }
+  for (const auto& [name, s] : series_) {
+    out << "### series `" << name << "`\n\n";
+    TextTable table(s.columns());
+    for (const auto& row : s.rows()) table.add_numeric_row(row, precision);
+    out << table.render_markdown() << "\n";
+  }
+  return out.str();
 }
 
 void ExperimentReport::save_json(const std::string& path) const {

@@ -62,6 +62,12 @@ class ExperimentReport {
   /// Writes one CSV block per series ("# series: <name>" headers).
   void write_csv(std::ostream& out) const;
 
+  /// Renders params and every series as GitHub-flavored-markdown tables
+  /// (one "### series" heading per series) -- the repro pipeline embeds
+  /// this into the generated docs/RESULTS.md. Numeric cells use fixed
+  /// `precision` digits.
+  [[nodiscard]] std::string to_markdown(int precision = 4) const;
+
   /// Convenience file writers (throw std::runtime_error on I/O failure).
   void save_json(const std::string& path) const;
   void save_csv(const std::string& path) const;

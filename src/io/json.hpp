@@ -1,6 +1,9 @@
-// Minimal JSON *writer* (objects/arrays/scalars, proper string escaping).
-// Used to dump experiment results for downstream plotting; parsing JSON
-// is out of scope for this library.
+// Minimal JSON reader/writer (objects/arrays/scalars, proper string
+// escaping). Writing dumps experiment results for downstream plotting;
+// parsing exists so the repro pipeline can read back its own provenance
+// manifests (it is a strict little recursive-descent parser, not a
+// general-purpose validator -- numbers become doubles, \uXXXX escapes
+// outside the BMP are passed through as-is).
 #pragma once
 
 #include <cstdint>
@@ -38,11 +41,42 @@ class JsonValue {
   /// case nested structures are pretty-printed with that many spaces.
   [[nodiscard]] std::string dump(int indent = -1) const;
 
+  // -- Read-side accessors (for parsed documents) ---------------------
+
+  [[nodiscard]] bool is_null() const noexcept;
+  [[nodiscard]] bool is_bool() const noexcept;
+  [[nodiscard]] bool is_number() const noexcept;
+  [[nodiscard]] bool is_string() const noexcept;
+  [[nodiscard]] bool is_array() const noexcept;
+  [[nodiscard]] bool is_object() const noexcept;
+
+  /// Typed access; throws std::runtime_error naming the expected and the
+  /// actual type on mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Object member lookup: nullptr when this is not an object or the key
+  /// is absent.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const noexcept;
+
+  /// Convenience getters with fallbacks (never throw).
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback = "") const;
+  [[nodiscard]] double get_number(const std::string& key, double fallback = 0) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback = false) const;
+
  private:
   void dump_to(std::string& out, int indent, int depth) const;
 
   std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
 };
+
+/// Parses a JSON document (single value, trailing whitespace allowed).
+/// Throws std::runtime_error with a byte offset on malformed input.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
 
 /// Escapes a string for embedding in JSON (quotes included).
 [[nodiscard]] std::string json_escape(const std::string& s);

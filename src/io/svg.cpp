@@ -1,6 +1,8 @@
 #include "io/svg.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iterator>
 #include <sstream>
@@ -86,6 +88,142 @@ void save_svg(const std::string& path, const Instance& instance,
   if (!out) throw std::runtime_error("save_svg: cannot open " + path);
   out << render_svg(instance, schedule, options);
   if (!out) throw std::runtime_error("save_svg: write failed for " + path);
+}
+
+namespace {
+
+std::string tick_label(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_line_chart(const std::vector<ChartSeries>& series,
+                              const ChartOptions& options) {
+  if (options.width <= 0 || options.height <= 0 || options.margin <= 0) {
+    throw std::invalid_argument("render_line_chart: bad geometry options");
+  }
+  if (series.empty()) {
+    throw std::invalid_argument("render_line_chart: no series");
+  }
+
+  const auto tx = [&](double x) {
+    if (!options.log_x) return x;
+    if (x <= 0) {
+      throw std::invalid_argument("render_line_chart: log_x requires x > 0");
+    }
+    return std::log10(x);
+  };
+
+  double x_min = 0, x_max = 0, y_min = 0, y_max = 0;
+  bool first = true;
+  for (const ChartSeries& s : series) {
+    for (const auto& [x, y] : s.points) {
+      const double xv = tx(x);
+      if (first) {
+        x_min = x_max = xv;
+        y_min = y_max = y;
+        first = false;
+      } else {
+        x_min = std::min(x_min, xv);
+        x_max = std::max(x_max, xv);
+        y_min = std::min(y_min, y);
+        y_max = std::max(y_max, y);
+      }
+    }
+  }
+  if (first) throw std::invalid_argument("render_line_chart: no points");
+  if (x_max - x_min < 1e-12) x_max = x_min + 1.0;
+  if (y_max - y_min < 1e-12) y_max = y_min + 1.0;
+  // A little headroom so curves do not touch the frame.
+  const double y_pad = (y_max - y_min) * 0.05;
+  y_min -= y_pad;
+  y_max += y_pad;
+
+  const int plot_x = options.margin;
+  const int plot_y = options.title.empty() ? 14 : 30;
+  const int plot_w = options.width - options.margin - 12;
+  const int plot_h = options.height - plot_y - options.margin;
+  const auto px = [&](double x) {
+    return plot_x + (tx(x) - x_min) / (x_max - x_min) * plot_w;
+  };
+  const auto py = [&](double y) {
+    return plot_y + (y_max - y) / (y_max - y_min) * plot_h;
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+      << "\" height=\"" << options.height << "\" viewBox=\"0 0 " << options.width
+      << " " << options.height << "\">\n"
+      << "  <style>text{font-family:sans-serif;font-size:11px}"
+         ".t{font-size:13px;font-weight:bold}</style>\n"
+      << "  <rect x=\"0\" y=\"0\" width=\"" << options.width << "\" height=\""
+      << options.height << "\" fill=\"#fff\"/>\n";
+  if (!options.title.empty()) {
+    svg << "  <text class=\"t\" x=\"" << options.width / 2 << "\" y=\"16\""
+        << " text-anchor=\"middle\">" << options.title << "</text>\n";
+  }
+
+  // Frame + ticks (4 intervals each way; x ticks label the raw value).
+  svg << "  <rect x=\"" << plot_x << "\" y=\"" << plot_y << "\" width=\"" << plot_w
+      << "\" height=\"" << plot_h << "\" fill=\"none\" stroke=\"#999\"/>\n";
+  constexpr int kTicks = 4;
+  for (int t = 0; t <= kTicks; ++t) {
+    const double fx = x_min + (x_max - x_min) * t / kTicks;
+    const double raw_x = options.log_x ? std::pow(10.0, fx) : fx;
+    const double gx = plot_x + static_cast<double>(plot_w) * t / kTicks;
+    svg << "  <line x1=\"" << gx << "\" y1=\"" << plot_y << "\" x2=\"" << gx
+        << "\" y2=\"" << plot_y + plot_h << "\" stroke=\"#eee\"/>\n"
+        << "  <text x=\"" << gx << "\" y=\"" << plot_y + plot_h + 14
+        << "\" text-anchor=\"middle\">" << tick_label(raw_x) << "</text>\n";
+    const double fy = y_min + (y_max - y_min) * t / kTicks;
+    const double gy = py(fy);
+    svg << "  <line x1=\"" << plot_x << "\" y1=\"" << gy << "\" x2=\""
+        << plot_x + plot_w << "\" y2=\"" << gy << "\" stroke=\"#eee\"/>\n"
+        << "  <text x=\"" << plot_x - 4 << "\" y=\"" << gy + 4
+        << "\" text-anchor=\"end\">" << tick_label(fy) << "</text>\n";
+  }
+  if (!options.x_label.empty()) {
+    svg << "  <text x=\"" << plot_x + plot_w / 2 << "\" y=\""
+        << options.height - 6 << "\" text-anchor=\"middle\">" << options.x_label
+        << "</text>\n";
+  }
+  if (!options.y_label.empty()) {
+    svg << "  <text x=\"12\" y=\"" << plot_y + plot_h / 2
+        << "\" text-anchor=\"middle\" transform=\"rotate(-90 12 "
+        << plot_y + plot_h / 2 << ")\">" << options.y_label << "</text>\n";
+  }
+
+  // Polylines + legend.
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char* color = kPalette[s % std::size(kPalette)];
+    if (!series[s].points.empty()) {
+      svg << "  <polyline fill=\"none\" stroke=\"" << color
+          << "\" stroke-width=\"1.8\" points=\"";
+      for (const auto& [x, y] : series[s].points) {
+        svg << px(x) << ',' << py(y) << ' ';
+      }
+      svg << "\"/>\n";
+    }
+    const int ly = plot_y + 8 + static_cast<int>(s) * 15;
+    svg << "  <line x1=\"" << plot_x + plot_w - 110 << "\" y1=\"" << ly
+        << "\" x2=\"" << plot_x + plot_w - 92 << "\" y2=\"" << ly << "\" stroke=\""
+        << color << "\" stroke-width=\"2\"/>\n"
+        << "  <text x=\"" << plot_x + plot_w - 88 << "\" y=\"" << ly + 4 << "\">"
+        << series[s].label << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void save_line_chart(const std::string& path, const std::vector<ChartSeries>& series,
+                     const ChartOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_line_chart: cannot open " + path);
+  out << render_line_chart(series, options);
+  if (!out) throw std::runtime_error("save_line_chart: write failed for " + path);
 }
 
 }  // namespace rdp

@@ -32,4 +32,36 @@ struct SvgOptions {
 void save_svg(const std::string& path, const Instance& instance,
               const Schedule& schedule, const SvgOptions& options = {});
 
+// ---------------------------------------------------------------------
+// Line charts -- the guarantee-curve figures (Figure 3, Figure 6). Same
+// self-contained-SVG philosophy as the Gantt renderer: no external
+// plotting stack, deterministic output byte-for-byte.
+
+/// One polyline: a label (legend entry) plus (x, y) points in draw order.
+struct ChartSeries {
+  std::string label;
+  std::vector<std::pair<double, double>> points;
+};
+
+struct ChartOptions {
+  int width = 640;    ///< full drawing width in px
+  int height = 400;   ///< full drawing height in px
+  int margin = 52;    ///< axis margin on the left/bottom
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool log_x = false; ///< log10 x axis (replication degrees, Delta sweeps)
+};
+
+/// Renders the series as a standalone SVG line chart (axes, ticks,
+/// legend). Throws std::invalid_argument on empty input, non-positive
+/// geometry, or log_x with x <= 0.
+[[nodiscard]] std::string render_line_chart(const std::vector<ChartSeries>& series,
+                                            const ChartOptions& options = {});
+
+/// Writes render_line_chart() output to a file. Throws std::runtime_error
+/// on I/O failure.
+void save_line_chart(const std::string& path, const std::vector<ChartSeries>& series,
+                     const ChartOptions& options = {});
+
 }  // namespace rdp

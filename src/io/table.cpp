@@ -61,4 +61,30 @@ std::string TextTable::render() const {
   return os.str();
 }
 
+std::string TextTable::render_markdown() const {
+  const auto escape = [](const std::string& cell) {
+    std::string out;
+    out.reserve(cell.size());
+    for (char c : cell) {
+      if (c == '|') out += "\\|";
+      else if (c == '\n') out += ' ';
+      else out += c;
+    }
+    return out;
+  };
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (const std::string& cell : row) os << ' ' << escape(cell) << " |";
+    os << '\n';
+  };
+  emit_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) os << " --- |";
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
 }  // namespace rdp

@@ -21,7 +21,18 @@ class TextTable {
   /// Renders with column-aligned padding and a separator under the header.
   [[nodiscard]] std::string render() const;
 
+  /// Renders as a GitHub-flavored-markdown pipe table (used by the repro
+  /// pipeline when assembling docs/RESULTS.md). Pipe characters inside
+  /// cells are escaped as "\|".
+  [[nodiscard]] std::string render_markdown() const;
+
   [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
 
  private:
   std::vector<std::string> header_;

@@ -93,6 +93,14 @@ struct MetricsSnapshot {
     return counters.empty() && gauges.empty() && histograms.empty();
   }
 
+  /// Counter value by name, or `fallback` when the counter was never
+  /// touched (sites only materialize metrics they actually hit).
+  [[nodiscard]] std::uint64_t counter_or(const std::string& name,
+                                         std::uint64_t fallback = 0) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? fallback : it->second;
+  }
+
   /// Serializes as a JSON object {"counters":{...},"gauges":{...},
   /// "histograms":{...}}.
   [[nodiscard]] std::string to_json(int indent = 2) const;

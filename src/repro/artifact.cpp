@@ -1,0 +1,55 @@
+#include "repro/artifact.hpp"
+
+namespace rdp::repro {
+
+std::string to_string(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kTable: return "table";
+    case ArtifactKind::kFigure: return "figure";
+    case ArtifactKind::kTheorem: return "theorem";
+  }
+  return "?";
+}
+
+bool Artifact::has_tag(const std::string& tag) const {
+  for (const std::string& t : tags) {
+    if (t == tag) return true;
+  }
+  return false;
+}
+
+bool Artifact::matches(const std::string& pattern) const {
+  if (pattern.empty()) return true;
+  if (name.find(pattern) != std::string::npos) return true;
+  if (has_tag(pattern)) return true;
+  return to_string(kind) == pattern;
+}
+
+std::uint64_t fnv1a(const std::string& bytes) noexcept {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::uint64_t artifact_input_hash(const Artifact& artifact, std::uint64_t seed,
+                                  std::uint64_t node_budget) {
+  std::string blob = kRecipeVersion;
+  blob += '\0';
+  blob += artifact.name;
+  blob += '\0';
+  for (const auto& [k, v] : artifact.params) {
+    blob += k;
+    blob += '=';
+    blob += v;
+    blob += '\0';
+  }
+  blob += "seed=" + std::to_string(seed);
+  blob += '\0';
+  blob += "node_budget=" + std::to_string(node_budget);
+  return fnv1a(blob);
+}
+
+}  // namespace rdp::repro

@@ -1,0 +1,123 @@
+// The artifact model of the reproduction pipeline: one Artifact per
+// paper table/figure/theorem, each a pure function from an
+// ArtifactContext (seed, certify engine, thread pool) to an
+// ArtifactResult (machine-readable report + markdown fragment + extra
+// files + theorem checks). The pipeline driver (repro/pipeline.hpp) owns
+// layout, hashing, skipping, and manifest bookkeeping; artifacts only
+// compute.
+//
+// Determinism contract: an artifact's result may depend on the context's
+// seed and node budget but NOT on the pool size -- everything routed
+// through CertifyEngine / measure_ratio_trials is bit-identical across
+// thread counts, so `repro --jobs 1` and `--jobs 8` produce the same
+// bytes (tests/test_repro.cpp pins this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/report.hpp"
+
+namespace rdp {
+
+class CertifyEngine;
+class ThreadPool;
+
+namespace repro {
+
+enum class ArtifactKind { kTable, kFigure, kTheorem };
+
+[[nodiscard]] std::string to_string(ArtifactKind kind);
+
+/// Everything an artifact computation may use. Engine and pool are owned
+/// by the pipeline and shared across artifacts (so the certify cache
+/// carries over between artifacts that re-solve the same instances).
+struct ArtifactContext {
+  std::uint64_t seed = 1;
+  std::uint64_t node_budget = 400'000;  ///< branch-and-bound budget per solve
+  CertifyEngine* engine = nullptr;      ///< never null when run by the pipeline
+  ThreadPool* pool = nullptr;           ///< never null when run by the pipeline
+};
+
+/// One empirical validation of a proven statement. `kind` is the
+/// direction of the inequality the theorem states: kUpperBound means the
+/// measurement must sit at or below `bound` (competitive-ratio
+/// guarantees), kLowerBound means at or above (adversary tightness).
+struct TheoremCheck {
+  enum class Kind { kUpperBound, kLowerBound };
+
+  std::string label;      ///< e.g. "Thm 2: LPT-NoChoice, alpha=1.5"
+  double measured = 0;
+  double bound = 0;
+  Kind kind = Kind::kUpperBound;
+  double tolerance = 1e-9;  ///< relative slack on the comparison
+
+  [[nodiscard]] bool pass() const noexcept {
+    return kind == Kind::kUpperBound ? measured <= bound * (1.0 + tolerance)
+                                     : measured >= bound * (1.0 - tolerance);
+  }
+};
+
+/// An extra output file (SVG figure, auxiliary CSV) emitted next to the
+/// artifact's report.
+struct ArtifactFile {
+  std::string filename;  ///< basename only; the pipeline decides the dir
+  std::string content;
+};
+
+/// What one artifact computation produces.
+struct ArtifactResult {
+  ExperimentReport report;              ///< saved as <name>.json + <name>.csv
+  std::string markdown;                 ///< RESULTS.md fragment body. Links to
+                                        ///< own files use the literal prefix
+                                        ///< kArtifactsToken (rewritten at
+                                        ///< render time).
+  std::vector<ArtifactFile> extra_files;
+  std::vector<TheoremCheck> checks;
+};
+
+/// Placeholder for "path from RESULTS.md to the artifacts root" inside
+/// markdown fragments; resolved by the pipeline when RESULTS.md is
+/// assembled (fragments are cached on disk and must stay
+/// location-independent).
+inline constexpr const char* kArtifactsToken = "$(ARTIFACTS)";
+
+/// A registered artifact: identity + provenance inputs + compute fn.
+struct Artifact {
+  std::string name;        ///< slug, doubles as the output directory name
+  std::string title;       ///< human heading in RESULTS.md
+  std::string paper_ref;   ///< e.g. "Table 1", "Theorems 5-6"
+  std::string description; ///< one paragraph for RESULTS.md
+  ArtifactKind kind = ArtifactKind::kTable;
+  std::vector<std::string> tags;  ///< filter targets ("smoke", ...)
+  /// The artifact's input parameters. Part of the provenance hash: change
+  /// a param and the artifact regenerates on the next run.
+  std::map<std::string, std::string> params;
+  std::function<ArtifactResult(const ArtifactContext&)> run;
+
+  [[nodiscard]] bool has_tag(const std::string& tag) const;
+  /// True when `pattern` is a substring of the name or equals a tag or
+  /// the kind name ("table", "figure", "theorem").
+  [[nodiscard]] bool matches(const std::string& pattern) const;
+};
+
+/// FNV-1a over a byte string (the same construction the certify cache
+/// keys use; stable across platforms and runs).
+[[nodiscard]] std::uint64_t fnv1a(const std::string& bytes) noexcept;
+
+/// The provenance hash of an artifact under a given (seed, node_budget):
+/// FNV-1a over name, params, seed, budget, and the pipeline recipe
+/// version (bumping kRecipeVersion invalidates every cached artifact).
+[[nodiscard]] std::uint64_t artifact_input_hash(const Artifact& artifact,
+                                                std::uint64_t seed,
+                                                std::uint64_t node_budget);
+
+/// Bump when artifact semantics change in a way the params cannot see
+/// (output layout, fragment format, check definitions).
+inline constexpr const char* kRecipeVersion = "repro-v1";
+
+}  // namespace repro
+}  // namespace rdp

@@ -1,0 +1,173 @@
+#include "repro/manifest.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/json.hpp"
+
+namespace rdp::repro {
+
+namespace fs = std::filesystem;
+
+const ManifestEntry* Manifest::find(const std::string& name) const {
+  for (const ManifestEntry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::string hash_to_hex(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::string Manifest::to_json(int indent) const {
+  JsonArray entry_array;
+  for (const ManifestEntry& e : entries) {
+    JsonObject obj;
+    obj["name"] = e.name;
+    obj["kind"] = e.kind;
+    obj["input_hash"] = e.input_hash;
+    obj["status"] = e.status;
+    obj["wall_seconds"] = e.wall_seconds;
+    JsonArray outputs;
+    for (const std::string& o : e.outputs) outputs.emplace_back(o);
+    obj["outputs"] = std::move(outputs);
+    obj["checks"] = e.checks;
+    obj["violations"] = e.violations;
+    entry_array.emplace_back(std::move(obj));
+  }
+
+  JsonObject counters;
+  counters["theorem_checks"] = theorem_checks;
+  counters["bound_violations"] = bound_violations;
+  counters["certify_cache_hits"] = certify_cache_hits;
+  counters["certify_cache_misses"] = certify_cache_misses;
+
+  JsonObject root;
+  root["schema_version"] = schema_version;
+  root["git_sha"] = git_sha;
+  root["seed"] = seed;
+  root["node_budget"] = node_budget;
+  root["jobs"] = jobs;
+  root["filter"] = filter;
+  root["artifacts"] = std::move(entry_array);
+  root["counters"] = std::move(counters);
+  root["total_wall_seconds"] = total_wall_seconds;
+  return JsonValue(std::move(root)).dump(indent);
+}
+
+void Manifest::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("manifest: cannot open " + path);
+  out << to_json() << "\n";
+  if (!out) throw std::runtime_error("manifest: write failed for " + path);
+}
+
+std::optional<Manifest> load_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  try {
+    const JsonValue root = parse_json(buffer.str());
+    Manifest m;
+    m.schema_version = static_cast<int>(root.get_number("schema_version", -1));
+    if (m.schema_version != Manifest{}.schema_version) return std::nullopt;
+    m.git_sha = root.get_string("git_sha", "unknown");
+    m.seed = static_cast<std::uint64_t>(root.get_number("seed"));
+    m.node_budget = static_cast<std::uint64_t>(root.get_number("node_budget"));
+    m.jobs = static_cast<std::size_t>(root.get_number("jobs"));
+    m.filter = root.get_string("filter");
+    m.total_wall_seconds = root.get_number("total_wall_seconds");
+    if (const JsonValue* counters = root.find("counters")) {
+      m.theorem_checks =
+          static_cast<std::uint64_t>(counters->get_number("theorem_checks"));
+      m.bound_violations =
+          static_cast<std::uint64_t>(counters->get_number("bound_violations"));
+      m.certify_cache_hits =
+          static_cast<std::uint64_t>(counters->get_number("certify_cache_hits"));
+      m.certify_cache_misses =
+          static_cast<std::uint64_t>(counters->get_number("certify_cache_misses"));
+    }
+    if (const JsonValue* artifacts = root.find("artifacts")) {
+      for (const JsonValue& v : artifacts->as_array()) {
+        ManifestEntry e;
+        e.name = v.get_string("name");
+        e.kind = v.get_string("kind");
+        e.input_hash = v.get_string("input_hash");
+        e.status = v.get_string("status");
+        e.wall_seconds = v.get_number("wall_seconds");
+        e.checks = static_cast<std::uint64_t>(v.get_number("checks"));
+        e.violations = static_cast<std::uint64_t>(v.get_number("violations"));
+        if (const JsonValue* outputs = v.find("outputs")) {
+          for (const JsonValue& o : outputs->as_array()) {
+            e.outputs.push_back(o.as_string());
+          }
+        }
+        m.entries.push_back(std::move(e));
+      }
+    }
+    return m;
+  } catch (const std::exception&) {
+    return std::nullopt;  // stale/corrupt manifests just disable skipping
+  }
+}
+
+namespace {
+
+std::string trim(std::string s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r' || s.back() == ' ')) {
+    s.pop_back();
+  }
+  return s;
+}
+
+std::string read_first_line(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::string line;
+  std::getline(in, line);
+  return trim(std::move(line));
+}
+
+}  // namespace
+
+std::string read_git_sha(const std::string& start_dir) {
+  std::error_code ec;
+  fs::path dir = fs::absolute(start_dir, ec);
+  if (ec) return "unknown";
+  while (true) {
+    const fs::path git_dir = dir / ".git";
+    if (fs::exists(git_dir, ec) && !ec) {
+      const std::string head = read_first_line(git_dir / "HEAD");
+      if (head.rfind("ref: ", 0) != 0) {
+        return head.empty() ? "unknown" : head;  // detached HEAD
+      }
+      const std::string ref = head.substr(5);
+      const std::string direct = read_first_line(git_dir / ref);
+      if (!direct.empty()) return direct;
+      // Packed ref: lines of "<40-hex sha> <refname>".
+      std::ifstream packed(git_dir / "packed-refs");
+      std::string line;
+      while (std::getline(packed, line)) {
+        line = trim(std::move(line));
+        if (line.size() == ref.size() + 41 && line[40] == ' ' &&
+            line.compare(41, ref.size(), ref) == 0) {
+          return line.substr(0, 40);
+        }
+      }
+      return "unknown";
+    }
+    const fs::path parent = dir.parent_path();
+    if (parent == dir) return "unknown";
+    dir = parent;
+  }
+}
+
+}  // namespace rdp::repro

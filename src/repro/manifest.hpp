@@ -1,0 +1,65 @@
+// The provenance manifest of a repro run: which artifact versions were
+// produced, from which inputs (hash), at which git revision, and what the
+// theorem-validation counters said. manifest.json is both a record (what
+// exactly produced these files?) and the incremental-skip index (the next
+// run reuses any artifact whose input hash is unchanged and whose output
+// files still exist).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rdp::repro {
+
+/// Per-artifact provenance. `input_hash` is artifact_input_hash() printed
+/// as 16 hex digits (strings survive the JSON round-trip exactly;
+/// doubles would not).
+struct ManifestEntry {
+  std::string name;
+  std::string kind;                   ///< "table" | "figure" | "theorem"
+  std::string input_hash;             ///< 16 hex digits
+  std::string status;                 ///< "generated" | "cached"
+  double wall_seconds = 0;            ///< 0 when cached
+  std::vector<std::string> outputs;   ///< paths relative to the out dir
+  std::uint64_t checks = 0;           ///< theorem checks evaluated
+  std::uint64_t violations = 0;       ///< checks that FAILED
+};
+
+struct Manifest {
+  int schema_version = 1;
+  std::string git_sha;        ///< "unknown" outside a git checkout
+  std::uint64_t seed = 0;
+  std::uint64_t node_budget = 0;
+  std::size_t jobs = 0;       ///< worker threads the run used
+  std::string filter;         ///< the --filter argument ("" = everything)
+  std::vector<ManifestEntry> entries;
+  /// Selected run-wide counters (from the obs::MetricsRegistry installed
+  /// for the run + the certify engine's cache stats).
+  std::uint64_t theorem_checks = 0;
+  std::uint64_t bound_violations = 0;
+  std::uint64_t certify_cache_hits = 0;
+  std::uint64_t certify_cache_misses = 0;
+  double total_wall_seconds = 0;
+
+  [[nodiscard]] const ManifestEntry* find(const std::string& name) const;
+
+  [[nodiscard]] std::string to_json(int indent = 2) const;
+  void save(const std::string& path) const;
+};
+
+/// Formats a 64-bit hash as the manifest's 16-hex-digit string.
+[[nodiscard]] std::string hash_to_hex(std::uint64_t hash);
+
+/// Loads a previously written manifest. Returns nullopt when the file is
+/// missing, unparseable, or of a different schema version -- all of which
+/// simply disable incremental skipping.
+[[nodiscard]] std::optional<Manifest> load_manifest(const std::string& path);
+
+/// Best-effort HEAD commit sha: walks up from `start_dir` to the first
+/// `.git` and resolves HEAD (symbolic refs, then packed-refs). Returns
+/// "unknown" when anything is missing -- never throws.
+[[nodiscard]] std::string read_git_sha(const std::string& start_dir = ".");
+
+}  // namespace rdp::repro

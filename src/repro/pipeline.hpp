@@ -1,0 +1,58 @@
+// The reproduction pipeline driver (`rdp_cli repro`): runs every
+// registered paper artifact through one shared CertifyEngine + ThreadPool,
+// emits each artifact's files under a deterministic layout,
+//
+//   <out>/<artifact-name>/<artifact-name>.json   machine-readable report
+//   <out>/<artifact-name>/<artifact-name>.csv    the same series as CSV
+//   <out>/<artifact-name>/*.svg                  figures
+//   <out>/<artifact-name>/checks.json            theorem checks, PASS/FAIL
+//   <out>/<artifact-name>/fragment.md            RESULTS.md section body
+//   <out>/manifest.json                          provenance (repro/manifest.hpp)
+//
+// and assembles docs/RESULTS.md from the fragments. Incremental: an
+// artifact whose input hash matches the previous manifest and whose
+// output files still exist is skipped ("cached"); --force regenerates.
+//
+// Determinism: artifact outputs (reports, fragments, figures) contain no
+// timestamps, git shas, or thread counts, so two runs with the same seed
+// are byte-identical even across different --jobs values. Run-varying
+// provenance (wall times, jobs, sha) lives only in manifest.json.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "repro/manifest.hpp"
+
+namespace rdp::repro {
+
+struct ReproOptions {
+  std::string out_dir = "artifacts";          ///< artifact tree root
+  std::string results_path = "docs/RESULTS.md";  ///< "" = skip RESULTS.md
+  std::string filter;        ///< comma-separated terms; "" = everything
+  std::size_t jobs = 0;      ///< worker threads (0 = hardware concurrency)
+  std::uint64_t seed = 1;
+  std::uint64_t node_budget = 400'000;  ///< branch-and-bound budget per solve
+  bool force = false;        ///< regenerate even when hashes match
+  std::ostream* log = nullptr;  ///< per-artifact progress lines (may be null)
+};
+
+struct ReproSummary {
+  std::size_t selected = 0;
+  std::size_t generated = 0;
+  std::size_t cached = 0;
+  std::uint64_t checks = 0;      ///< theorem checks evaluated (this run)
+  std::uint64_t violations = 0;  ///< failed checks (this run)
+  bool results_written = false;  ///< false when fragments were incomplete
+  std::string manifest_path;
+  Manifest manifest;             ///< what was saved to manifest_path
+};
+
+/// Runs the pipeline. Throws std::invalid_argument when the filter
+/// matches nothing, std::runtime_error on I/O failure. Theorem-check
+/// violations do NOT throw; they are counted (summary + manifest +
+/// metrics counter "repro.bound_violations") and rendered as FAIL.
+ReproSummary run_repro(const ReproOptions& options);
+
+}  // namespace rdp::repro

@@ -1,0 +1,22 @@
+// The registry of paper artifacts: every table, figure, and theorem
+// validation of "Replicated Data Placement for Uncertain Scheduling",
+// each reproducible in isolation (`rdp_cli repro --filter=NAME`) or as a
+// set. docs/REPRODUCING.md is the human index of this list.
+#pragma once
+
+#include <vector>
+
+#include "repro/artifact.hpp"
+
+namespace rdp::repro {
+
+/// All registered artifacts, in RESULTS.md order (tables, then figures,
+/// then theorem sweeps). The vector is built once and cached.
+[[nodiscard]] const std::vector<Artifact>& paper_artifacts();
+
+/// The subset matching a comma-separated filter expression (each term
+/// matches name substrings, tags, or kind names; empty selects all).
+[[nodiscard]] std::vector<const Artifact*> select_artifacts(
+    const std::vector<Artifact>& all, const std::string& filter);
+
+}  // namespace rdp::repro

@@ -34,7 +34,7 @@ using namespace rdp;
 int usage(const char* program) {
   std::cerr
       << "usage: " << program
-      << " <generate|realize|run|evaluate|sweep|bounds> [--flags]\n\n"
+      << " <generate|realize|run|evaluate|sweep|bounds|repro> [--flags]\n\n"
          "  generate --kind=uniform|heavy-tailed|bimodal|lognormal|"
          "correlated|anti-correlated|independent|unit|profile:NAME\n"
          "           --n=N --m=M --alpha=A --seed=S --out=FILE\n"
@@ -46,7 +46,12 @@ int usage(const char* program) {
          "           [--trials=K] [--threads=T] [--seed=S] [--json=FILE]\n"
          "           [--ratios] (certified competitive ratios per trial)\n"
          "           [--cache-size=N] [--certify-budget=B] (with --ratios)\n"
-         "  bounds   --m=M --alpha=A\n\n"
+         "  bounds   --m=M --alpha=A\n"
+         "  repro    [--out=DIR] [--results=FILE] [--filter=EXPR]\n"
+         "           [--jobs=N] [--seed=S] [--budget=B] [--force] [--list]\n"
+         "           (regenerate the paper's tables/figures/theorem checks;\n"
+         "            filter terms match artifact names, tags, or kinds,\n"
+         "            e.g. --filter=smoke or --filter=table,fig1)\n\n"
          "global:  --metrics-out=FILE (metrics snapshot JSON)\n"
          "         --trace-out=FILE   (Chrome trace_event; .jsonl for JSONL)\n\n"
          "strategies:";
@@ -339,6 +344,46 @@ int cmd_bounds(const Args& args) {
   return EXIT_SUCCESS;
 }
 
+int cmd_repro(const Args& args) {
+  if (args.get("list", false)) {
+    TextTable table({"artifact", "reproduces", "kind", "tags"});
+    for (const repro::Artifact& artifact : repro::paper_artifacts()) {
+      std::string tags;
+      for (const std::string& t : artifact.tags) {
+        tags += (tags.empty() ? "" : ",") + t;
+      }
+      table.add_row({artifact.name, artifact.paper_ref,
+                     repro::to_string(artifact.kind), tags});
+    }
+    std::cout << table.render();
+    return EXIT_SUCCESS;
+  }
+
+  repro::ReproOptions options;
+  options.out_dir = args.get("out", std::string("artifacts"));
+  options.results_path = args.get("results", std::string("docs/RESULTS.md"));
+  options.filter = args.get("filter", std::string(""));
+  options.jobs = static_cast<std::size_t>(args.get("jobs", std::int64_t{0}));
+  options.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{1}));
+  options.node_budget =
+      static_cast<std::uint64_t>(args.get("budget", std::int64_t{400'000}));
+  options.force = args.get("force", false);
+  options.log = &std::cout;
+
+  const repro::ReproSummary summary = repro::run_repro(options);
+
+  TextTable table({"quantity", "value"});
+  table.add_row({"selected", std::to_string(summary.selected)});
+  table.add_row({"generated", std::to_string(summary.generated)});
+  table.add_row({"cached", std::to_string(summary.cached)});
+  table.add_row({"theorem checks", std::to_string(summary.checks)});
+  table.add_row({"bound violations", std::to_string(summary.violations)});
+  table.add_row({"manifest", summary.manifest_path});
+  table.add_row({"RESULTS.md", summary.results_written ? "written" : "skipped"});
+  std::cout << table.render();
+  return summary.violations == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -368,6 +413,8 @@ int main(int argc, char** argv) {
       status = cmd_sweep(args);
     } else if (command == "bounds") {
       status = cmd_bounds(args);
+    } else if (command == "repro") {
+      status = cmd_repro(args);
     } else {
       std::cerr << "unknown command '" << command << "'\n";
       return usage(argv[0]);
