@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "check/invariants.hpp"
 #include "core/instance.hpp"
 #include "core/realization.hpp"
 #include "exact/certify.hpp"
@@ -32,6 +33,18 @@ RatioTrial make_trial(Time algo_makespan, const CertifiedCmax& opt) {
   return trial;
 }
 
+/// Debug-only schedule re-validation (the --debug-checks flag /
+/// RDP_DEBUG_CHECKS=1): throws std::logic_error with every broken
+/// invariant when a dispatcher produced an inconsistent schedule. Costs
+/// one relaxed atomic load when disabled.
+void debug_validate(const Instance& instance, const Placement& placement,
+                    const Realization& actual, const Schedule& schedule,
+                    const char* context) {
+  if (!check::debug_checks_enabled()) return;
+  check::throw_on_violations(
+      check::check_invariants(instance, placement, actual, schedule), context);
+}
+
 RatioTrial finish_trial(Time algo_makespan, const Realization& actual,
                         const Instance& instance,
                         const RatioExperimentConfig& config) {
@@ -55,6 +68,8 @@ RatioTrial measure_ratio(const TwoPhaseStrategy& strategy, const Instance& insta
                          const Realization& actual,
                          const RatioExperimentConfig& config) {
   const StrategyResult result = strategy.run(instance, actual);
+  debug_validate(instance, result.placement, actual, result.schedule,
+                 "measure_ratio");
   return finish_trial(result.makespan, actual, instance, config);
 }
 
@@ -65,6 +80,8 @@ RatioTrial measure_adversarial_ratio(const TwoPhaseStrategy& strategy,
   const Realization actual = adversarial_realization(instance, placement);
   const DispatchResult dispatched =
       dispatch_with_rule(instance, placement, actual, strategy.rule());
+  debug_validate(instance, placement, actual, dispatched.schedule,
+                 "measure_adversarial_ratio");
   return finish_trial(dispatched.schedule.makespan(), actual, instance, config);
 }
 
@@ -88,6 +105,8 @@ std::vector<RatioTrial> measure_ratio_trials(const TwoPhaseStrategy& strategy,
     actuals[t] = realize(instance, noise, seed + t);
     const DispatchResult dispatched =
         dispatch_with_rule(instance, placement, actuals[t], strategy.rule());
+    debug_validate(instance, placement, actuals[t], dispatched.schedule,
+                   "measure_ratio_trials");
     makespans[t] = dispatched.schedule.makespan();
   };
   if (config.pool != nullptr && trials > 1) {

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "check/invariants.hpp"
 #include "core/instance.hpp"
 #include "exact/certify.hpp"
 #include "parallel/parallel_for.hpp"
@@ -54,6 +55,12 @@ ScenarioEvaluation evaluate_scenarios(const TwoPhaseStrategy& strategy,
   const auto run_scenario = [&](std::size_t s) {
     const DispatchResult run = dispatch_with_rule(
         instance, placement, scenarios.scenarios[s], strategy.rule());
+    if (check::debug_checks_enabled()) {
+      check::throw_on_violations(
+          check::check_invariants(instance, placement, scenarios.scenarios[s],
+                                  run.schedule),
+          "evaluate_scenarios");
+    }
     eval.makespans[s] = run.schedule.makespan();
   };
   if (config.pool != nullptr && count > 1) {

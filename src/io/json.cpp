@@ -1,5 +1,6 @@
 #include "io/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -34,12 +35,20 @@ namespace {
 
 std::string number_to_string(double d) {
   if (!std::isfinite(d)) return "null";  // JSON has no inf/nan
+  if (d == 0.0) return std::signbit(d) ? "-0" : "0";
   if (d == std::floor(d) && std::abs(d) < 1e15) {
     return std::to_string(static_cast<long long>(d));
   }
+  // Shortest representation that parses back to exactly d ("%.12g" used
+  // to collapse values differing below ~1e-12, masking real drift in
+  // golden comparisons and provenance hashes).
   char buf[32];
-  std::snprintf(buf, sizeof buf, "%.12g", d);
-  return buf;
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  if (ec != std::errc{}) {  // cannot happen for a finite double; be safe
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    return buf;
+  }
+  return std::string(buf, ptr);
 }
 
 void newline_indent(std::string& out, int indent, int depth) {

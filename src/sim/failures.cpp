@@ -1,9 +1,12 @@
 #include "sim/failures.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <functional>
 #include <limits>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/instance.hpp"
@@ -46,6 +49,14 @@ struct Event {
 
 enum class TaskStatus { kWaiting, kRunning, kDone };
 
+/// (priority rank, task) entries, best rank on top. Entries are
+/// invalidated lazily: a pop whose task is no longer kWaiting is skipped.
+/// Duplicates are harmless for the same reason.
+using EligibleHeap =
+    std::priority_queue<std::pair<std::uint32_t, TaskId>,
+                        std::vector<std::pair<std::uint32_t, TaskId>>,
+                        std::greater<>>;
+
 }  // namespace
 
 FailureDispatchResult dispatch_with_failures(const Instance& instance,
@@ -62,8 +73,11 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
     throw std::invalid_argument(
         "dispatch_with_failures: placement built for a different machine count");
   }
-  if (plan.refetch_penalty < 0) {
-    throw std::invalid_argument("dispatch_with_failures: negative refetch penalty");
+  // `penalty < 0` alone lets NaN through (every comparison with NaN is
+  // false) and a NaN duration would poison the event queue ordering.
+  if (!(plan.refetch_penalty >= 0) || !std::isfinite(plan.refetch_penalty)) {
+    throw std::invalid_argument(
+        "dispatch_with_failures: refetch penalty must be finite and >= 0");
   }
 
   std::vector<Time> fail_time(m, kNever);
@@ -71,8 +85,9 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
     if (f.machine >= m) {
       throw std::invalid_argument("dispatch_with_failures: bad failure machine");
     }
-    if (f.when < 0) {
-      throw std::invalid_argument("dispatch_with_failures: negative failure time");
+    if (!(f.when >= 0) || !std::isfinite(f.when)) {
+      throw std::invalid_argument(
+          "dispatch_with_failures: failure time must be finite and >= 0");
     }
     fail_time[f.machine] = std::min(fail_time[f.machine], f.when);
   }
@@ -98,6 +113,26 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
   std::vector<bool> machine_idle(m, false);
   std::vector<TaskId> running_on(m, kNoTask);
 
+  // Per-machine candidate heaps replace the former scan over every task
+  // on every kMachineFree event. A task is pushed onto the heap of each
+  // machine that could run it (its replica set initially; every live
+  // machine once it refetches), and entries go stale in place when the
+  // task is dispatched -- pops discard entries whose task is not waiting.
+  // A machine's eligibility can only grow (refetch) or the machine dies
+  // (its heap is never consulted again), so a popped entry with a waiting
+  // task is always currently runnable on that machine.
+  std::vector<EligibleHeap> candidates(m);
+  for (TaskId j = 0; j < n; ++j) {
+    for (MachineId i : placement.machines_for(j)) {
+      candidates[i].emplace(rank[j], j);
+    }
+  }
+  auto push_everywhere = [&](TaskId j) {
+    for (MachineId i = 0; i < m; ++i) {
+      if (!failed[i]) candidates[i].emplace(rank[j], j);
+    }
+  };
+
   FailureDispatchResult result;
   result.schedule.assignment = Assignment(n);
   result.schedule.start.assign(n, 0);
@@ -114,11 +149,6 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
 
   std::size_t remaining = n;
 
-  auto eligible = [&](TaskId j, MachineId i) {
-    if (failed[i]) return false;
-    return refetch[j] ? true : placement.allows(j, i);
-  };
-
   auto duration_of = [&](TaskId j) {
     return actual[j] + (refetch[j] ? plan.refetch_penalty : Time{0});
   };
@@ -133,6 +163,10 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
       }
     }
   };
+
+  // Scratch for entries popped too early (earliest[j] > now); they are
+  // re-pushed after each selection so no candidate is lost.
+  std::vector<std::pair<std::uint32_t, TaskId>> deferred;
 
   while (remaining > 0) {
     if (events.empty()) {
@@ -167,6 +201,7 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
                       "{\"machine\":" + std::to_string(i) + "}");
         }
         // Kill the running attempt, if any.
+        TaskId restarted = kNoTask;
         if (running_on[i] != kNoTask) {
           const TaskId j = running_on[i];
           running_on[i] = kNoTask;
@@ -174,8 +209,10 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
           ++epoch[j];
           earliest[j] = e.when;
           ++result.restarts;
+          restarted = j;
         }
-        // Any waiting task whose every replica is gone must refetch.
+        // Any waiting task whose every replica is gone must refetch and
+        // becomes runnable on every surviving machine.
         for (TaskId j = 0; j < n; ++j) {
           if (status[j] != TaskStatus::kWaiting || refetch[j]) continue;
           bool any_alive = false;
@@ -188,6 +225,21 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
           if (!any_alive) {
             refetch[j] = true;
             ++result.refetches;
+            push_everywhere(j);
+          }
+        }
+        // Re-advertise the killed attempt. A previously-refetched task
+        // must be pushed everywhere again: its old entries were consumed
+        // (or lazily drained) when it was dispatched the first time.
+        if (restarted != kNoTask) {
+          if (refetch[restarted]) {
+            push_everywhere(restarted);
+          } else {
+            for (MachineId machine : placement.machines_for(restarted)) {
+              if (!failed[machine]) {
+                candidates[machine].emplace(rank[restarted], restarted);
+              }
+            }
           }
         }
         wake_idle_machines(e.when);
@@ -196,21 +248,28 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
       case EventKind::kMachineFree: {
         const MachineId i = e.machine;
         if (failed[i] || running_on[i] != kNoTask) break;
-        // Highest-priority waiting task runnable here, now or later.
+        // Best-ranked waiting candidate runnable here, now or later.
         TaskId best_now = kNoTask;
-        std::uint32_t best_now_rank = UINT32_MAX;
         Time soonest_future = kNever;
-        for (TaskId j = 0; j < n; ++j) {
-          if (status[j] != TaskStatus::kWaiting || !eligible(j, i)) continue;
-          if (earliest[j] <= e.when) {
-            if (rank[j] < best_now_rank) {
-              best_now_rank = rank[j];
-              best_now = j;
-            }
-          } else {
-            soonest_future = std::min(soonest_future, earliest[j]);
+        EligibleHeap& heap = candidates[i];
+        deferred.clear();
+        while (!heap.empty()) {
+          const auto [r, j] = heap.top();
+          if (status[j] != TaskStatus::kWaiting) {
+            heap.pop();  // stale: dispatched or done since it was pushed
+            continue;
           }
+          if (earliest[j] > e.when) {
+            soonest_future = std::min(soonest_future, earliest[j]);
+            deferred.emplace_back(r, j);
+            heap.pop();
+            continue;
+          }
+          best_now = j;
+          heap.pop();
+          break;
         }
+        for (const auto& entry : deferred) heap.push(entry);
         if (best_now != kNoTask) {
           const TaskId j = best_now;
           status[j] = TaskStatus::kRunning;

@@ -2,6 +2,7 @@
 // data refetch).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "algo/dispatch_policies.hpp"
@@ -147,6 +148,31 @@ TEST(Failures, InvalidPlansRejected) {
   EXPECT_THROW((void)dispatch_with_failures(inst, p, r, identity_priority(1),
                                             bad_penalty),
                std::invalid_argument);
+}
+
+TEST(Failures, NonFinitePlansRejected) {
+  // `penalty < 0` style checks are NaN-permeable (every NaN comparison is
+  // false); a NaN or infinite time would poison the event-queue ordering.
+  Instance inst = Instance::from_estimates({1.0}, 1, 1.0);
+  const Placement p = Placement::singleton({0}, 1);
+  const Realization r = exact_realization(inst);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  for (double bad : {nan, inf, -inf}) {
+    FailurePlan bad_penalty;
+    bad_penalty.refetch_penalty = bad;
+    EXPECT_THROW((void)dispatch_with_failures(inst, p, r, identity_priority(1),
+                                              bad_penalty),
+                 std::invalid_argument)
+        << "penalty " << bad << " must be rejected";
+    FailurePlan bad_when;
+    bad_when.failures = {{0, bad}};
+    EXPECT_THROW((void)dispatch_with_failures(inst, p, r, identity_priority(1),
+                                              bad_when),
+                 std::invalid_argument)
+        << "failure time " << bad << " must be rejected";
+  }
 }
 
 TEST(Failures, TraceIncludesLostAttempts) {

@@ -1,10 +1,15 @@
 // Tests for CSV, JSON, text tables, and instance (de)serialization.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "rng/rng.hpp"
 
 #include "core/instance.hpp"
 #include "io/csv.hpp"
@@ -129,6 +134,60 @@ TEST(Json, PrettyPrinting) {
 
 TEST(Json, NonFiniteBecomesNull) {
   EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+namespace {
+
+/// parse(dump(x)) must give back the exact bit pattern of x.
+void expect_round_trip(double x) {
+  const std::string text = JsonValue(x).dump();
+  const double back = parse_json(text).as_number();
+  EXPECT_EQ(std::memcmp(&x, &back, sizeof x), 0)
+      << "value " << x << " dumped as '" << text << "' parsed back as " << back;
+}
+
+}  // namespace
+
+TEST(Json, NumberRoundTripBoundaries) {
+  // Values "%.12g" used to collapse: neighbours differing below ~1e-12.
+  expect_round_trip(0.1);
+  expect_round_trip(1.0 + 1e-15);
+  expect_round_trip(std::nextafter(1.0, 2.0));
+  expect_round_trip(1.0 / 3.0);
+  // The integer fast path boundary (|d| < 1e15 prints as long long).
+  expect_round_trip(1e15);
+  expect_round_trip(-1e15);
+  expect_round_trip(999999999999999.0);
+  expect_round_trip(std::nextafter(1e15, 2e15));
+  expect_round_trip(1e15 + 2.0);
+  // Extremes and subnormals.
+  expect_round_trip(std::numeric_limits<double>::max());
+  expect_round_trip(std::numeric_limits<double>::min());
+  expect_round_trip(std::numeric_limits<double>::denorm_min());
+  expect_round_trip(4.9406564584124654e-310);  // subnormal
+  expect_round_trip(0.0);
+  expect_round_trip(-0.0);
+  EXPECT_EQ(JsonValue(-0.0).dump(), "-0");  // signbit survives the trip
+}
+
+TEST(Json, NumberRoundTripRandomDoubles) {
+  // 10k doubles drawn from random 64-bit patterns (skipping NaN/inf,
+  // which intentionally serialize as null) plus uniform magnitudes.
+  Xoshiro256 rng(20260806);
+  std::size_t tested = 0;
+  while (tested < 10'000) {
+    double x;
+    if (tested % 2 == 0) {
+      const std::uint64_t bits = rng.next();
+      std::memcpy(&x, &bits, sizeof x);
+      if (!std::isfinite(x)) continue;
+    } else {
+      // Exercise the human-scale range the library actually emits.
+      x = (rng.next_double() - 0.5) * 2e6;
+    }
+    expect_round_trip(x);
+    ++tested;
+  }
 }
 
 TEST(TextTable, AlignsColumns) {

@@ -34,7 +34,7 @@ using namespace rdp;
 int usage(const char* program) {
   std::cerr
       << "usage: " << program
-      << " <generate|realize|run|evaluate|sweep|bounds|repro> [--flags]\n\n"
+      << " <generate|realize|run|evaluate|sweep|bounds|repro|fuzz> [--flags]\n\n"
          "  generate --kind=uniform|heavy-tailed|bimodal|lognormal|"
          "correlated|anti-correlated|independent|unit|profile:NAME\n"
          "           --n=N --m=M --alpha=A --seed=S --out=FILE\n"
@@ -51,9 +51,18 @@ int usage(const char* program) {
          "           [--jobs=N] [--seed=S] [--budget=B] [--force] [--list]\n"
          "           (regenerate the paper's tables/figures/theorem checks;\n"
          "            filter terms match artifact names, tags, or kinds,\n"
-         "            e.g. --filter=smoke or --filter=table,fig1)\n\n"
+         "            e.g. --filter=smoke or --filter=table,fig1)\n"
+         "  fuzz     [--seeds=N] [--jobs=K] [--start-seed=S]\n"
+         "           [--max-n=N] [--max-m=M] [--report=FILE.jsonl]\n"
+         "           [--no-shrink]\n"
+         "           (differential fuzzing of every sim/ dispatcher against\n"
+         "            the schedule invariants in src/check/; failing seeds\n"
+         "            are shrunk and written one JSONL line each)\n\n"
          "global:  --metrics-out=FILE (metrics snapshot JSON)\n"
-         "         --trace-out=FILE   (Chrome trace_event; .jsonl for JSONL)\n\n"
+         "         --trace-out=FILE   (Chrome trace_event; .jsonl for JSONL)\n"
+         "         --debug-checks     (re-validate every dispatched schedule\n"
+         "                             in experiment paths; also via\n"
+         "                             RDP_DEBUG_CHECKS=1)\n\n"
          "strategies:";
   for (const std::string& spec : known_strategy_specs()) std::cerr << ' ' << spec;
   std::cerr << "\nnoise models: none uniform log-uniform two-point"
@@ -384,6 +393,38 @@ int cmd_repro(const Args& args) {
   return summary.violations == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
 }
 
+int cmd_fuzz(const Args& args) {
+  check::FuzzOptions options;
+  options.seeds = static_cast<std::size_t>(args.get("seeds", std::int64_t{500}));
+  options.jobs = static_cast<std::size_t>(args.get("jobs", std::int64_t{1}));
+  options.start_seed =
+      static_cast<std::uint64_t>(args.get("start-seed", std::int64_t{1}));
+  options.gen.max_tasks =
+      static_cast<std::size_t>(args.get("max-n", std::int64_t{24}));
+  options.gen.max_machines =
+      static_cast<MachineId>(args.get("max-m", std::int64_t{6}));
+  options.shrink = !args.get("no-shrink", false);
+  options.log = &std::cout;
+  if (options.seeds == 0) throw std::invalid_argument("fuzz: --seeds must be >= 1");
+
+  const check::FuzzSummary summary = check::run_fuzz(options);
+
+  const std::string report_path = args.get("report", std::string(""));
+  if (!report_path.empty()) {
+    check::save_jsonl_report(report_path, summary.failures);
+    std::cout << "JSONL report (" << summary.failures.size()
+              << " failures) written to " << report_path << "\n";
+  }
+
+  TextTable table({"quantity", "value"});
+  table.add_row({"seeds", std::to_string(summary.cases)});
+  table.add_row({"cross-checks", std::to_string(summary.checks)});
+  table.add_row({"checks per seed", std::to_string(check::checks_per_case())});
+  table.add_row({"failures", std::to_string(summary.failures.size())});
+  std::cout << table.render();
+  return summary.failures.empty() ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -399,6 +440,7 @@ int main(int argc, char** argv) {
     if (!metrics_path.empty()) registry = std::make_unique<obs::MetricsRegistry>();
     if (!trace_path.empty()) tracer = std::make_unique<obs::Tracer>();
     obs::ObservabilityScope scope(registry.get(), tracer.get());
+    if (args.get("debug-checks", false)) check::set_debug_checks(true);
 
     int status = EXIT_FAILURE;
     if (command == "generate") {
@@ -415,6 +457,8 @@ int main(int argc, char** argv) {
       status = cmd_bounds(args);
     } else if (command == "repro") {
       status = cmd_repro(args);
+    } else if (command == "fuzz") {
+      status = cmd_fuzz(args);
     } else {
       std::cerr << "unknown command '" << command << "'\n";
       return usage(argv[0]);
