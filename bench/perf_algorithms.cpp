@@ -8,6 +8,7 @@
 // (thread pool + parallel sweep + metrics + tracing).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "algo/dispatch_policies.hpp"
@@ -262,6 +263,59 @@ void BM_SweepObservability(benchmark::State& state) {
   state.counters["cells_per_sec"] = registry.gauge("sweep.cells_per_sec").value();
 }
 BENCHMARK(BM_SweepObservability)->Arg(64);
+
+// ----- histogram micro-costs ------------------------------------------
+// Histogram::observe is the new per-sample price of every value() call on
+// the hot metric sites (one relaxed fetch_add on a bucket + a short
+// mutex-guarded Welford update). BM_HistogramObserve is that price in
+// isolation; BM_HistogramObserveContended is the same under thread
+// contention on one histogram; BM_HistogramSummary is the read side
+// (bucket scan + three quantiles), paid once per snapshot, not per sample.
+// BM_DispatchEverywhere above stays the disabled-path reference: it runs
+// the identical instrumented code with no sink installed.
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Histogram histogram;
+  // A fixed pseudo-random walk over several octaves, so buckets vary like
+  // real latency samples rather than hammering one counter.
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    histogram.observe(1e-6 * static_cast<double>(x % 100000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_HistogramObserveContended(benchmark::State& state) {
+  static obs::Histogram histogram;
+  std::uint64_t x = 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(state.thread_index());
+  for (auto _ : state) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    histogram.observe(1e-6 * static_cast<double>(x % 100000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramObserveContended)->Threads(4);
+
+void BM_HistogramSummary(benchmark::State& state) {
+  obs::Histogram histogram;
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 100000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    histogram.observe(1e-6 * static_cast<double>(x % 100000));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram.summary());
+  }
+}
+BENCHMARK(BM_HistogramSummary);
 
 void BM_FullStrategyRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -114,9 +114,11 @@ void ExperimentReport::write_csv(std::ostream& out) const {
       out << "# gauge " << name << " = " << v << "\n";
     }
     out << "# series: metrics.histograms\n";
-    csv.row({"name", "count", "mean", "stddev", "min", "max", "sum"});
+    csv.row({"name", "count", "mean", "stddev", "min", "max", "sum", "p50",
+             "p90", "p99"});
     for (const auto& [name, s] : metrics_->histograms) {
-      csv.typed_row(name, s.count, s.mean, s.stddev, s.min, s.max, s.sum);
+      csv.typed_row(name, s.count, s.mean, s.stddev, s.min, s.max, s.sum,
+                    s.p50, s.p90, s.p99);
     }
   }
 }

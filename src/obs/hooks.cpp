@@ -4,5 +4,6 @@ namespace rdp::obs::detail {
 
 std::atomic<MetricsRegistry*> g_metrics{nullptr};
 std::atomic<Tracer*> g_tracer{nullptr};
+std::atomic<RunSampler*> g_sampler{nullptr};
 
 }  // namespace rdp::obs::detail

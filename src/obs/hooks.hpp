@@ -13,12 +13,16 @@ namespace rdp::obs {
 
 class MetricsRegistry;
 class Tracer;
+class RunSampler;
 
 namespace detail {
 // Process-wide current sinks. Writes only happen via ObservabilityScope;
 // readers (hot paths) load once per call and cache the pointer locally.
 extern std::atomic<MetricsRegistry*> g_metrics;
 extern std::atomic<Tracer*> g_tracer;
+// The active run sampler (installed by RunSampler's constructor). Not a
+// hot-path sink: only provenance consumers (repro manifest) read it.
+extern std::atomic<RunSampler*> g_sampler;
 }  // namespace detail
 
 /// Currently-installed metrics registry, or nullptr when observability is
@@ -30,6 +34,11 @@ extern std::atomic<Tracer*> g_tracer;
 /// Currently-installed tracer, or nullptr.
 [[nodiscard]] inline Tracer* tracer() noexcept {
   return detail::g_tracer.load(std::memory_order_acquire);
+}
+
+/// Currently-running time-series sampler (obs/sampler.hpp), or nullptr.
+[[nodiscard]] inline RunSampler* sampler() noexcept {
+  return detail::g_sampler.load(std::memory_order_acquire);
 }
 
 [[nodiscard]] inline bool enabled() noexcept {

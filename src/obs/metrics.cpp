@@ -1,11 +1,141 @@
 #include "obs/metrics.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <stdexcept>
+#include <vector>
 
 #include "io/json.hpp"
 
 namespace rdp::obs {
+
+Histogram::Histogram()
+    : buckets_(new std::atomic<std::uint64_t>[kNumBuckets]()) {}
+
+std::size_t Histogram::bucket_index(double x) noexcept {
+  if (!(x > 0.0)) return kNonPositive;  // also catches NaN
+  if (!std::isfinite(x)) return kOverflow;
+  int exp = 0;
+  const double frac = std::frexp(x, &exp);  // x = frac * 2^exp, frac in [0.5, 1)
+  if (exp < kMinExp) return kUnderflow;
+  if (exp >= kMaxExp) return kOverflow;
+  int sub = static_cast<int>((frac - 0.5) * (2 * kSubBuckets));
+  if (sub < 0) sub = 0;
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return kFirstRegular +
+         static_cast<std::size_t>(exp - kMinExp) *
+             static_cast<std::size_t>(kSubBuckets) +
+         static_cast<std::size_t>(sub);
+}
+
+double Histogram::bucket_midpoint(std::size_t index) noexcept {
+  const std::size_t r = index - kFirstRegular;
+  const int exp = kMinExp + static_cast<int>(r / kSubBuckets);
+  const auto sub = static_cast<double>(r % kSubBuckets);
+  return std::ldexp(0.5 + (sub + 0.5) / (2.0 * kSubBuckets), exp);
+}
+
+void Histogram::observe(double x) noexcept {
+  buckets_[bucket_index(x)].fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  welford_.add(x);
+  // Neumaier-compensated sum: exact to ~1 ulp of the true sum regardless
+  // of count (mean * count drifts once counts get large).
+  const double t = sum_ + x;
+  if (std::abs(sum_) >= std::abs(x)) {
+    sum_compensation_ += (sum_ - t) + x;
+  } else {
+    sum_compensation_ += (x - t) + sum_;
+  }
+  sum_ = t;
+}
+
+namespace {
+
+/// Nearest-rank quantile over a bucket-count snapshot. `targets` must be
+/// ascending; writes one estimate per target.
+void quantiles_from_buckets(
+    const std::vector<std::uint64_t>& counts, double min, double max,
+    const double* targets, double* out, std::size_t num_targets,
+    double (*midpoint)(std::size_t), std::size_t first_regular,
+    std::size_t overflow) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) {
+    for (std::size_t i = 0; i < num_targets; ++i) out[i] = 0.0;
+    return;
+  }
+  std::uint64_t cumulative = 0;
+  std::size_t bucket = 0;
+  for (std::size_t i = 0; i < num_targets; ++i) {
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(targets[i] * static_cast<double>(total)));
+    if (rank < 1) rank = 1;
+    if (rank > total) rank = total;
+    while (bucket < counts.size() && cumulative + counts[bucket] < rank) {
+      cumulative += counts[bucket];
+      ++bucket;
+    }
+    double estimate;
+    if (bucket < first_regular) {
+      estimate = min;  // non-positive / underflow: no log-linear midpoint
+    } else if (bucket >= overflow) {
+      estimate = max;
+    } else {
+      estimate = midpoint(bucket);
+    }
+    if (estimate < min) estimate = min;
+    if (estimate > max) estimate = max;
+    out[i] = estimate;
+  }
+}
+
+}  // namespace
+
+Histogram::Summary Histogram::summary() const noexcept {
+  Summary s;
+  std::vector<std::uint64_t> counts(kNumBuckets);
+  {
+    std::lock_guard lock(mutex_);
+    s.count = welford_.count();
+    s.mean = welford_.mean();
+    s.stddev = welford_.stddev();
+    s.min = welford_.count() ? welford_.min() : 0.0;
+    s.max = welford_.count() ? welford_.max() : 0.0;
+    s.sum = sum_ + sum_compensation_;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+  }
+  const double targets[] = {0.50, 0.90, 0.99};
+  double estimates[3] = {0.0, 0.0, 0.0};
+  quantiles_from_buckets(counts, s.min, s.max, targets, estimates, 3,
+                         &Histogram::bucket_midpoint, kFirstRegular, kOverflow);
+  s.p50 = estimates[0];
+  s.p90 = estimates[1];
+  s.p99 = estimates[2];
+  return s;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::vector<std::uint64_t> counts(kNumBuckets);
+  double min = 0.0;
+  double max = 0.0;
+  {
+    std::lock_guard lock(mutex_);
+    min = welford_.count() ? welford_.min() : 0.0;
+    max = welford_.count() ? welford_.max() : 0.0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+  }
+  double estimate = 0.0;
+  quantiles_from_buckets(counts, min, max, &q, &estimate, 1,
+                         &Histogram::bucket_midpoint, kFirstRegular, kOverflow);
+  return estimate;
+}
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard lock(mutex_);
@@ -48,6 +178,9 @@ JsonValue metrics_snapshot_json(const MetricsSnapshot& snapshot) {
     h["min"] = s.min;
     h["max"] = s.max;
     h["sum"] = s.sum;
+    h["p50"] = s.p50;
+    h["p90"] = s.p90;
+    h["p99"] = s.p99;
     hists_obj[name] = h;
   }
   root["histograms"] = hists_obj;

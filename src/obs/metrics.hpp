@@ -1,15 +1,16 @@
 // Process-wide but explicitly-scoped metrics: counters, gauges, and
-// streaming histograms (Welford moments, no sample storage). A
-// MetricsRegistry is an explicit object -- nothing is recorded unless one
-// is installed via obs::ObservabilityScope (see obs/hooks.hpp), and the
-// instrumentation sites compile down to a null-pointer check when no
-// registry is attached.
+// streaming histograms (Welford moments plus log-linear quantile
+// buckets, no sample storage). A MetricsRegistry is an explicit object --
+// nothing is recorded unless one is installed via obs::ObservabilityScope
+// (see obs/hooks.hpp), and the instrumentation sites compile down to a
+// null-pointer check when no registry is attached.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -39,6 +40,16 @@ class Counter {
 class Gauge {
  public:
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  /// Monotone maximum: keeps the largest value ever offered (CAS loop),
+  /// so concurrent writers cannot lose the peak the way set() can.
+  void set_max(double v) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+    }
+  }
+
   [[nodiscard]] double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
@@ -47,14 +58,30 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Streaming distribution summary: count/mean/stddev/min/max via
-/// stats/welford, O(1) memory. Thread-safe (one mutex per histogram).
+/// Streaming distribution summary: Welford moments (count/mean/stddev/
+/// min/max), an exactly-compensated running sum (Neumaier), and an
+/// HDR-style log-linear bucket array for quantiles. Buckets subdivide
+/// each power-of-two range into kSubBuckets linear slots, so a bucket's
+/// midpoint is within 1/(2*kSubBuckets) < 1% of every value it absorbs
+/// -- that is the documented relative-error bound on p50/p90/p99.
+///
+/// Thread-safe: the moment accumulators take a short mutex; the bucket
+/// counters are lock-free relaxed atomics.
 class Histogram {
  public:
-  void observe(double x) noexcept {
-    std::lock_guard lock(mutex_);
-    welford_.add(x);
-  }
+  /// Linear subdivisions per power of two. 64 gives a worst-case
+  /// quantile relative error of 1/128 ~= 0.8%.
+  static constexpr int kSubBuckets = 64;
+  /// frexp exponents covered exactly: [kMinExp, kMaxExp). Values below
+  /// 2^(kMinExp-1) (~4.5e-13) or at/above 2^(kMaxExp-1) (~8.4e6) clamp
+  /// to underflow/overflow buckets whose representative is the observed
+  /// min/max.
+  static constexpr int kMinExp = -40;
+  static constexpr int kMaxExp = 24;
+
+  Histogram();
+
+  void observe(double x) noexcept;
 
   struct Summary {
     std::uint64_t count = 0;
@@ -63,23 +90,36 @@ class Histogram {
     double min = 0.0;
     double max = 0.0;
     double sum = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
   };
 
-  [[nodiscard]] Summary summary() const noexcept {
-    std::lock_guard lock(mutex_);
-    Summary s;
-    s.count = welford_.count();
-    s.mean = welford_.mean();
-    s.stddev = welford_.stddev();
-    s.min = welford_.count() ? welford_.min() : 0.0;
-    s.max = welford_.count() ? welford_.max() : 0.0;
-    s.sum = welford_.mean() * static_cast<double>(welford_.count());
-    return s;
-  }
+  [[nodiscard]] Summary summary() const noexcept;
+
+  /// Bucket-estimated quantile for q in [0, 1] (nearest-rank). Within
+  /// 1/(2*kSubBuckets) relative error of the exact order statistic for
+  /// positive in-range samples; clamped to the observed [min, max].
+  [[nodiscard]] double quantile(double q) const noexcept;
 
  private:
+  static constexpr std::size_t kNonPositive = 0;  ///< x <= 0
+  static constexpr std::size_t kUnderflow = 1;    ///< 0 < x, exp < kMinExp
+  static constexpr std::size_t kFirstRegular = 2;
+  static constexpr std::size_t kNumRegular =
+      static_cast<std::size_t>(kMaxExp - kMinExp) *
+      static_cast<std::size_t>(kSubBuckets);
+  static constexpr std::size_t kOverflow = kFirstRegular + kNumRegular;
+  static constexpr std::size_t kNumBuckets = kOverflow + 1;
+
+  [[nodiscard]] static std::size_t bucket_index(double x) noexcept;
+  [[nodiscard]] static double bucket_midpoint(std::size_t index) noexcept;
+
   mutable std::mutex mutex_;
   Welford welford_;
+  double sum_ = 0.0;              // Neumaier-compensated running sum
+  double sum_compensation_ = 0.0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
 };
 
 /// A point-in-time copy of every metric in a registry, detached from the

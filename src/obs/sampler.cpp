@@ -1,0 +1,76 @@
+#include "obs/sampler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "io/json.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+
+namespace rdp::obs {
+
+RunSampler::RunSampler(MetricsRegistry* registry, RunSamplerOptions options)
+    : options_(std::move(options)),
+      registry_(registry),
+      start_(std::chrono::steady_clock::now()),
+      out_(options_.path),
+      prev_sampler_(
+          detail::g_sampler.exchange(this, std::memory_order_acq_rel)) {
+  if (!out_) {
+    detail::g_sampler.store(prev_sampler_, std::memory_order_release);
+    throw std::runtime_error("RunSampler: cannot open " + options_.path);
+  }
+  if (options_.period.count() <= 0) options_.period = std::chrono::milliseconds(1);
+  thread_ = std::thread([this] { loop(); });
+}
+
+RunSampler::~RunSampler() {
+  stop();
+  detail::g_sampler.store(prev_sampler_, std::memory_order_release);
+}
+
+void RunSampler::stop() {
+  {
+    std::unique_lock lock(mutex_);
+    if (stopped_) return;
+    stop_requested_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  write_sample();  // the thread is joined: no concurrent writer remains
+  out_.flush();
+}
+
+void RunSampler::loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (cv_.wait_for(lock, options_.period, [this] { return stop_requested_; })) {
+      return;  // final sample is taken by stop() after the join
+    }
+    lock.unlock();
+    write_sample();
+    lock.lock();
+  }
+}
+
+void RunSampler::write_sample() {
+  MetricsRegistry* const registry = registry_ ? registry_ : metrics();
+  const double t = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  JsonObject root;
+  root["t"] = t;
+  if (registry != nullptr) {
+    const JsonValue snapshot = metrics_snapshot_json(registry->snapshot());
+    for (const auto& [key, value] : snapshot.as_object()) root[key] = value;
+  } else {
+    root["counters"] = JsonObject{};
+    root["gauges"] = JsonObject{};
+    root["histograms"] = JsonObject{};
+  }
+  out_ << JsonValue(std::move(root)).dump(-1) << "\n";
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace rdp::obs

@@ -1,0 +1,74 @@
+// Run time-series sampling: a background thread that snapshots the
+// metrics registry at a fixed cadence and appends one JSON object per
+// line ({"t": seconds, "counters": {...}, "gauges": {...},
+// "histograms": {...}}), so a long sweep's queue depth, cache hit rate,
+// or tail latency can be inspected *over the run*, not just at the end.
+//
+// RAII-scoped like ObservabilityScope: constructing a RunSampler
+// registers it process-wide (obs::sampler(), used by the repro pipeline
+// to record sampling provenance in manifest.json); destruction stops the
+// thread, takes a final sample, and restores the previous sampler.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace rdp::obs {
+
+class MetricsRegistry;
+
+struct RunSamplerOptions {
+  std::string path;                         ///< JSONL output file
+  std::chrono::milliseconds period{1000};   ///< cadence between samples
+};
+
+class RunSampler {
+ public:
+  /// Opens `options.path` and starts the sampling thread. `registry` may
+  /// be null, in which case each tick samples whatever registry is
+  /// currently installed (obs::metrics()) -- the right choice when the
+  /// sampler wraps an ObservabilityScope. Throws std::runtime_error when
+  /// the file cannot be opened.
+  RunSampler(MetricsRegistry* registry, RunSamplerOptions options);
+
+  RunSampler(const RunSampler&) = delete;
+  RunSampler& operator=(const RunSampler&) = delete;
+
+  ~RunSampler();
+
+  /// Stops the background thread, writes one final sample (so even runs
+  /// shorter than a period produce a line), and flushes. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::size_t samples() const noexcept {
+    return samples_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return options_.path; }
+  [[nodiscard]] std::uint64_t period_ms() const noexcept {
+    return static_cast<std::uint64_t>(options_.period.count());
+  }
+
+ private:
+  void loop();
+  void write_sample();
+
+  RunSamplerOptions options_;
+  MetricsRegistry* registry_;
+  std::chrono::steady_clock::time_point start_;
+  std::ofstream out_;
+  std::atomic<std::size_t> samples_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+  RunSampler* prev_sampler_;
+};
+
+}  // namespace rdp::obs

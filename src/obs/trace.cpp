@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "io/json.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
 
 namespace rdp::obs {
 
@@ -50,7 +52,28 @@ std::uint32_t current_thread_id() noexcept {
   return id;
 }
 
-Tracer::Tracer() : epoch_ns_(steady_ns()) {}
+Tracer::Tracer() : Tracer(kDefaultCapacity) {}
+
+Tracer::Tracer(std::size_t capacity)
+    : epoch_ns_(steady_ns()), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void Tracer::record(TraceEvent e) {
+  bool full = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      full = true;
+    } else {
+      events_.push_back(std::move(e));
+    }
+  }
+  if (full) {
+    if (MetricsRegistry* mx = metrics()) {
+      mx->counter("trace.events_dropped").add(1);
+    }
+  }
+}
 
 std::uint64_t Tracer::now_us() const noexcept {
   return (steady_ns() - epoch_ns_) / 1000;
@@ -66,8 +89,7 @@ void Tracer::span(std::string name, std::string category, std::uint64_t start_us
   e.dur_us = dur_us;
   e.tid = current_thread_id();
   e.args_json = std::move(args_json);
-  std::lock_guard lock(mutex_);
-  events_.push_back(std::move(e));
+  record(std::move(e));
 }
 
 void Tracer::instant(std::string name, std::string category, std::string args_json) {
@@ -78,13 +100,17 @@ void Tracer::instant(std::string name, std::string category, std::string args_js
   e.ts_us = now_us();
   e.tid = current_thread_id();
   e.args_json = std::move(args_json);
-  std::lock_guard lock(mutex_);
-  events_.push_back(std::move(e));
+  record(std::move(e));
 }
 
 std::size_t Tracer::size() const {
   std::lock_guard lock(mutex_);
   return events_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
 }
 
 std::vector<TraceEvent> Tracer::events() const {
@@ -95,22 +121,37 @@ std::vector<TraceEvent> Tracer::events() const {
 void Tracer::clear() {
   std::lock_guard lock(mutex_);
   events_.clear();
+  dropped_ = 0;
 }
 
 void Tracer::write_chrome_trace(std::ostream& out) const {
   const std::vector<TraceEvent> snapshot = events();
+  const std::uint64_t drops = dropped();
   std::string buf = "{\"traceEvents\":[";
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
     if (i > 0) buf += ",\n";
     append_event_json(buf, snapshot[i]);
   }
-  buf += "],\"displayTimeUnit\":\"ms\"}\n";
+  // Extra top-level keys are legal in the trace_event format; viewers
+  // ignore them, tooling can check for truncation.
+  buf += "],\"displayTimeUnit\":\"ms\",\"rdp\":{\"events_dropped\":";
+  buf += std::to_string(drops);
+  buf += ",\"capacity\":";
+  buf += std::to_string(capacity_);
+  buf += "}}\n";
   out << buf;
 }
 
 void Tracer::write_jsonl(std::ostream& out) const {
   const std::vector<TraceEvent> snapshot = events();
+  const std::uint64_t drops = dropped();
   std::string buf;
+  if (drops > 0) {
+    // Header line, only when the buffer actually truncated (keeps the
+    // common no-drop output one-event-per-line, nothing else).
+    buf += "{\"rdp_trace_header\":{\"events_dropped\":" + std::to_string(drops) +
+           ",\"capacity\":" + std::to_string(capacity_) + "}}\n";
+  }
   for (const TraceEvent& e : snapshot) {
     append_event_json(buf, e);
     buf += "\n";

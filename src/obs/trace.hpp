@@ -27,9 +27,20 @@ struct TraceEvent {
 
 /// Thread-safe event collector. All record calls may be issued
 /// concurrently; export functions take a consistent snapshot.
+///
+/// The buffer is bounded: once `capacity` events are held, further
+/// records are counted (dropped()) instead of stored, so a week-long
+/// instrumented sweep cannot OOM the host. Drops also increment the
+/// `trace.events_dropped` counter of the installed MetricsRegistry (if
+/// any), and every export records the drop count in its header.
 class Tracer {
  public:
+  /// ~80 bytes/event before strings, so the default bounds the buffer to
+  /// the order of 100 MB.
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
   Tracer();
+  explicit Tracer(std::size_t capacity);
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -44,6 +55,9 @@ class Tracer {
   void instant(std::string name, std::string category, std::string args_json = {});
 
   [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Events discarded because the buffer was full. clear() resets it.
+  [[nodiscard]] std::uint64_t dropped() const;
   [[nodiscard]] std::vector<TraceEvent> events() const;  ///< snapshot copy
   void clear();
 
@@ -60,9 +74,13 @@ class Tracer {
   void save(const std::string& path) const;
 
  private:
+  void record(TraceEvent e);
+
   std::uint64_t epoch_ns_;  // steady_clock at construction
+  std::size_t capacity_;
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
 };
 
 /// Dense id of the calling thread (0, 1, 2, ... in first-use order);

@@ -60,7 +60,10 @@ void ThreadPool::submit(std::function<void()> task) {
   }
   if (mx) {
     mx->counter("pool.tasks.submitted").add(1);
+    // Last-write-wins current depth plus a CAS-max peak: concurrent
+    // submits can reorder the set() calls, but never lose the maximum.
     mx->gauge("pool.queue_depth").set(static_cast<double>(depth));
+    mx->gauge("pool.queue_depth.max").set_max(static_cast<double>(depth));
   }
   work_available_.notify_one();
 }

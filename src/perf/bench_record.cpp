@@ -1,0 +1,336 @@
+#include "perf/bench_record.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
+
+#include "io/json.hpp"
+#include "repro/manifest.hpp"
+
+namespace rdp::perf {
+
+namespace {
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double median_abs_deviation(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0;
+  const double med = median(xs);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double x : xs) dev.push_back(std::fabs(x - med));
+  return median(std::move(dev));
+}
+
+/// Recomputes `value` (best repeat in direction) and `mad` from repeats.
+void finalize_metric(BenchMetric& m) {
+  if (m.repeats.empty()) m.repeats.push_back(m.value);
+  if (m.direction == "higher") {
+    m.value = *std::max_element(m.repeats.begin(), m.repeats.end());
+  } else {
+    m.value = *std::min_element(m.repeats.begin(), m.repeats.end());
+  }
+  m.mad = median_abs_deviation(m.repeats);
+}
+
+void add_metric(BenchRecord& record, std::string name, double value,
+                std::string direction, std::string noise, double abs_slack = 0) {
+  BenchMetric m;
+  m.name = name;
+  m.value = value;
+  m.direction = std::move(direction);
+  m.noise = std::move(noise);
+  m.abs_slack = abs_slack;
+  m.repeats.push_back(value);
+  record.metrics.emplace(std::move(name), std::move(m));
+}
+
+/// ext_certify_speedup shape: {params, timing, cache, checks, series}.
+BenchRecord normalize_certify(const JsonValue& doc, const std::string& source) {
+  BenchRecord record;
+  record.name = "certify";
+  record.source = source;
+  if (const JsonValue* params = doc.find("params")) {
+    record.params_json = params->dump(-1);
+    record.params_hash = fnv1a_hex(record.params_json);
+  }
+  const JsonValue* timing = doc.find("timing");
+  for (const char* key : {"engine_seq_seconds", "engine_par_seconds",
+                          "legacy_seconds"}) {
+    add_metric(record, std::string("timing.") + key, timing->get_number(key),
+               "lower", "timing");
+  }
+  for (const char* key : {"speedup_seq", "speedup_par"}) {
+    add_metric(record, std::string("timing.") + key, timing->get_number(key),
+               "higher", "timing");
+  }
+  if (const JsonValue* cache = doc.find("cache")) {
+    add_metric(record, "cache.hit_rate", cache->get_number("hit_rate"),
+               "higher", "exact");
+  }
+  if (const JsonValue* checks = doc.find("checks")) {
+    add_metric(record, "checks.seq_par_bit_mismatches",
+               checks->get_number("seq_par_bit_mismatches"), "lower", "exact");
+    // Numerical agreement with the legacy path: a few ulps of 1.0 is the
+    // expected magnitude, so grant absolute slack well above that but far
+    // below anything indicating a real numerics change.
+    add_metric(record, "checks.max_abs_diff_vs_legacy",
+               checks->get_number("max_abs_diff_vs_legacy"), "lower", "exact",
+               /*abs_slack=*/1e-12);
+  }
+  return record;
+}
+
+/// ext_check_overhead shape: flat object with multiplier/..._seconds keys.
+BenchRecord normalize_check_overhead(const JsonValue& doc,
+                                     const std::string& source) {
+  BenchRecord record;
+  record.name = "check_overhead";
+  record.source = source;
+  JsonObject params;
+  params["cases"] = doc.get_number("cases");
+  params["reps"] = doc.get_number("reps");
+  record.params_json = JsonValue(std::move(params)).dump(-1);
+  record.params_hash = fnv1a_hex(record.params_json);
+  for (const char* key : {"baseline_seconds", "guarded_off_seconds",
+                          "guarded_on_seconds"}) {
+    add_metric(record, key, doc.get_number(key), "lower", "timing");
+  }
+  // Per-dispatch overheads are differences of noisy timings and can be a
+  // handful of (even negative) nanoseconds: grant absolute slack so the
+  // gate only fires on order-of-magnitude blowups, not scheduler jitter.
+  add_metric(record, "off_overhead_ns_per_dispatch",
+             doc.get_number("off_overhead_ns_per_dispatch"), "lower", "timing",
+             /*abs_slack=*/50.0);
+  add_metric(record, "on_overhead_ns_per_dispatch",
+             doc.get_number("on_overhead_ns_per_dispatch"), "lower", "timing",
+             /*abs_slack=*/500.0);
+  add_metric(record, "multiplier", doc.get_number("multiplier"), "lower",
+             "timing", /*abs_slack=*/0.05);
+  return record;
+}
+
+bool seconds_like(const std::string& name) {
+  return name.find("seconds") != std::string::npos ||
+         name.find("_time") != std::string::npos;
+}
+
+/// --metrics-out snapshot shape: {counters, gauges, histograms}. Counters
+/// and gauges are workload-dependent tallies -> informational. Histogram
+/// mean/percentiles of *_seconds series are latencies -> gated
+/// lower-is-better timing metrics.
+BenchRecord normalize_snapshot(const JsonValue& doc, const std::string& source) {
+  BenchRecord record;
+  record.name = "metrics_snapshot";
+  record.source = source;
+  if (const JsonValue* counters = doc.find("counters")) {
+    for (const auto& [key, value] : counters->as_object()) {
+      add_metric(record, "counters." + key, value.as_number(), "none", "exact");
+    }
+  }
+  if (const JsonValue* gauges = doc.find("gauges")) {
+    for (const auto& [key, value] : gauges->as_object()) {
+      add_metric(record, "gauges." + key, value.as_number(), "none", "timing");
+    }
+  }
+  if (const JsonValue* histograms = doc.find("histograms")) {
+    for (const auto& [key, value] : histograms->as_object()) {
+      const std::string direction = seconds_like(key) ? "lower" : "none";
+      for (const char* field : {"mean", "p50", "p90", "p99"}) {
+        add_metric(record, "histograms." + key + "." + field,
+                   value.get_number(field), direction, "timing");
+      }
+      add_metric(record, "histograms." + key + ".count",
+                 value.get_number("count"), "none", "exact");
+    }
+  }
+  return record;
+}
+
+/// Already-normalized BenchRecord JSON (round-trip of to_json()).
+BenchRecord parse_record(const JsonValue& doc, const std::string& source) {
+  BenchRecord record;
+  record.schema_version = static_cast<int>(doc.get_number("schema_version", 0));
+  if (record.schema_version != BenchRecord{}.schema_version) {
+    throw std::runtime_error("perf: " + source + ": unsupported schema_version " +
+                             std::to_string(record.schema_version));
+  }
+  record.name = doc.get_string("name");
+  record.source = doc.get_string("source", source);
+  record.params_hash = doc.get_string("params_hash");
+  record.params_json = doc.get_string("params_json");
+  record.git_sha = doc.get_string("git_sha");
+  record.host = doc.get_string("host");
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    throw std::runtime_error("perf: " + source + ": record has no metrics object");
+  }
+  for (const auto& [key, value] : metrics->as_object()) {
+    BenchMetric m;
+    m.name = key;
+    m.value = value.get_number("value");
+    m.direction = value.get_string("direction", "lower");
+    m.noise = value.get_string("noise", "timing");
+    m.abs_slack = value.get_number("abs_slack");
+    m.mad = value.get_number("mad");
+    if (const JsonValue* repeats = value.find("repeats")) {
+      for (const JsonValue& r : repeats->as_array()) {
+        m.repeats.push_back(r.as_number());
+      }
+    }
+    if (m.repeats.empty()) m.repeats.push_back(m.value);
+    record.metrics.emplace(key, std::move(m));
+  }
+  return record;
+}
+
+}  // namespace
+
+const BenchMetric* BenchRecord::find(const std::string& metric) const {
+  const auto it = metrics.find(metric);
+  return it == metrics.end() ? nullptr : &it->second;
+}
+
+std::string BenchRecord::to_json(int indent) const {
+  JsonObject metric_objects;
+  for (const auto& [key, m] : metrics) {
+    JsonObject obj;
+    obj["value"] = m.value;
+    obj["direction"] = m.direction;
+    obj["noise"] = m.noise;
+    obj["abs_slack"] = m.abs_slack;
+    obj["mad"] = m.mad;
+    JsonArray repeats;
+    for (double r : m.repeats) repeats.emplace_back(r);
+    obj["repeats"] = std::move(repeats);
+    metric_objects[key] = std::move(obj);
+  }
+  JsonObject root;
+  root["schema_version"] = schema_version;
+  root["name"] = name;
+  root["source"] = source;
+  root["params_hash"] = params_hash;
+  root["params_json"] = params_json;
+  root["git_sha"] = git_sha;
+  root["host"] = host;
+  root["metrics"] = std::move(metric_objects);
+  return JsonValue(std::move(root)).dump(indent);
+}
+
+void BenchRecord::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("perf: cannot open " + path);
+  out << to_json() << "\n";
+  if (!out) throw std::runtime_error("perf: write failed for " + path);
+}
+
+BenchRecord normalize_bench_json(const JsonValue& doc, const std::string& source) {
+  if (!doc.is_object()) {
+    throw std::runtime_error("perf: " + source + ": not a JSON object");
+  }
+  BenchRecord record;
+  if (doc.find("schema_version") != nullptr && doc.find("metrics") != nullptr) {
+    record = parse_record(doc, source);
+  } else if (doc.find("timing") != nullptr && doc.find("cache") != nullptr) {
+    record = normalize_certify(doc, source);
+  } else if (doc.find("multiplier") != nullptr &&
+             doc.find("baseline_seconds") != nullptr) {
+    record = normalize_check_overhead(doc, source);
+  } else if (doc.find("counters") != nullptr &&
+             doc.find("histograms") != nullptr) {
+    record = normalize_snapshot(doc, source);
+  } else {
+    throw std::runtime_error(
+        "perf: " + source +
+        ": unrecognized benchmark JSON shape (expected a BenchRecord, "
+        "ext_certify_speedup, ext_check_overhead, or metrics snapshot)");
+  }
+  for (auto& [key, m] : record.metrics) finalize_metric(m);
+  return record;
+}
+
+BenchRecord load_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("perf: cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  JsonValue doc;
+  try {
+    doc = parse_json(buffer.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error("perf: " + path + ": " + e.what());
+  }
+  // Strip the directory so `source` matches regardless of where the raw
+  // file was when it was recorded.
+  std::string source = path;
+  const std::size_t slash = source.find_last_of("/\\");
+  if (slash != std::string::npos) source = source.substr(slash + 1);
+  return normalize_bench_json(doc, source);
+}
+
+BenchRecord merge_repeats(const std::vector<BenchRecord>& runs) {
+  if (runs.empty()) throw std::runtime_error("perf: merge_repeats of nothing");
+  BenchRecord merged = runs.front();
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    const BenchRecord& run = runs[i];
+    if (run.name != merged.name) {
+      throw std::runtime_error("perf: cannot merge '" + run.name + "' into '" +
+                               merged.name + "' -- different benchmarks");
+    }
+    if (run.params_hash != merged.params_hash) {
+      throw std::runtime_error("perf: repeats of '" + merged.name +
+                               "' ran with different params (hash " +
+                               run.params_hash + " vs " + merged.params_hash +
+                               ")");
+    }
+    for (const auto& [key, m] : run.metrics) {
+      auto it = merged.metrics.find(key);
+      if (it == merged.metrics.end()) {
+        merged.metrics.emplace(key, m);
+      } else {
+        it->second.repeats.insert(it->second.repeats.end(), m.repeats.begin(),
+                                  m.repeats.end());
+      }
+    }
+  }
+  for (auto& [key, m] : merged.metrics) finalize_metric(m);
+  return merged;
+}
+
+std::string host_fingerprint() {
+  std::string sysname = "unknown";
+  std::string machine = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+  utsname info{};
+  if (uname(&info) == 0) {
+    sysname = info.sysname;
+    machine = info.machine;
+  }
+#endif
+  return sysname + "/" + machine +
+         "/ncpu=" + std::to_string(std::thread::hardware_concurrency());
+}
+
+std::string fnv1a_hex(const std::string& text) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return repro::hash_to_hex(hash);
+}
+
+}  // namespace rdp::perf

@@ -1,0 +1,106 @@
+// Normalized benchmark records for the perf regression gate.
+//
+// Every benchmark in this repo writes its own ad-hoc JSON shape
+// (BENCH_certify.json nests timing/cache/checks, BENCH_check_overhead.json
+// is flat, --metrics-out snapshots have counters/gauges/histograms). A
+// BenchRecord flattens any of them into one schema -- metric name ->
+// {value, direction, noise class, repeats} -- plus the provenance a
+// comparison needs to be honest: which parameters produced the numbers
+// (hashed), on which host, at which git revision. `rdp_cli perf record`
+// normalizes raw bench output into committed baselines under
+// bench/baselines/; `perf compare`/`perf gate` (perf/compare.hpp) diff a
+// fresh run against them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rdp {
+class JsonValue;
+}
+
+namespace rdp::perf {
+
+/// One normalized metric. `value` is the representative number used for
+/// comparison: the *best* observation across repeats (min for
+/// lower-is-better, max for higher-is-better), which is the standard
+/// noise-rejection trick for timing benchmarks -- noise only ever makes
+/// timings worse, so min-of-k converges on the true cost.
+struct BenchMetric {
+  std::string name;
+  double value = 0;
+
+  /// Which way is better: "lower" (seconds, mismatch counts), "higher"
+  /// (hit rate, speedup), or "none" (informational -- recorded and
+  /// reported but never gated on).
+  std::string direction = "lower";
+
+  /// Noise class: "timing" metrics get the wide relative tolerance and
+  /// MAD-based slack; "exact" metrics (counts, rates, numerical error
+  /// bounds) must match up to tiny numeric tolerances.
+  std::string noise = "timing";
+
+  /// Absolute slack always granted in comparisons, independent of the
+  /// relative tolerance. Used for metrics whose baseline is legitimately
+  /// near zero (per-dispatch overhead in nanoseconds) where a relative
+  /// threshold degenerates.
+  double abs_slack = 0;
+
+  /// Every observation that went into `value` (>= 1 entry). Populated
+  /// with more than one entry by min-of-k recording.
+  std::vector<double> repeats;
+
+  /// Median absolute deviation of `repeats` -- the comparison widens its
+  /// threshold by a multiple of this, so noisy metrics self-report how
+  /// much slack they need. 0 with a single repeat.
+  double mad = 0;
+};
+
+/// A normalized benchmark run: the unit `perf compare` diffs.
+struct BenchRecord {
+  int schema_version = 1;
+  std::string name;         ///< logical bench name, e.g. "certify_smoke"
+  std::string source;       ///< filename of the raw output this normalizes
+  std::string params_hash;  ///< 16-hex FNV-1a of the params JSON ("" = none)
+  std::string params_json;  ///< compact dump of the params object, for humans
+  std::string git_sha;      ///< HEAD at record time ("unknown" outside git)
+  std::string host;         ///< host fingerprint, e.g. "Linux/x86_64/ncpu=8"
+  std::map<std::string, BenchMetric> metrics;
+
+  [[nodiscard]] const BenchMetric* find(const std::string& metric) const;
+
+  [[nodiscard]] std::string to_json(int indent = 2) const;
+  void save(const std::string& path) const;
+};
+
+/// Normalizes a parsed benchmark JSON document into a BenchRecord,
+/// dispatching on document *structure*, not filename:
+///   - "schema_version" + "metrics"        -> already-normalized record
+///   - "timing" + "cache"                  -> ext_certify_speedup shape
+///   - "multiplier" + "baseline_seconds"   -> ext_check_overhead shape
+///   - "counters" + "histograms"           -> --metrics-out snapshot
+/// Throws std::runtime_error naming `source` on any other shape.
+[[nodiscard]] BenchRecord normalize_bench_json(const JsonValue& doc,
+                                               const std::string& source);
+
+/// Reads and normalizes one benchmark JSON file (any supported shape).
+/// Throws std::runtime_error on missing file / parse error / unknown shape.
+[[nodiscard]] BenchRecord load_bench_file(const std::string& path);
+
+/// Merges k >= 1 records of the *same* benchmark (same name, same params
+/// hash -- throws on mismatch) into one min-of-k record: each metric's
+/// repeats are concatenated, `value` becomes the best repeat in the
+/// metric's direction, and `mad` is recomputed over all repeats.
+[[nodiscard]] BenchRecord merge_repeats(const std::vector<BenchRecord>& runs);
+
+/// "sysname/machine/ncpu=N" via uname(2), or "unknown" where unavailable.
+/// Comparisons across differing fingerprints still run but are flagged.
+[[nodiscard]] std::string host_fingerprint();
+
+/// FNV-1a over a string, formatted as 16 hex digits (the same convention
+/// as the repro manifest's input hashes).
+[[nodiscard]] std::string fnv1a_hex(const std::string& text);
+
+}  // namespace rdp::perf

@@ -58,6 +58,13 @@ std::string Manifest::to_json(int indent) const {
   root["artifacts"] = std::move(entry_array);
   root["counters"] = std::move(counters);
   root["total_wall_seconds"] = total_wall_seconds;
+  if (!sampler_path.empty()) {
+    JsonObject sampler;
+    sampler["path"] = sampler_path;
+    sampler["period_ms"] = sampler_period_ms;
+    sampler["samples"] = sampler_samples;
+    root["sampler"] = std::move(sampler);
+  }
   return JsonValue(std::move(root)).dump(indent);
 }
 
@@ -94,6 +101,13 @@ std::optional<Manifest> load_manifest(const std::string& path) {
           static_cast<std::uint64_t>(counters->get_number("certify_cache_hits"));
       m.certify_cache_misses =
           static_cast<std::uint64_t>(counters->get_number("certify_cache_misses"));
+    }
+    if (const JsonValue* sampler = root.find("sampler")) {
+      m.sampler_path = sampler->get_string("path");
+      m.sampler_period_ms =
+          static_cast<std::uint64_t>(sampler->get_number("period_ms"));
+      m.sampler_samples =
+          static_cast<std::uint64_t>(sampler->get_number("samples"));
     }
     if (const JsonValue* artifacts = root.find("artifacts")) {
       for (const JsonValue& v : artifacts->as_array()) {

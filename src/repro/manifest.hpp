@@ -42,6 +42,13 @@ struct Manifest {
   std::uint64_t certify_cache_hits = 0;
   std::uint64_t certify_cache_misses = 0;
   double total_wall_seconds = 0;
+  /// Time-series sampler provenance (obs::RunSampler active during the
+  /// run). Empty path = no sampler; then the other two fields are 0 and
+  /// the "sampler" object is omitted from the JSON, keeping unsampled
+  /// manifests byte-identical to the pre-sampler format.
+  std::string sampler_path;
+  std::uint64_t sampler_period_ms = 0;
+  std::uint64_t sampler_samples = 0;   ///< samples taken when the manifest was written
 
   [[nodiscard]] const ManifestEntry* find(const std::string& name) const;
 

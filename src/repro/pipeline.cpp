@@ -13,6 +13,7 @@
 #include "io/table.hpp"
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "parallel/thread_pool.hpp"
 #include "repro/artifact.hpp"
 #include "repro/registry.hpp"
@@ -247,6 +248,11 @@ ReproSummary run_repro(const ReproOptions& options) {
   const CertifyCacheStats cache = engine.cache_stats();
   manifest.certify_cache_hits = cache.hits;
   manifest.certify_cache_misses = cache.misses;
+  if (const obs::RunSampler* sampler = obs::sampler()) {
+    manifest.sampler_path = sampler->path();
+    manifest.sampler_period_ms = sampler->period_ms();
+    manifest.sampler_samples = sampler->samples();
+  }
   manifest.total_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
           .count();

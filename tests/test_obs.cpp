@@ -5,9 +5,16 @@
 // (run under TSan via the `tsan` CTest label).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <limits>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -20,8 +27,10 @@
 #include "exp/ratio_experiment.hpp"
 #include "exp/report.hpp"
 #include "exp/sweep.hpp"
+#include "io/json.hpp"
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "perturb/stochastic.hpp"
@@ -76,6 +85,138 @@ TEST(Metrics, HistogramMatchesWelford) {
   EXPECT_DOUBLE_EQ(s.min, 1.0);
   EXPECT_DOUBLE_EQ(s.max, 10.0);
   EXPECT_DOUBLE_EQ(s.sum, 20.0);
+}
+
+TEST(Metrics, GaugeSetMaxKeepsPeak) {
+  obs::MetricsRegistry registry;
+  obs::Gauge& g = registry.gauge("peak");
+  g.set_max(3.0);
+  g.set_max(7.0);
+  g.set_max(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(Metrics, GaugeSetMaxConcurrentNeverLosesPeak) {
+  obs::MetricsRegistry registry;
+  obs::Gauge& g = registry.gauge("peak");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i < 1000; ++i) {
+        g.set_max(static_cast<double>(t * 1000 + i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), 3999.0);
+}
+
+// --- Quantiles (log-linear buckets, documented <= 1% relative error) -------
+
+// Nearest-rank order statistic on the raw sample -- the ground truth the
+// histogram's bucketed quantile approximates.
+double exact_quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  rank = std::min(std::max<std::size_t>(rank, 1), n);
+  return xs[rank - 1];
+}
+
+void expect_quantiles_within_bound(const std::vector<double>& samples) {
+  obs::Histogram h;
+  for (double v : samples) h.observe(v);
+  const obs::Histogram::Summary s = h.summary();
+  const double quantiles[] = {0.50, 0.90, 0.99};
+  const double reported[] = {s.p50, s.p90, s.p99};
+  for (int i = 0; i < 3; ++i) {
+    const double exact = exact_quantile(samples, quantiles[i]);
+    // Documented bound: 1/(2 * kSubBuckets) relative error per bucket,
+    // i.e. < 1%; allow exactly that plus float fuzz.
+    const double tolerance =
+        std::abs(exact) / (2.0 * obs::Histogram::kSubBuckets) + 1e-12;
+    EXPECT_NEAR(reported[i], exact, tolerance)
+        << "q=" << quantiles[i] << " over " << samples.size() << " samples";
+    EXPECT_DOUBLE_EQ(reported[i], h.quantile(quantiles[i]));
+  }
+}
+
+TEST(HistogramQuantiles, UniformSamplesWithinDocumentedBound) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> dist(0.5, 100.0);
+  std::vector<double> samples(10000);
+  for (double& v : samples) v = dist(rng);
+  expect_quantiles_within_bound(samples);
+}
+
+TEST(HistogramQuantiles, LognormalSamplesWithinDocumentedBound) {
+  std::mt19937_64 rng(7);
+  std::lognormal_distribution<double> dist(0.0, 1.5);
+  std::vector<double> samples(10000);
+  for (double& v : samples) v = dist(rng);
+  expect_quantiles_within_bound(samples);
+}
+
+TEST(HistogramQuantiles, TwoPointSamplesWithinDocumentedBound) {
+  std::mt19937_64 rng(3);
+  std::bernoulli_distribution high(0.08);  // p99 lands on the high atom
+  std::vector<double> samples(10000);
+  for (double& v : samples) v = high(rng) ? 3.0 : 1.0;
+  expect_quantiles_within_bound(samples);
+}
+
+TEST(HistogramQuantiles, QuantilesClampToObservedRange) {
+  obs::Histogram h;
+  for (double v : {2.0, 4.0, 8.0}) h.observe(v);
+  EXPECT_GE(h.quantile(0.0), 2.0);
+  EXPECT_LE(h.quantile(1.0), 8.0);
+  const obs::Histogram::Summary s = h.summary();
+  EXPECT_GE(s.p50, s.min);
+  EXPECT_LE(s.p99, s.max);
+}
+
+TEST(HistogramQuantiles, EmptyHistogramReportsZeroes) {
+  obs::Histogram h;
+  const obs::Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p90, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(HistogramQuantiles, SnapshotJsonCarriesPercentiles) {
+  obs::MetricsRegistry registry;
+  for (int i = 1; i <= 100; ++i) {
+    registry.histogram("lat").observe(static_cast<double>(i));
+  }
+  const std::string json = registry.snapshot().to_json();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+// --- Compensated sum (satellite: sum is Neumaier-exact, not mean*count) ----
+
+TEST(HistogramSum, CompensatedSumMatchesExactWithinOneUlp) {
+  std::mt19937_64 rng(1234);
+  std::lognormal_distribution<double> dist(-8.0, 2.0);  // latency-like spread
+  obs::Histogram h;
+  long double exact = 0.0L;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = dist(rng);
+    h.observe(v);
+    exact += static_cast<long double>(v);
+  }
+  const double expected = static_cast<double>(exact);
+  const obs::Histogram::Summary s = h.summary();
+  const double lo = std::nextafter(expected, -std::numeric_limits<double>::infinity());
+  const double hi = std::nextafter(expected, std::numeric_limits<double>::infinity());
+  EXPECT_GE(s.sum, lo);
+  EXPECT_LE(s.sum, hi);
+  // And nothing like the old mean*count rounding: mean recomputed from the
+  // exact sum agrees with Welford's mean to float fuzz.
+  EXPECT_NEAR(s.sum / static_cast<double>(s.count), s.mean,
+              1e-12 * std::abs(s.mean));
 }
 
 TEST(Metrics, ReferencesAreStableAcrossLookups) {
@@ -168,11 +309,48 @@ TEST(Tracer, NullScopedSpanIsNoop) {
   SUCCEED();
 }
 
+// --- Bounded tracer buffer (satellite) -------------------------------------
+
+TEST(Tracer, CapacityBoundsBufferAndCountsDrops) {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer(8);
+  EXPECT_EQ(tracer.capacity(), 8u);
+  obs::ObservabilityScope scope(&registry, &tracer);
+  for (int i = 0; i < 20; ++i) tracer.instant("e", "c");
+  EXPECT_EQ(tracer.size(), 8u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  EXPECT_EQ(registry.counter("trace.events_dropped").value(), 12u);
+
+  // Both export formats surface the drop count.
+  std::ostringstream chrome;
+  tracer.write_chrome_trace(chrome);
+  EXPECT_NE(chrome.str().find("\"events_dropped\":12"), std::string::npos);
+  std::ostringstream jsonl;
+  tracer.write_jsonl(jsonl);
+  EXPECT_NE(jsonl.str().find("rdp_trace_header"), std::string::npos);
+  EXPECT_NE(jsonl.str().find("\"events_dropped\":12"), std::string::npos);
+
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  std::ostringstream clean;
+  tracer.write_jsonl(clean);
+  EXPECT_EQ(clean.str().find("rdp_trace_header"), std::string::npos)
+      << "no drops -> no header line";
+}
+
+TEST(Tracer, DefaultCapacityIsLarge) {
+  obs::Tracer tracer;
+  EXPECT_EQ(tracer.capacity(), obs::Tracer::kDefaultCapacity);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
 // --- Scoping --------------------------------------------------------------
 
 TEST(ObsScope, DefaultIsDisabled) {
   EXPECT_EQ(obs::metrics(), nullptr);
   EXPECT_EQ(obs::tracer(), nullptr);
+  EXPECT_EQ(obs::sampler(), nullptr);
   EXPECT_FALSE(obs::enabled());
 }
 
@@ -193,6 +371,84 @@ TEST(ObsScope, InstallsAndRestoresNested) {
     EXPECT_EQ(obs::tracer(), &tracer);
   }
   EXPECT_FALSE(obs::enabled());
+}
+
+// --- RunSampler (satellite: time-series sampling) --------------------------
+
+TEST(Sampler, WritesParseableJsonlAndShutsDownCleanly) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "rdp_test_sampler.jsonl";
+  fs::remove(path);
+
+  obs::MetricsRegistry registry;
+  std::size_t samples = 0;
+  {
+    obs::ObservabilityScope scope(&registry, nullptr);
+    obs::RunSamplerOptions options;
+    options.path = path.string();
+    options.period = std::chrono::milliseconds(5);
+    obs::RunSampler sampler(nullptr, options);
+    EXPECT_EQ(obs::sampler(), &sampler);
+    EXPECT_EQ(sampler.period_ms(), 5u);
+
+    registry.counter("demo.ticks").add(3);
+    registry.histogram("demo.seconds").observe(0.25);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    sampler.stop();
+    sampler.stop();  // idempotent
+    samples = sampler.samples();
+    EXPECT_GE(samples, 1u);  // at least the final sample at stop()
+  }
+  EXPECT_EQ(obs::sampler(), nullptr) << "destruction restores the global";
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::string last_line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const JsonValue v = parse_json(line);  // throws on malformed output
+    EXPECT_NE(v.find("t"), nullptr);
+    EXPECT_NE(v.find("counters"), nullptr);
+    EXPECT_NE(v.find("histograms"), nullptr);
+    last_line = line;
+  }
+  EXPECT_EQ(lines, samples);
+  // The final sample (written at stop) reflects the recorded state.
+  ASSERT_FALSE(last_line.empty());
+  const JsonValue last = parse_json(last_line);
+  EXPECT_DOUBLE_EQ(last.find("counters")->get_number("demo.ticks"), 3.0);
+  fs::remove(path);
+}
+
+TEST(Sampler, ShortRunStillProducesFinalSample) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "rdp_test_sampler_short.jsonl";
+  fs::remove(path);
+  obs::MetricsRegistry registry;
+  {
+    obs::ObservabilityScope scope(&registry, nullptr);
+    // Period far longer than the run: only the stop-time sample appears.
+    obs::RunSamplerOptions options;
+    options.path = path.string();
+    options.period = std::chrono::seconds(3600);
+    obs::RunSampler sampler(nullptr, options);
+    registry.counter("quick").add(1);
+  }  // destructor stops and flushes
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1u);
+  fs::remove(path);
+}
+
+TEST(Sampler, UnopenablePathThrowsAndRestoresGlobal) {
+  obs::RunSamplerOptions options;
+  options.path = "/nonexistent_rdp_dir/sub/never.jsonl";
+  EXPECT_THROW({ obs::RunSampler sampler(nullptr, options); }, std::runtime_error);
+  EXPECT_EQ(obs::sampler(), nullptr);
 }
 
 // --- Instrumented code paths ----------------------------------------------
@@ -229,6 +485,33 @@ TEST(ObsIntegration, ThreadPoolRecordsQueueAndTaskMetrics) {
   EXPECT_EQ(registry.counter("pool.tasks.completed").value(), 20u);
   EXPECT_EQ(registry.histogram("pool.task.run_seconds").summary().count, 20u);
   EXPECT_EQ(registry.histogram("pool.task.wait_seconds").summary().count, 20u);
+}
+
+// Satellite: pool.queue_depth.max must pin the true peak even though the
+// last-write-wins pool.queue_depth gauge may end anywhere. Two blocked
+// workers guarantee the next 10 submissions stack up to a depth of
+// exactly 10.
+TEST(ObsIntegration, QueueDepthMaxGaugePinsPeak) {
+  obs::MetricsRegistry registry;
+  {
+    obs::ObservabilityScope scope(&registry, nullptr);
+    ThreadPool pool(2);
+    std::promise<void> release;
+    std::shared_future<void> gate(release.get_future());
+    std::atomic<int> started{0};
+    for (int i = 0; i < 2; ++i) {
+      pool.submit([&started, gate] {
+        started.fetch_add(1);
+        gate.wait();
+      });
+    }
+    // Both workers are now off the queue and parked; the queue is empty.
+    while (started.load() < 2) std::this_thread::yield();
+    for (int i = 0; i < 10; ++i) pool.submit([] {});
+    release.set_value();
+    pool.wait_idle();
+  }
+  EXPECT_DOUBLE_EQ(registry.gauge("pool.queue_depth.max").value(), 10.0);
 }
 
 TEST(ObsIntegration, SweepRecordsCellsAndRate) {

@@ -1,0 +1,334 @@
+// Tests for the perf regression gate (src/perf/): BenchRecord
+// normalization of every raw BENCH_*.json shape, min-of-k repeat
+// merging, JSON round-trips, and the noise-aware comparison -- including
+// the golden cases the ISSUE pins: a self-compare is clean, and an
+// injected 2x slowdown is detected and named.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+#include "perf/bench_record.hpp"
+#include "perf/compare.hpp"
+
+namespace rdp {
+namespace {
+
+// A miniature ext_certify_speedup output (the real files carry more
+// series rows; the loader only reads params/timing/cache/checks).
+const char* kCertifyJson = R"({
+  "cache": {"evictions": 0, "hit_rate": 0.8, "hits": 16, "misses": 4},
+  "checks": {"max_abs_diff_vs_legacy": 2.2e-16, "seq_par_bit_mismatches": 0},
+  "params": {"alphas": [1.5], "budget": 300000, "m": 8, "n": 22,
+             "threads": 8, "trials": 2},
+  "series": [],
+  "timing": {"engine_par_seconds": 0.022, "engine_seq_seconds": 0.021,
+             "legacy_seconds": 0.110, "speedup_par": 5.0, "speedup_seq": 5.2}
+})";
+
+const char* kOverheadJson = R"({
+  "cases": 60, "reps": 5,
+  "baseline_seconds": 1.1, "guarded_off_seconds": 1.12,
+  "guarded_on_seconds": 1.9,
+  "off_overhead_ns_per_dispatch": 2.5, "on_overhead_ns_per_dispatch": 120.0,
+  "multiplier": 1.7
+})";
+
+perf::BenchRecord certify_record(double seq_seconds = 0.021) {
+  JsonValue doc = parse_json(kCertifyJson);
+  JsonObject root = doc.as_object();
+  JsonObject timing = root.at("timing").as_object();
+  timing["engine_seq_seconds"] = seq_seconds;
+  root["timing"] = std::move(timing);
+  return perf::normalize_bench_json(JsonValue(std::move(root)),
+                                    "BENCH_certify_smoke.json");
+}
+
+// --- Normalization ---------------------------------------------------------
+
+TEST(BenchRecord, NormalizesCertifyShape) {
+  const perf::BenchRecord record = certify_record();
+  EXPECT_EQ(record.name, "certify");
+  EXPECT_EQ(record.source, "BENCH_certify_smoke.json");
+  EXPECT_EQ(record.params_hash.size(), 16u);
+
+  const perf::BenchMetric* seq = record.find("timing.engine_seq_seconds");
+  ASSERT_NE(seq, nullptr);
+  EXPECT_DOUBLE_EQ(seq->value, 0.021);
+  EXPECT_EQ(seq->direction, "lower");
+  EXPECT_EQ(seq->noise, "timing");
+
+  const perf::BenchMetric* speedup = record.find("timing.speedup_seq");
+  ASSERT_NE(speedup, nullptr);
+  EXPECT_EQ(speedup->direction, "higher");
+
+  const perf::BenchMetric* hit_rate = record.find("cache.hit_rate");
+  ASSERT_NE(hit_rate, nullptr);
+  EXPECT_EQ(hit_rate->direction, "higher");
+  EXPECT_EQ(hit_rate->noise, "exact");
+
+  ASSERT_NE(record.find("checks.seq_par_bit_mismatches"), nullptr);
+  ASSERT_NE(record.find("checks.max_abs_diff_vs_legacy"), nullptr);
+}
+
+TEST(BenchRecord, NormalizesCheckOverheadShape) {
+  const perf::BenchRecord record = perf::normalize_bench_json(
+      parse_json(kOverheadJson), "BENCH_check_overhead_smoke.json");
+  EXPECT_EQ(record.name, "check_overhead");
+  const perf::BenchMetric* off = record.find("off_overhead_ns_per_dispatch");
+  ASSERT_NE(off, nullptr);
+  EXPECT_GT(off->abs_slack, 0.0) << "near-zero baselines need absolute slack";
+  ASSERT_NE(record.find("multiplier"), nullptr);
+  ASSERT_NE(record.find("baseline_seconds"), nullptr);
+}
+
+TEST(BenchRecord, NormalizesMetricsSnapshotShape) {
+  const char* snapshot = R"({
+    "counters": {"sim.dispatch.calls": 40},
+    "gauges": {"sweep.cells_per_sec": 7000.0},
+    "histograms": {"sweep.cell_seconds": {
+      "count": 40, "mean": 0.001, "stddev": 0.0001, "min": 0.0005,
+      "max": 0.002, "sum": 0.04, "p50": 0.0009, "p90": 0.0015, "p99": 0.0019}}
+  })";
+  const perf::BenchRecord record =
+      perf::normalize_bench_json(parse_json(snapshot), "metrics.json");
+  EXPECT_EQ(record.name, "metrics_snapshot");
+  const perf::BenchMetric* p99 = record.find("histograms.sweep.cell_seconds.p99");
+  ASSERT_NE(p99, nullptr);
+  EXPECT_EQ(p99->direction, "lower") << "seconds-like histograms gate on tails";
+  EXPECT_DOUBLE_EQ(p99->value, 0.0019);
+  const perf::BenchMetric* calls = record.find("counters.sim.dispatch.calls");
+  ASSERT_NE(calls, nullptr);
+  EXPECT_EQ(calls->direction, "none") << "counters are informational";
+}
+
+TEST(BenchRecord, RejectsUnknownShape) {
+  EXPECT_THROW(
+      (void)perf::normalize_bench_json(parse_json(R"({"foo": 1})"), "x.json"),
+      std::runtime_error);
+  EXPECT_THROW((void)perf::load_bench_file("/nonexistent/bench.json"),
+               std::runtime_error);
+}
+
+TEST(BenchRecord, JsonRoundTripPreservesEverything) {
+  perf::BenchRecord record = certify_record();
+  record.git_sha = "abc123";
+  record.host = perf::host_fingerprint();
+  const perf::BenchRecord back =
+      perf::normalize_bench_json(parse_json(record.to_json()), "roundtrip.json");
+  EXPECT_EQ(back.name, record.name);
+  EXPECT_EQ(back.params_hash, record.params_hash);
+  EXPECT_EQ(back.git_sha, "abc123");
+  EXPECT_EQ(back.host, record.host);
+  ASSERT_EQ(back.metrics.size(), record.metrics.size());
+  for (const auto& [key, m] : record.metrics) {
+    const perf::BenchMetric* other = back.find(key);
+    ASSERT_NE(other, nullptr) << key;
+    EXPECT_DOUBLE_EQ(other->value, m.value);
+    EXPECT_EQ(other->direction, m.direction);
+    EXPECT_EQ(other->noise, m.noise);
+    EXPECT_DOUBLE_EQ(other->abs_slack, m.abs_slack);
+    EXPECT_EQ(other->repeats, m.repeats);
+  }
+}
+
+TEST(BenchRecord, MergeRepeatsTakesBestAndComputesMad) {
+  std::vector<perf::BenchRecord> runs = {certify_record(0.030),
+                                         certify_record(0.021),
+                                         certify_record(0.025)};
+  const perf::BenchRecord merged = perf::merge_repeats(runs);
+  const perf::BenchMetric* seq = merged.find("timing.engine_seq_seconds");
+  ASSERT_NE(seq, nullptr);
+  EXPECT_DOUBLE_EQ(seq->value, 0.021) << "min-of-k for lower-is-better";
+  EXPECT_EQ(seq->repeats.size(), 3u);
+  // MAD of {0.030, 0.021, 0.025}: median 0.025, deviations {5,4,0}e-3,
+  // median deviation 4e-3.
+  EXPECT_NEAR(seq->mad, 0.004, 1e-12);
+  const perf::BenchMetric* speedup = merged.find("timing.speedup_seq");
+  ASSERT_NE(speedup, nullptr);
+  EXPECT_DOUBLE_EQ(speedup->value, 5.2) << "max-of-k for higher-is-better";
+}
+
+TEST(BenchRecord, MergeRejectsMismatchedParams) {
+  JsonValue doc = parse_json(kCertifyJson);
+  JsonObject root = doc.as_object();
+  JsonObject params = root.at("params").as_object();
+  params["trials"] = 64;  // different workload
+  root["params"] = std::move(params);
+  const perf::BenchRecord other =
+      perf::normalize_bench_json(JsonValue(std::move(root)), "other.json");
+  EXPECT_THROW((void)perf::merge_repeats({certify_record(), other}),
+               std::runtime_error);
+}
+
+TEST(BenchRecord, Fnv1aIsStable) {
+  EXPECT_EQ(perf::fnv1a_hex(""), "cbf29ce484222325");
+  EXPECT_EQ(perf::fnv1a_hex("a"), perf::fnv1a_hex("a"));
+  EXPECT_NE(perf::fnv1a_hex("a"), perf::fnv1a_hex("b"));
+}
+
+// --- Comparison ------------------------------------------------------------
+
+TEST(PerfCompare, SelfCompareIsClean) {
+  const perf::BenchRecord record = certify_record();
+  const perf::CompareResult result = perf::compare_records(record, record);
+  EXPECT_FALSE(result.regressed());
+  for (const auto& verdict : result.metrics) {
+    EXPECT_TRUE(verdict.status == "ok" || verdict.status == "info")
+        << verdict.name << " -> " << verdict.status;
+  }
+}
+
+// The ISSUE's golden case: double one timing metric, the gate must fire
+// and name it.
+TEST(PerfCompare, DetectsInjectedTwoXSlowdownByName) {
+  const perf::BenchRecord baseline = certify_record(0.021);
+  const perf::BenchRecord slowed = certify_record(0.042);
+  const perf::CompareResult result = perf::compare_records(baseline, slowed);
+  EXPECT_TRUE(result.regressed());
+  bool named = false;
+  for (const auto& verdict : result.metrics) {
+    if (verdict.name == "timing.engine_seq_seconds") {
+      EXPECT_EQ(verdict.status, "regressed");
+      named = true;
+    } else {
+      EXPECT_NE(verdict.status, "regressed") << verdict.name;
+    }
+  }
+  EXPECT_TRUE(named);
+  // Both renderings carry the verdict.
+  EXPECT_NE(result.render_table().find("timing.engine_seq_seconds"),
+            std::string::npos);
+  EXPECT_NE(result.render_table().find("REGRESSED"), std::string::npos);
+  const std::string json = result.to_json().dump(-1);
+  EXPECT_NE(json.find("\"regressed\":true"), std::string::npos);
+}
+
+TEST(PerfCompare, ImprovementIsNotARegression) {
+  const perf::CompareResult result =
+      perf::compare_records(certify_record(0.042), certify_record(0.021));
+  EXPECT_FALSE(result.regressed());
+  bool improved = false;
+  for (const auto& verdict : result.metrics) {
+    improved = improved || (verdict.name == "timing.engine_seq_seconds" &&
+                            verdict.status == "improved");
+  }
+  EXPECT_TRUE(improved);
+}
+
+TEST(PerfCompare, SmallJitterWithinToleranceIsOk) {
+  const perf::CompareResult result =
+      perf::compare_records(certify_record(0.021), certify_record(0.0220));
+  EXPECT_FALSE(result.regressed()) << "~5% < 20% timing tolerance";
+}
+
+TEST(PerfCompare, MadWidensTheThreshold) {
+  // A baseline whose repeats are noisy (MAD 0.004) tolerates a current
+  // value that a tight single-run threshold would flag.
+  const perf::BenchRecord noisy_baseline = perf::merge_repeats(
+      {certify_record(0.030), certify_record(0.021), certify_record(0.025)});
+  // 0.021 -> 0.036: +71% over the min, but within 4 * MAD = 0.016.
+  const perf::CompareResult result =
+      perf::compare_records(noisy_baseline, certify_record(0.036));
+  EXPECT_FALSE(result.regressed());
+}
+
+TEST(PerfCompare, ParamsDriftRegressesUnlessIgnored) {
+  JsonValue doc = parse_json(kCertifyJson);
+  JsonObject root = doc.as_object();
+  JsonObject params = root.at("params").as_object();
+  params["trials"] = 64;
+  root["params"] = std::move(params);
+  const perf::BenchRecord other =
+      perf::normalize_bench_json(JsonValue(std::move(root)), "other.json");
+
+  const perf::CompareResult strict = perf::compare_records(certify_record(), other);
+  EXPECT_FALSE(strict.params_match);
+  EXPECT_TRUE(strict.regressed());
+
+  perf::CompareOptions options;
+  options.ignore_params = true;
+  const perf::CompareResult loose =
+      perf::compare_records(certify_record(), other, options);
+  EXPECT_FALSE(loose.regressed());
+}
+
+TEST(PerfCompare, VanishedMetricIsARegression) {
+  const perf::BenchRecord baseline = certify_record();
+  perf::BenchRecord current = baseline;
+  current.metrics.erase("timing.engine_seq_seconds");
+  const perf::CompareResult result = perf::compare_records(baseline, current);
+  EXPECT_TRUE(result.regressed());
+  bool missing = false;
+  for (const auto& verdict : result.metrics) {
+    missing = missing || (verdict.name == "timing.engine_seq_seconds" &&
+                          verdict.status == "missing");
+  }
+  EXPECT_TRUE(missing);
+}
+
+TEST(PerfCompare, NewMetricIsInformational) {
+  const perf::BenchRecord baseline = certify_record();
+  perf::BenchRecord current = baseline;
+  perf::BenchMetric extra;
+  extra.name = "timing.new_path_seconds";
+  extra.value = 1.0;
+  extra.repeats = {1.0};
+  current.metrics.emplace(extra.name, extra);
+  const perf::CompareResult result = perf::compare_records(baseline, current);
+  EXPECT_FALSE(result.regressed());
+  bool found_new = false;
+  for (const auto& verdict : result.metrics) {
+    found_new = found_new ||
+                (verdict.name == "timing.new_path_seconds" && verdict.status == "new");
+  }
+  EXPECT_TRUE(found_new);
+}
+
+TEST(PerfCompare, AbsSlackProtectsNearZeroBaselines) {
+  const perf::BenchRecord baseline = perf::normalize_bench_json(
+      parse_json(kOverheadJson), "BENCH_check_overhead_smoke.json");
+  // Off-overhead jumps 2.5ns -> 40ns: a 16x relative change that is still
+  // scheduler noise in absolute terms -- inside the 50ns slack.
+  JsonValue doc = parse_json(kOverheadJson);
+  JsonObject root = doc.as_object();
+  root["off_overhead_ns_per_dispatch"] = 40.0;
+  const perf::BenchRecord current = perf::normalize_bench_json(
+      JsonValue(std::move(root)), "BENCH_check_overhead_smoke.json");
+  const perf::CompareResult result = perf::compare_records(baseline, current);
+  EXPECT_FALSE(result.regressed());
+}
+
+TEST(PerfCompare, ExactMetricsAreTight) {
+  JsonValue doc = parse_json(kCertifyJson);
+  JsonObject root = doc.as_object();
+  JsonObject cache = root.at("cache").as_object();
+  cache["hit_rate"] = 0.5;  // cache effectiveness collapsed
+  root["cache"] = std::move(cache);
+  const perf::BenchRecord current = perf::normalize_bench_json(
+      JsonValue(std::move(root)), "BENCH_certify_smoke.json");
+  const perf::CompareResult result =
+      perf::compare_records(certify_record(), current);
+  EXPECT_TRUE(result.regressed());
+  bool named = false;
+  for (const auto& verdict : result.metrics) {
+    named = named || (verdict.name == "cache.hit_rate" &&
+                      verdict.status == "regressed");
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST(PerfCompare, HostMismatchIsNotedButDoesNotGate) {
+  perf::BenchRecord baseline = certify_record();
+  baseline.host = "Linux/x86_64/ncpu=8";
+  perf::BenchRecord current = certify_record();
+  current.host = "Darwin/arm64/ncpu=10";
+  const perf::CompareResult result = perf::compare_records(baseline, current);
+  EXPECT_FALSE(result.host_match);
+  EXPECT_FALSE(result.regressed());
+  ASSERT_FALSE(result.notes.empty());
+}
+
+}  // namespace
+}  // namespace rdp

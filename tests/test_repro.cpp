@@ -179,6 +179,30 @@ TEST(ReproManifest, SchemaFieldsPresentInJson) {
   EXPECT_EQ(root.get_number("schema_version"), 1.0);
 }
 
+// Satellite: sampler provenance is optional -- absent fields keep the
+// manifest byte-identical to the pre-sampler format (the golden
+// byte-equality tests below depend on this), present fields round-trip.
+TEST(ReproManifest, SamplerProvenanceIsOptionalAndRoundTrips) {
+  const Manifest unsampled;
+  EXPECT_EQ(unsampled.to_json().find("\"sampler\""), std::string::npos);
+
+  Manifest m;
+  m.sampler_path = "samples.jsonl";
+  m.sampler_period_ms = 250;
+  m.sampler_samples = 12;
+  const JsonValue root = parse_json(m.to_json());
+  ASSERT_NE(root.find("sampler"), nullptr);
+
+  TempDir dir("sampler-manifest");
+  const std::string path = (dir.path() / "manifest.json").string();
+  m.save(path);
+  const std::optional<Manifest> loaded = load_manifest(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sampler_path, "samples.jsonl");
+  EXPECT_EQ(loaded->sampler_period_ms, 250u);
+  EXPECT_EQ(loaded->sampler_samples, 12u);
+}
+
 TEST(ReproManifest, LoadRejectsCorruptAndWrongVersion) {
   TempDir dir("corrupt");
   EXPECT_FALSE(load_manifest((dir.path() / "missing.json").string()).has_value());

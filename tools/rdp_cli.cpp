@@ -19,11 +19,18 @@
 // --trace-out=FILE work with every command: they install an observability
 // scope for the command's duration and write a metrics snapshot (JSON)
 // and a wall-clock trace (Chrome trace_event format, or JSONL when FILE
-// ends in .jsonl) on exit.
+// ends in .jsonl) on exit. --sample-out=FILE additionally runs an
+// obs::RunSampler that appends a JSONL metrics snapshot every
+// --sample-period=MS milliseconds for the duration of the command.
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "rdp.hpp"
 
@@ -34,7 +41,8 @@ using namespace rdp;
 int usage(const char* program) {
   std::cerr
       << "usage: " << program
-      << " <generate|realize|run|evaluate|sweep|bounds|repro|fuzz> [--flags]\n\n"
+      << " <generate|realize|run|evaluate|sweep|bounds|repro|fuzz|perf>"
+         " [--flags]\n\n"
          "  generate --kind=uniform|heavy-tailed|bimodal|lognormal|"
          "correlated|anti-correlated|independent|unit|profile:NAME\n"
          "           --n=N --m=M --alpha=A --seed=S --out=FILE\n"
@@ -57,9 +65,20 @@ int usage(const char* program) {
          "           [--no-shrink]\n"
          "           (differential fuzzing of every sim/ dispatcher against\n"
          "            the schedule invariants in src/check/; failing seeds\n"
-         "            are shrunk and written one JSONL line each)\n\n"
+         "            are shrunk and written one JSONL line each)\n"
+         "  perf     record  --in=FILE[,FILE...] [--name=N] [--out=FILE]\n"
+         "           compare --baseline=FILE --current=FILE [--json=FILE]\n"
+         "                   [--warn-only] [--ignore-params] [--rel-tol=R]\n"
+         "                   [--mad-mult=K]\n"
+         "           gate    [--baselines=DIR] [--current-dir=DIR]\n"
+         "                   [--json=FILE] [--warn-only]\n"
+         "           (normalize BENCH_*.json into BenchRecords, diff fresh\n"
+         "            runs against committed baselines in bench/baselines/;\n"
+         "            see docs/PERFORMANCE.md)\n\n"
          "global:  --metrics-out=FILE (metrics snapshot JSON)\n"
          "         --trace-out=FILE   (Chrome trace_event; .jsonl for JSONL)\n"
+         "         --sample-out=FILE  (JSONL metrics time series, one line\n"
+         "                             per --sample-period=MS, default 1000)\n"
          "         --debug-checks     (re-validate every dispatched schedule\n"
          "                             in experiment paths; also via\n"
          "                             RDP_DEBUG_CHECKS=1)\n\n"
@@ -425,6 +444,181 @@ int cmd_fuzz(const Args& args) {
   return summary.failures.empty() ? EXIT_SUCCESS : EXIT_FAILURE;
 }
 
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string item = list.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) items.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("perf: cannot open " + path);
+  out << content;
+  if (!out) throw std::runtime_error("perf: write failed for " + path);
+}
+
+perf::CompareOptions compare_options_from(const Args& args) {
+  perf::CompareOptions options;
+  options.timing_rel_tolerance =
+      args.get("rel-tol", options.timing_rel_tolerance);
+  options.mad_multiplier = args.get("mad-mult", options.mad_multiplier);
+  options.ignore_params = args.get("ignore-params", false);
+  return options;
+}
+
+/// `perf record`: normalize raw bench JSON (min-of-k over several files)
+/// into a committed baseline record.
+int cmd_perf_record(const Args& args) {
+  std::vector<std::string> inputs = split_csv(args.get("in", std::string("")));
+  // Files may also be given as positionals after `record`.
+  const std::vector<std::string>& pos = args.positionals();
+  inputs.insert(inputs.end(), pos.begin() + 1, pos.end());
+  if (inputs.empty()) {
+    throw std::invalid_argument(
+        "perf record: --in=FILE[,FILE...] is required (repeats of the same "
+        "benchmark merge min-of-k)");
+  }
+  std::vector<perf::BenchRecord> runs;
+  runs.reserve(inputs.size());
+  for (const std::string& path : inputs) runs.push_back(perf::load_bench_file(path));
+  perf::BenchRecord record = perf::merge_repeats(runs);
+  if (args.has("name")) record.name = args.get("name", record.name);
+  record.git_sha = repro::read_git_sha(".");
+  record.host = perf::host_fingerprint();
+
+  const std::string out =
+      args.get("out", "bench/baselines/" + record.name + ".json");
+  std::filesystem::path parent = std::filesystem::path(out).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  record.save(out);
+  std::cout << "recorded " << record.name << " (" << record.metrics.size()
+            << " metrics, " << inputs.size() << " run(s), params "
+            << (record.params_hash.empty() ? "-" : record.params_hash)
+            << ") to " << out << "\n";
+  return EXIT_SUCCESS;
+}
+
+/// `perf compare`: diff one fresh run against one baseline.
+int cmd_perf_compare(const Args& args) {
+  const std::string baseline_path = args.get("baseline", std::string(""));
+  const std::string current_path = args.get("current", std::string(""));
+  if (baseline_path.empty() || current_path.empty()) {
+    throw std::invalid_argument(
+        "perf compare: --baseline=FILE and --current=FILE are required");
+  }
+  const perf::BenchRecord baseline = perf::load_bench_file(baseline_path);
+  const perf::BenchRecord current = perf::load_bench_file(current_path);
+  const perf::CompareResult result =
+      perf::compare_records(baseline, current, compare_options_from(args));
+
+  std::cout << result.render_table();
+  const std::string json_path = args.get("json", std::string(""));
+  if (!json_path.empty()) {
+    write_text_file(json_path, result.to_json().dump(2) + "\n");
+    std::cout << "verdict written to " << json_path << "\n";
+  }
+  const bool warn_only = args.get("warn-only", false);
+  if (result.regressed() && warn_only) {
+    std::cout << "warn-only: regression reported but exiting 0\n";
+  }
+  return result.regressed() && !warn_only ? EXIT_FAILURE : EXIT_SUCCESS;
+}
+
+/// `perf gate`: compare every committed baseline against the matching
+/// fresh output (by the baseline's recorded `source` filename) under
+/// --current-dir. A baseline whose fresh output is missing is a hard
+/// failure even under --warn-only: the gate must notice when a benchmark
+/// silently stops running.
+int cmd_perf_gate(const Args& args) {
+  const std::string baselines_dir =
+      args.get("baselines", std::string("bench/baselines"));
+  const std::string current_dir = args.get("current-dir", std::string("."));
+  const bool warn_only = args.get("warn-only", false);
+  const perf::CompareOptions options = compare_options_from(args);
+
+  std::vector<std::string> baseline_files;
+  if (!std::filesystem::is_directory(baselines_dir)) {
+    throw std::runtime_error("perf gate: no baselines directory at " +
+                             baselines_dir);
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(baselines_dir)) {
+    if (entry.path().extension() == ".json") {
+      baseline_files.push_back(entry.path().string());
+    }
+  }
+  std::sort(baseline_files.begin(), baseline_files.end());
+  if (baseline_files.empty()) {
+    throw std::runtime_error("perf gate: no *.json baselines in " +
+                             baselines_dir);
+  }
+
+  bool any_regressed = false;
+  bool any_error = false;
+  JsonArray results;
+  for (const std::string& path : baseline_files) {
+    const perf::BenchRecord baseline = perf::load_bench_file(path);
+    const std::filesystem::path current_path =
+        std::filesystem::path(current_dir) / baseline.source;
+    if (!std::filesystem::exists(current_path)) {
+      std::cout << "perf gate: MISSING " << current_path.string()
+                << " (baseline " << path << " has nothing to compare against)\n";
+      JsonObject missing;
+      missing["bench"] = baseline.name;
+      missing["baseline_source"] = path;
+      missing["error"] = "missing current output " + current_path.string();
+      results.emplace_back(std::move(missing));
+      any_error = true;
+      continue;
+    }
+    const perf::BenchRecord current =
+        perf::load_bench_file(current_path.string());
+    const perf::CompareResult result =
+        perf::compare_records(baseline, current, options);
+    std::cout << result.render_table() << "\n";
+    results.emplace_back(result.to_json());
+    any_regressed = any_regressed || result.regressed();
+  }
+
+  JsonObject verdict;
+  verdict["regressed"] = any_regressed;
+  verdict["errors"] = any_error;
+  verdict["warn_only"] = warn_only;
+  verdict["results"] = std::move(results);
+  const std::string json_path = args.get("json", std::string(""));
+  if (!json_path.empty()) {
+    write_text_file(json_path, JsonValue(std::move(verdict)).dump(2) + "\n");
+    std::cout << "verdict written to " << json_path << "\n";
+  }
+
+  if (any_error) return EXIT_FAILURE;  // schema/coverage errors always fail
+  if (any_regressed && warn_only) {
+    std::cout << "warn-only: regression reported but exiting 0\n";
+    return EXIT_SUCCESS;
+  }
+  return any_regressed ? EXIT_FAILURE : EXIT_SUCCESS;
+}
+
+int cmd_perf(const Args& args) {
+  if (args.positionals().empty()) {
+    throw std::invalid_argument(
+        "perf: expected an action: perf <record|compare|gate> [--flags]");
+  }
+  const std::string& action = args.positionals().front();
+  if (action == "record") return cmd_perf_record(args);
+  if (action == "compare") return cmd_perf_compare(args);
+  if (action == "gate") return cmd_perf_gate(args);
+  throw std::invalid_argument("perf: unknown action '" + action +
+                              "' (expected record, compare, or gate)");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -432,14 +626,29 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args(argc - 1, argv + 1);
   try {
-    // Optional observability sinks, shared by every command.
+    // Optional observability sinks, shared by every command. --sample-out
+    // needs a registry to sample, so it implies one even without
+    // --metrics-out (the snapshot is then only written to the time series).
     const std::string metrics_path = args.get("metrics-out", std::string(""));
     const std::string trace_path = args.get("trace-out", std::string(""));
+    const std::string sample_path = args.get("sample-out", std::string(""));
     std::unique_ptr<obs::MetricsRegistry> registry;
     std::unique_ptr<obs::Tracer> tracer;
-    if (!metrics_path.empty()) registry = std::make_unique<obs::MetricsRegistry>();
+    if (!metrics_path.empty() || !sample_path.empty()) {
+      registry = std::make_unique<obs::MetricsRegistry>();
+    }
     if (!trace_path.empty()) tracer = std::make_unique<obs::Tracer>();
     obs::ObservabilityScope scope(registry.get(), tracer.get());
+    // Constructed after the scope so it samples the installed registry and
+    // is stopped (final sample + flush) before the scope unwinds.
+    std::unique_ptr<obs::RunSampler> sampler;
+    if (!sample_path.empty()) {
+      obs::RunSamplerOptions sampler_options;
+      sampler_options.path = sample_path;
+      sampler_options.period = std::chrono::milliseconds(
+          args.get("sample-period", std::int64_t{1000}));
+      sampler = std::make_unique<obs::RunSampler>(nullptr, sampler_options);
+    }
     if (args.get("debug-checks", false)) check::set_debug_checks(true);
 
     int status = EXIT_FAILURE;
@@ -459,12 +668,19 @@ int main(int argc, char** argv) {
       status = cmd_repro(args);
     } else if (command == "fuzz") {
       status = cmd_fuzz(args);
+    } else if (command == "perf") {
+      status = cmd_perf(args);
     } else {
       std::cerr << "unknown command '" << command << "'\n";
       return usage(argv[0]);
     }
 
-    if (registry) {
+    if (sampler) {
+      sampler->stop();
+      std::cout << sampler->samples() << " sample(s) written to "
+                << sample_path << "\n";
+    }
+    if (registry && !metrics_path.empty()) {
       registry->save_json(metrics_path);
       std::cout << "metrics written to " << metrics_path << "\n";
     }
