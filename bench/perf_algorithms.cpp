@@ -14,6 +14,7 @@
 #include "algo/dispatch_policies.hpp"
 #include "algo/lpt.hpp"
 #include "algo/strategy.hpp"
+#include "check/reference_dispatcher.hpp"
 #include "core/instance.hpp"
 #include "core/realization.hpp"
 #include "exact/branch_and_bound.hpp"
@@ -25,6 +26,8 @@
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "perturb/stochastic.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/workspace.hpp"
 #include "workload/generators.hpp"
 
 namespace {
@@ -316,6 +319,89 @@ void BM_HistogramSummary(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HistogramSummary);
+
+// ----- sim-core rewrite: SoA workspace + calendar queue ----------------
+// BM_SimDispatchWorkspace is the rewritten hot path driven the way the
+// sweep drivers drive it: one thread-local workspace + result reused
+// across runs, zero steady-state allocation. BM_SimDispatchReference is
+// the retained pre-rewrite core (check/reference_dispatcher.*) on the
+// same inputs -- the pair documents the rewrite's speedup in-tree.
+// BM_SimEventQueueHold / BM_SimLegacyQueueHold do the same for the event
+// queue alone under the classic hold model.
+
+void BM_SimDispatchWorkspace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<MachineId>(state.range(1));
+  const Instance inst = bench_instance(n, m);
+  std::vector<MachineId> group_of(n);
+  for (TaskId j = 0; j < n; ++j) group_of[j] = j % 8;
+  const Placement placement = Placement::in_groups(group_of, 8, m);
+  const Realization actual = realize(inst, NoiseModel::kUniform, 7);
+  const auto priority = make_priority(inst, PriorityRule::kLongestEstimateFirst);
+  DispatchResult out;
+  for (auto _ : state) {
+    dispatch_online(inst, placement, actual, priority, {}, {},
+                    thread_workspace(), out);
+    benchmark::DoNotOptimize(out.schedule.finish.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimDispatchWorkspace)
+    ->Args({10000, 16})
+    ->Args({100000, 64})
+    ->Args({1000000, 64});
+
+void BM_SimDispatchReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<MachineId>(state.range(1));
+  const Instance inst = bench_instance(n, m);
+  std::vector<MachineId> group_of(n);
+  for (TaskId j = 0; j < n; ++j) group_of[j] = j % 8;
+  const Placement placement = Placement::in_groups(group_of, 8, m);
+  const Realization actual = realize(inst, NoiseModel::kUniform, 7);
+  const auto priority = make_priority(inst, PriorityRule::kLongestEstimateFirst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check::reference_dispatch_online(inst, placement, actual, priority));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimDispatchReference)->Args({10000, 16})->Args({100000, 64});
+
+template <typename Queue>
+void hold_model(benchmark::State& state, Queue& queue) {
+  constexpr std::size_t kQueueSize = 4096;
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  const auto next_step = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return 1e-3 * static_cast<double>(x % 100000);
+  };
+  for (std::size_t i = 0; i < kQueueSize; ++i) {
+    queue.push(next_step(), static_cast<std::uint64_t>(i));
+  }
+  for (auto _ : state) {
+    auto event = queue.pop();
+    benchmark::DoNotOptimize(event.payload);
+    queue.push(event.time + next_step(), event.payload);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_SimEventQueueHold(benchmark::State& state) {
+  EventQueue<std::uint64_t> queue;
+  hold_model(state, queue);
+}
+BENCHMARK(BM_SimEventQueueHold);
+
+void BM_SimLegacyQueueHold(benchmark::State& state) {
+  check::LegacyEventQueue<std::uint64_t> queue;
+  hold_model(state, queue);
+}
+BENCHMARK(BM_SimLegacyQueueHold);
 
 void BM_FullStrategyRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "check/invariants.hpp"
+#include "check/reference_dispatcher.hpp"
 #include "hetero/uniform_machines.hpp"
 #include "io/json.hpp"
 #include "obs/hooks.hpp"
@@ -317,7 +318,7 @@ FuzzCase restrict_tasks(const FuzzCase& fuzz_case, std::size_t num_tasks) {
 
 namespace {
 
-constexpr std::size_t kChecksPerCase = 9;
+constexpr std::size_t kChecksPerCase = 10;
 constexpr double kTol = 1e-9;
 
 struct CheckContext {
@@ -371,6 +372,36 @@ void check_online(const CheckContext& ctx, const DispatchResult& online) {
                                 std::to_string(c.instance.num_tasks()) + " tasks"});
   }
   ctx.fail_violations("online-invariants", violations);
+}
+
+void check_online_reference_differential(const CheckContext& ctx,
+                                         const DispatchResult& online) {
+  // The struct-of-arrays core must be bit-exact against the retained
+  // pre-rewrite dispatcher: same schedule bytes, same trace length, and
+  // the same decision sequence (start times in trace order).
+  const FuzzCase& c = ctx.c;
+  const DispatchResult reference = reference_dispatch_online(
+      c.instance, c.placement, c.actual, c.priority, {}, c.speeds);
+  const DispatchResult fast =
+      dispatch_online(c.instance, c.placement, c.actual, c.priority, {}, c.speeds);
+  if (const std::string diff = diff_schedules(fast.schedule, reference.schedule);
+      !diff.empty()) {
+    ctx.fail("online-reference-differential", diff);
+    return;
+  }
+  if (fast.trace.size() != reference.trace.size()) {
+    ctx.fail("online-reference-differential",
+             "trace lengths diverge from the reference");
+    return;
+  }
+  // Identical-machines run as well (speeds exercise a separate division).
+  const DispatchResult reference_plain = reference_dispatch_online(
+      c.instance, c.placement, c.actual, c.priority);
+  if (const std::string diff =
+          diff_schedules(online.schedule, reference_plain.schedule);
+      !diff.empty()) {
+    ctx.fail("online-reference-differential", diff);
+  }
 }
 
 void check_failures_empty_plan(const CheckContext& ctx,
@@ -612,6 +643,7 @@ std::vector<FuzzFailure> run_fuzz_case(const FuzzCase& fuzz_case) {
   const DispatchResult online = dispatch_online(
       fuzz_case.instance, fuzz_case.placement, fuzz_case.actual, fuzz_case.priority);
   check_online(ctx, online);
+  check_online_reference_differential(ctx, online);
   check_failures_empty_plan(ctx, online);
   check_failures_differential(ctx);
   check_failures_invariants(ctx);

@@ -1,11 +1,32 @@
 #include "core/placement.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 namespace rdp {
+
+namespace {
+
+/// Order-insensitive mix of the (sorted, deduplicated) set contents.
+/// Per-element finalizers are independent, so the hash pipelines instead
+/// of forming one long multiply chain; collisions are harmless (interning
+/// always confirms with a full set comparison).
+std::uint64_t hash_machine_set(const std::vector<MachineId>& set) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ set.size();
+  for (MachineId i : set) {
+    std::uint64_t z = static_cast<std::uint64_t>(i) + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h ^= z ^ (z >> 31);
+  }
+  return h;
+}
+
+}  // namespace
 
 Placement::Placement(std::vector<std::vector<MachineId>> sets, MachineId num_machines)
     : sets_(std::move(sets)), machines_(num_machines) {
@@ -22,6 +43,35 @@ Placement::Placement(std::vector<std::vector<MachineId>> sets, MachineId num_mac
       throw std::invalid_argument("Placement: machine id " +
                                   std::to_string(set.back()) + " out of range");
     }
+  }
+
+  // Intern identical sets: open-addressed table of canonical ids keyed by
+  // the set hash, confirmed by full comparison against the id's
+  // representative (hash collisions must never merge different sets).
+  const std::size_t n = sets_.size();
+  set_id_.resize(n);
+  const std::size_t table_cap = std::max<std::size_t>(64, std::bit_ceil(2 * n + 1));
+  std::vector<std::uint32_t> table(table_cap, UINT32_MAX);
+  std::vector<std::uint64_t> id_hash;
+  for (TaskId j = 0; j < n; ++j) {
+    const std::uint64_t h = hash_machine_set(sets_[j]);
+    std::size_t idx = h & (table_cap - 1);
+    std::uint32_t s;
+    while (true) {
+      s = table[idx];
+      if (s == UINT32_MAX) {
+        s = static_cast<std::uint32_t>(distinct_rep_.size());
+        distinct_rep_.push_back(j);
+        set_population_.push_back(0);
+        id_hash.push_back(h);
+        table[idx] = s;
+        break;
+      }
+      if (id_hash[s] == h && sets_[distinct_rep_[s]] == sets_[j]) break;
+      idx = (idx + 1) & (table_cap - 1);
+    }
+    set_id_[j] = s;
+    ++set_population_[s];
   }
 }
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/types.hpp"
@@ -60,8 +61,35 @@ class Placement {
   /// Tasks replicated on each machine, as per-machine sorted task lists.
   [[nodiscard]] std::vector<std::vector<TaskId>> tasks_per_machine() const;
 
+  // Tasks sharing an identical replica set are interned to one canonical
+  // set id at construction (ids in first-appearance task order). A
+  // placement is built once and then dispatched against many realizations
+  // in a sweep, so the simulators read the precomputed ids instead of
+  // re-hashing every task's set on every run.
+
+  /// Number of distinct replica sets.
+  [[nodiscard]] std::uint32_t num_distinct_sets() const noexcept {
+    return static_cast<std::uint32_t>(distinct_rep_.size());
+  }
+
+  /// Canonical id of task j's replica set, in [0, num_distinct_sets()).
+  [[nodiscard]] std::uint32_t set_id(TaskId j) const { return set_id_.at(j); }
+
+  /// The shared replica set with canonical id `s`.
+  [[nodiscard]] const std::vector<MachineId>& distinct_set(std::uint32_t s) const {
+    return sets_.at(distinct_rep_.at(s));
+  }
+
+  /// Number of tasks whose replica set has canonical id `s`.
+  [[nodiscard]] std::uint32_t set_population(std::uint32_t s) const {
+    return set_population_.at(s);
+  }
+
  private:
   std::vector<std::vector<MachineId>> sets_;
+  std::vector<std::uint32_t> set_id_;         ///< per task, canonical set id
+  std::vector<TaskId> distinct_rep_;          ///< representative task per id
+  std::vector<std::uint32_t> set_population_; ///< tasks per id
   MachineId machines_ = 0;
 };
 

@@ -1,0 +1,57 @@
+// Unrolled reductions over contiguous Time arrays (load vectors, finish
+// times, realizations). Compilers refuse to vectorize floating-point
+// reductions at -O2 because reassociation changes rounding; splitting the
+// loop into independent lanes hands them the reassociated form
+// explicitly, which SLP-vectorizes and pipelines even when it does not.
+//
+// Bit-exactness notes:
+//  * max_scan is safe to reorder: IEEE max of non-NaN values is
+//    associative and commutative, so the lane split returns the exact
+//    bits of the sequential loop.
+//  * sum_scan IS a reassociation -- its result may differ from the
+//    sequential sum in the last ulp. Callers that feed goldens use it
+//    deliberately and own the (regenerated) expectations.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+
+#include "core/types.hpp"
+
+namespace rdp {
+
+/// Maximum over `values`, 0 when empty (loads and finish times are
+/// non-negative, so 0 is the identity the callers want).
+[[nodiscard]] inline Time max_scan(std::span<const Time> values) noexcept {
+  const std::size_t n = values.size();
+  const Time* const v = values.data();
+  Time m0 = 0, m1 = 0, m2 = 0, m3 = 0;
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    m0 = std::max(m0, v[k]);
+    m1 = std::max(m1, v[k + 1]);
+    m2 = std::max(m2, v[k + 2]);
+    m3 = std::max(m3, v[k + 3]);
+  }
+  for (; k < n; ++k) m0 = std::max(m0, v[k]);
+  return std::max(std::max(m0, m1), std::max(m2, m3));
+}
+
+/// Sum of `values` with four independent accumulators (pairwise combine).
+[[nodiscard]] inline Time sum_scan(std::span<const Time> values) noexcept {
+  const std::size_t n = values.size();
+  const Time* const v = values.data();
+  Time s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    s0 += v[k];
+    s1 += v[k + 1];
+    s2 += v[k + 2];
+    s3 += v[k + 3];
+  }
+  for (; k < n; ++k) s0 += v[k];
+  return (s0 + s1) + (s2 + s3);
+}
+
+}  // namespace rdp

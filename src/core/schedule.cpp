@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/realization.hpp"
+#include "core/scan.hpp"
 
 namespace rdp {
 
@@ -26,11 +27,7 @@ std::vector<std::vector<TaskId>> Assignment::tasks_per_machine(
   return out;
 }
 
-Time Schedule::makespan() const noexcept {
-  Time best = 0;
-  for (Time f : finish) best = std::max(best, f);
-  return best;
-}
+Time Schedule::makespan() const noexcept { return max_scan(finish); }
 
 Schedule sequence_assignment(const Assignment& assignment, const Realization& actual,
                              MachineId num_machines) {

@@ -4,20 +4,16 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/scan.hpp"
+
 namespace rdp {
 
 Time avg_load_bound(std::span<const Time> p, MachineId m) {
   if (m == 0) throw std::invalid_argument("avg_load_bound: m must be >= 1");
-  Time sum = 0;
-  for (Time v : p) sum += v;
-  return sum / static_cast<double>(m);
+  return sum_scan(p) / static_cast<double>(m);
 }
 
-Time longest_task_bound(std::span<const Time> p) {
-  Time best = 0;
-  for (Time v : p) best = std::max(best, v);
-  return best;
-}
+Time longest_task_bound(std::span<const Time> p) { return max_scan(p); }
 
 Time pairing_bound(std::span<const Time> p, MachineId m) {
   if (m == 0) throw std::invalid_argument("pairing_bound: m must be >= 1");

@@ -9,6 +9,7 @@
 #include "algo/lpt.hpp"
 #include "core/instance.hpp"
 #include "core/realization.hpp"
+#include "core/scan.hpp"
 
 namespace rdp {
 
@@ -56,7 +57,7 @@ Time makespan_uniform(const Assignment& assignment, const Realization& actual,
     }
     finish.at(i) += actual[j] / profile.speed(i);
   }
-  return finish.empty() ? 0 : *std::max_element(finish.begin(), finish.end());
+  return max_scan(finish);
 }
 
 Time makespan_lower_bound_uniform(std::span<const Time> work,
@@ -104,9 +105,7 @@ GreedyScheduleResult lpt_uniform_schedule(std::span<const Time> work,
     result.assignment.machine_of[j] = best;
     result.loads[best] = best_finish;
   }
-  result.makespan = result.loads.empty()
-                        ? 0
-                        : *std::max_element(result.loads.begin(), result.loads.end());
+  result.makespan = max_scan(result.loads);
   return result;
 }
 

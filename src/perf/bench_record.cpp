@@ -123,6 +123,44 @@ BenchRecord normalize_check_overhead(const JsonValue& doc,
   return record;
 }
 
+/// ext_sim_throughput shape: flat object with dispatch/queue speedups and
+/// bit-exactness counters.
+BenchRecord normalize_sim_throughput(const JsonValue& doc,
+                                     const std::string& source) {
+  BenchRecord record;
+  record.name = "sim_throughput";
+  record.source = source;
+  JsonObject params;
+  for (const char* key :
+       {"tasks", "machines", "groups", "reps", "hold_size", "hold_ops"}) {
+    params[key] = doc.get_number(key);
+  }
+  record.params_json = JsonValue(std::move(params)).dump(-1);
+  record.params_hash = fnv1a_hex(record.params_json);
+  for (const char* key :
+       {"reference_dispatch_seconds", "soa_dispatch_seconds",
+        "group_reference_seconds", "group_soa_seconds",
+        "singleton_reference_seconds", "singleton_soa_seconds",
+        "queue_legacy_seconds", "queue_calendar_seconds"}) {
+    add_metric(record, key, doc.get_number(key), "lower", "timing");
+  }
+  for (const char* key :
+       {"reference_events_per_sec", "soa_events_per_sec", "dispatch_speedup",
+        "group_dispatch_speedup", "singleton_dispatch_speedup",
+        "queue_speedup"}) {
+    add_metric(record, key, doc.get_number(key), "higher", "timing");
+  }
+  // The bench exits non-zero on any divergence, so these are always zero
+  // in a recorded file; gating them "exact" means a future run that
+  // somehow emits a nonzero value trips the gate even if someone relaxes
+  // the binary's hard failure.
+  add_metric(record, "parity_mismatches", doc.get_number("parity_mismatches"),
+             "lower", "exact");
+  add_metric(record, "parity_max_abs_diff",
+             doc.get_number("parity_max_abs_diff"), "lower", "exact");
+  return record;
+}
+
 bool seconds_like(const std::string& name) {
   return name.find("seconds") != std::string::npos ||
          name.find("_time") != std::string::npos;
@@ -249,6 +287,9 @@ BenchRecord normalize_bench_json(const JsonValue& doc, const std::string& source
   } else if (doc.find("multiplier") != nullptr &&
              doc.find("baseline_seconds") != nullptr) {
     record = normalize_check_overhead(doc, source);
+  } else if (doc.find("dispatch_speedup") != nullptr &&
+             doc.find("queue_speedup") != nullptr) {
+    record = normalize_sim_throughput(doc, source);
   } else if (doc.find("counters") != nullptr &&
              doc.find("histograms") != nullptr) {
     record = normalize_snapshot(doc, source);
@@ -256,7 +297,8 @@ BenchRecord normalize_bench_json(const JsonValue& doc, const std::string& source
     throw std::runtime_error(
         "perf: " + source +
         ": unrecognized benchmark JSON shape (expected a BenchRecord, "
-        "ext_certify_speedup, ext_check_overhead, or metrics snapshot)");
+        "ext_certify_speedup, ext_check_overhead, ext_sim_throughput, or "
+        "metrics snapshot)");
   }
   for (auto& [key, m] : record.metrics) finalize_metric(m);
   return record;

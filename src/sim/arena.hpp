@@ -1,0 +1,103 @@
+// Monotonic arena for per-run simulator state. A dispatcher carves all of
+// its per-task / per-machine arrays (the SoA hot fields) out of one arena
+// at run start; `reset()` rewinds the cursor without freeing, so a reused
+// workspace reaches zero steady-state allocation after the first run at a
+// given problem size. Chunked, not contiguous: growing the arena appends
+// a chunk instead of reallocating, so spans handed out earlier in the
+// same run stay valid.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace rdp {
+
+class MonotonicArena {
+ public:
+  explicit MonotonicArena(std::size_t first_chunk_bytes = 1 << 16)
+      : next_chunk_bytes_(first_chunk_bytes) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Rewinds to empty while keeping every chunk for reuse.
+  void reset() noexcept {
+    chunk_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total bytes currently reserved across chunks (capacity, not use).
+  [[nodiscard]] std::size_t reserved_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+  /// Uninitialized storage for `n` objects of T. T must be trivially
+  /// destructible: the arena never runs destructors.
+  template <typename T>
+  [[nodiscard]] T* allocate(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    return static_cast<T*>(allocate_bytes(n * sizeof(T), alignof(T)));
+  }
+
+  /// A span of `n` Ts, uninitialized; the caller writes every element
+  /// before reading (all uses are fill-then-scan CSR arrays).
+  template <typename T>
+  [[nodiscard]] std::span<T> allocate_span(std::size_t n) {
+    static_assert(std::is_trivial_v<T>);
+    return {allocate<T>(n), n};
+  }
+
+  /// A span of `n` Ts, every element initialized to `init`.
+  template <typename T>
+  [[nodiscard]] std::span<T> make_span(std::size_t n, T init = T{}) {
+    T* p = allocate<T>(n);
+    for (std::size_t i = 0; i < n; ++i) ::new (static_cast<void*>(p + i)) T(init);
+    return {p, n};
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* allocate_bytes(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    while (true) {
+      if (chunk_ < chunks_.size()) {
+        Chunk& c = chunks_[chunk_];
+        const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+        if (aligned + bytes <= c.size) {
+          offset_ = aligned + bytes;
+          return c.data.get() + aligned;
+        }
+        // Current chunk exhausted: move on (its tail is wasted until the
+        // next reset, which is fine -- chunks double, so waste is bounded
+        // by a constant fraction).
+        ++chunk_;
+        offset_ = 0;
+        continue;
+      }
+      std::size_t want = next_chunk_bytes_;
+      if (want < bytes + align) want = bytes + align;
+      chunks_.push_back(Chunk{std::make_unique<std::byte[]>(want), want});
+      next_chunk_bytes_ = want * 2;
+      chunk_ = chunks_.size() - 1;
+      offset_ = 0;
+    }
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;        ///< index of the chunk being filled
+  std::size_t offset_ = 0;       ///< fill offset within that chunk
+  std::size_t next_chunk_bytes_;
+};
+
+}  // namespace rdp

@@ -2,19 +2,26 @@
 // FIFO tie-breaking, and a Simulator driving std::function events. The
 // online dispatcher uses the specialized MachinePool instead for speed,
 // but examples and tests exercise this general engine directly.
+//
+// Since the hot-path rewrite the queue is a bucketed calendar queue
+// (sim/calendar_queue.hpp) instead of a binary heap, and pop() *moves*
+// the event out -- the old copy-out pop paid a heap allocation per event
+// for any payload with out-of-line state (std::function handlers being
+// the canonical case) and required payloads to be copyable at all.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
+#include <utility>
 
 #include "core/types.hpp"
+#include "sim/calendar_queue.hpp"
 
 namespace rdp {
 
 /// Priority queue of (time, payload) with deterministic FIFO order among
-/// equal-time events (insertion sequence breaks ties).
+/// equal-time events (insertion sequence breaks ties). Payloads only need
+/// to be movable.
 template <typename Payload>
 class EventQueue {
  public:
@@ -25,27 +32,26 @@ class EventQueue {
   };
 
   void push(Time time, Payload payload) {
-    heap_.push(Event{time, next_seq_++, std::move(payload)});
+    queue_.push(Event{time, next_seq_++, std::move(payload)});
   }
 
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
-  [[nodiscard]] const Event& top() const { return heap_.top(); }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
+  [[nodiscard]] const Event& top() { return queue_.top(); }
 
-  Event pop() {
-    Event e = heap_.top();
-    heap_.pop();
-    return e;
-  }
+  Event pop() { return queue_.pop(); }
 
  private:
-  struct Later {
+  struct TimeOf {
+    Time operator()(const Event& e) const noexcept { return e.time; }
+  };
+  struct Before {
     bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+      if (a.time != b.time) return a.time < b.time;
+      return a.seq < b.seq;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  CalendarQueue<Event, TimeOf, Before> queue_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -4,16 +4,15 @@
 #include <cmath>
 #include <functional>
 #include <limits>
-#include <queue>
 #include <stdexcept>
 #include <utility>
-#include <vector>
 
 #include "core/instance.hpp"
 #include "core/realization.hpp"
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/workspace.hpp"
 
 namespace rdp {
 
@@ -21,49 +20,28 @@ namespace {
 
 constexpr Time kNever = std::numeric_limits<Time>::infinity();
 
-enum class EventKind : int {
-  kTaskFinish = 0,  // processed first at equal times (finish beats failure)
-  kFailure = 1,
-  kMachineFree = 2,
-};
+enum : std::uint8_t { kWaiting = 0, kRunning = 1, kDone = 2 };
 
-struct Event {
-  Time when;
-  EventKind kind;
-  MachineId machine;
-  TaskId task;           // kTaskFinish only
-  std::uint64_t epoch;   // kTaskFinish: guards against killed attempts
-  std::uint64_t seq;     // FIFO tie-break
+// (priority rank, task) min-heaps over the workspace's vectors. Entries
+// are invalidated lazily: a pop whose task is no longer kWaiting is
+// skipped. Duplicates are harmless for the same reason.
+inline void heap_push(std::vector<RankedTask>& heap, RankedTask entry) {
+  heap.push_back(entry);
+  std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+}
 
-  bool operator<(const Event& other) const noexcept {
-    if (when != other.when) return when > other.when;  // min-heap
-    if (kind != other.kind) return static_cast<int>(kind) > static_cast<int>(other.kind);
-    // Simultaneously freed machines grab work in id order, matching the
-    // plain dispatcher's MachinePool tie-break.
-    if (kind == EventKind::kMachineFree && machine != other.machine) {
-      return machine > other.machine;
-    }
-    return seq > other.seq;
-  }
-};
-
-enum class TaskStatus { kWaiting, kRunning, kDone };
-
-/// (priority rank, task) entries, best rank on top. Entries are
-/// invalidated lazily: a pop whose task is no longer kWaiting is skipped.
-/// Duplicates are harmless for the same reason.
-using EligibleHeap =
-    std::priority_queue<std::pair<std::uint32_t, TaskId>,
-                        std::vector<std::pair<std::uint32_t, TaskId>>,
-                        std::greater<>>;
+inline void heap_pop(std::vector<RankedTask>& heap) {
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+  heap.pop_back();
+}
 
 }  // namespace
 
-FailureDispatchResult dispatch_with_failures(const Instance& instance,
-                                             const Placement& placement,
-                                             const Realization& actual,
-                                             const std::vector<TaskId>& priority,
-                                             const FailurePlan& plan) {
+void dispatch_with_failures(const Instance& instance, const Placement& placement,
+                            const Realization& actual,
+                            const std::vector<TaskId>& priority,
+                            const FailurePlan& plan, SimWorkspace& ws,
+                            FailureDispatchResult& out) {
   const std::size_t n = instance.num_tasks();
   const MachineId m = instance.num_machines();
   if (placement.num_tasks() != n || actual.size() != n || priority.size() != n) {
@@ -80,7 +58,10 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
         "dispatch_with_failures: refetch penalty must be finite and >= 0");
   }
 
-  std::vector<Time> fail_time(m, kNever);
+  ws.begin_run(n, m);
+  MonotonicArena& arena = ws.arena;
+
+  const std::span<Time> fail_time = arena.make_span<Time>(m, kNever);
   for (const MachineFailure& f : plan.failures) {
     if (f.machine >= m) {
       throw std::invalid_argument("dispatch_with_failures: bad failure machine");
@@ -92,7 +73,7 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
     fail_time[f.machine] = std::min(fail_time[f.machine], f.when);
   }
 
-  std::vector<std::uint32_t> rank(n, UINT32_MAX);
+  const std::span<std::uint32_t> rank = arena.make_span<std::uint32_t>(n, UINT32_MAX);
   for (std::uint32_t r = 0; r < n; ++r) {
     const TaskId j = priority[r];
     if (j >= n || rank[j] != UINT32_MAX) {
@@ -105,45 +86,70 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
   obs::Tracer* const tr = obs::tracer();
   obs::ScopedSpan span(tr, "dispatch_with_failures", "sim");
 
-  std::vector<TaskStatus> status(n, TaskStatus::kWaiting);
-  std::vector<bool> refetch(n, false);
-  std::vector<Time> earliest(n, 0);
-  std::vector<std::uint64_t> epoch(n, 0);
-  std::vector<bool> failed(m, false);
-  std::vector<bool> machine_idle(m, false);
-  std::vector<TaskId> running_on(m, kNoTask);
+  // SoA hot fields, all arena-backed.
+  const std::span<std::uint8_t> status = arena.make_span<std::uint8_t>(n, kWaiting);
+  const std::span<std::uint8_t> refetch = arena.make_span<std::uint8_t>(n, 0);
+  const std::span<Time> earliest = arena.make_span<Time>(n, 0);
+  const std::span<std::uint32_t> epoch = arena.make_span<std::uint32_t>(n, 0);
+  const std::span<std::uint8_t> failed = arena.make_span<std::uint8_t>(m, 0);
+  const std::span<std::uint8_t> machine_idle = arena.make_span<std::uint8_t>(m, 0);
+  const std::span<TaskId> running_on = arena.make_span<TaskId>(m, kNoTask);
 
-  // Per-machine candidate heaps replace the former scan over every task
-  // on every kMachineFree event. A task is pushed onto the heap of each
+  // Per-task live-replica counts plus the machine->tasks CSR that keeps
+  // them current: a failure decrements only the tasks hosted on the dead
+  // machine (the former implementation rescanned every task's whole
+  // replica set on every failure).
+  const std::span<std::uint32_t> alive_replicas = arena.allocate_span<std::uint32_t>(n);
+  const std::span<std::uint32_t> host_degree = arena.make_span<std::uint32_t>(m, 0);
+  for (TaskId j = 0; j < n; ++j) {
+    const auto& set = placement.machines_for(j);
+    alive_replicas[j] = static_cast<std::uint32_t>(set.size());
+    for (MachineId i : set) ++host_degree[i];
+  }
+  const std::span<std::uint32_t> host_begin = arena.allocate_span<std::uint32_t>(m + 1);
+  host_begin[0] = 0;
+  for (MachineId i = 0; i < m; ++i) host_begin[i + 1] = host_begin[i] + host_degree[i];
+  const std::span<std::uint32_t> host_fill = arena.allocate_span<std::uint32_t>(m);
+  for (MachineId i = 0; i < m; ++i) host_fill[i] = host_begin[i];
+  const std::span<TaskId> host_tasks = arena.allocate_span<TaskId>(host_begin[m]);
+  for (TaskId j = 0; j < n; ++j) {
+    for (MachineId i : placement.machines_for(j)) host_tasks[host_fill[i]++] = j;
+  }
+
+  // Per-machine candidate heaps: a task is pushed onto the heap of each
   // machine that could run it (its replica set initially; every live
   // machine once it refetches), and entries go stale in place when the
   // task is dispatched -- pops discard entries whose task is not waiting.
   // A machine's eligibility can only grow (refetch) or the machine dies
   // (its heap is never consulted again), so a popped entry with a waiting
   // task is always currently runnable on that machine.
-  std::vector<EligibleHeap> candidates(m);
   for (TaskId j = 0; j < n; ++j) {
     for (MachineId i : placement.machines_for(j)) {
-      candidates[i].emplace(rank[j], j);
+      heap_push(ws.machine_heaps[i], RankedTask{rank[j], j});
     }
   }
   auto push_everywhere = [&](TaskId j) {
     for (MachineId i = 0; i < m; ++i) {
-      if (!failed[i]) candidates[i].emplace(rank[j], j);
+      if (!failed[i]) heap_push(ws.machine_heaps[i], RankedTask{rank[j], j});
     }
   };
 
-  FailureDispatchResult result;
-  result.schedule.assignment = Assignment(n);
-  result.schedule.start.assign(n, 0);
-  result.schedule.finish.assign(n, 0);
+  out.schedule.assignment.machine_of.assign(n, kNoMachine);
+  out.schedule.start.assign(n, 0);
+  out.schedule.finish.assign(n, 0);
+  out.trace.events.clear();
+  out.trace.events.reserve(n);
+  out.restarts = 0;
+  out.refetches = 0;
+  out.makespan = 0;
+  out.events_processed = 0;
 
-  std::priority_queue<Event> events;
+  SimEventQueue& events = ws.events;
   std::uint64_t seq = 0;
   for (MachineId i = 0; i < m; ++i) {
-    events.push(Event{0, EventKind::kMachineFree, i, kNoTask, 0, seq++});
+    events.push(SimEvent{0, kSimEventFree, i, kNoTask, 0, seq++});
     if (fail_time[i] < kNever) {
-      events.push(Event{fail_time[i], EventKind::kFailure, i, kNoTask, 0, seq++});
+      events.push(SimEvent{fail_time[i], kSimEventFailure, i, kNoTask, 0, seq++});
     }
   }
 
@@ -154,19 +160,15 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
   };
 
   // Requeue-time wakeups: when tasks become waiting again (failure) or a
-  // machine finds only future-eligible tasks, we push kMachineFree events.
+  // machine finds only future-eligible tasks, we push machine-free events.
   auto wake_idle_machines = [&](Time t) {
     for (MachineId i = 0; i < m; ++i) {
       if (machine_idle[i] && !failed[i]) {
-        machine_idle[i] = false;
-        events.push(Event{t, EventKind::kMachineFree, i, kNoTask, 0, seq++});
+        machine_idle[i] = 0;
+        events.push(SimEvent{t, kSimEventFree, i, kNoTask, 0, seq++});
       }
     }
   };
-
-  // Scratch for entries popped too early (earliest[j] > now); they are
-  // re-pushed after each selection so no candidate is lost.
-  std::vector<std::pair<std::uint32_t, TaskId>> deferred;
 
   while (remaining > 0) {
     if (events.empty()) {
@@ -174,27 +176,26 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
           "dispatch_with_failures: tasks remain but no machine can run them "
           "(every machine failed)");
     }
-    const Event e = events.top();
-    events.pop();
+    const SimEvent e = events.pop();
+    ++out.events_processed;
 
     switch (e.kind) {
-      case EventKind::kTaskFinish: {
+      case kSimEventFinish: {
         const TaskId j = e.task;
-        if (status[j] != TaskStatus::kRunning || epoch[j] != e.epoch) {
+        if (status[j] != kRunning || epoch[j] != e.aux) {
           break;  // this attempt was killed by a failure
         }
-        status[j] = TaskStatus::kDone;
+        status[j] = kDone;
         running_on[e.machine] = kNoTask;
         --remaining;
-        events.push(Event{e.when, EventKind::kMachineFree, e.machine, kNoTask, 0,
-                          seq++});
+        events.push(SimEvent{e.when, kSimEventFree, e.machine, kNoTask, 0, seq++});
         break;
       }
-      case EventKind::kFailure: {
+      case kSimEventFailure: {
         const MachineId i = e.machine;
         if (failed[i]) break;
-        failed[i] = true;
-        machine_idle[i] = false;
+        failed[i] = 1;
+        machine_idle[i] = 0;
         if (mx) mx->counter("sim.failures.machine_failures").add(1);
         if (tr) {
           tr->instant("machine_failure", "sim",
@@ -205,26 +206,22 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
         if (running_on[i] != kNoTask) {
           const TaskId j = running_on[i];
           running_on[i] = kNoTask;
-          status[j] = TaskStatus::kWaiting;
+          status[j] = kWaiting;
           ++epoch[j];
           earliest[j] = e.when;
-          ++result.restarts;
+          ++out.restarts;
           restarted = j;
         }
-        // Any waiting task whose every replica is gone must refetch and
-        // becomes runnable on every surviving machine.
-        for (TaskId j = 0; j < n; ++j) {
-          if (status[j] != TaskStatus::kWaiting || refetch[j]) continue;
-          bool any_alive = false;
-          for (MachineId machine : placement.machines_for(j)) {
-            if (!failed[machine]) {
-              any_alive = true;
-              break;
-            }
-          }
-          if (!any_alive) {
-            refetch[j] = true;
-            ++result.refetches;
+        // A waiting task losing its last replica must refetch and becomes
+        // runnable on every surviving machine. Counts make this exact: a
+        // non-refetched task can only hit zero live replicas while
+        // waiting (running implies a live replica hosts it), so the
+        // transition moment is the marking moment.
+        for (std::uint32_t k = host_begin[i]; k < host_begin[i + 1]; ++k) {
+          const TaskId j = host_tasks[k];
+          if (--alive_replicas[j] == 0 && status[j] == kWaiting && !refetch[j]) {
+            refetch[j] = 1;
+            ++out.refetches;
             push_everywhere(j);
           }
         }
@@ -237,7 +234,8 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
           } else {
             for (MachineId machine : placement.machines_for(restarted)) {
               if (!failed[machine]) {
-                candidates[machine].emplace(rank[restarted], restarted);
+                heap_push(ws.machine_heaps[machine],
+                          RankedTask{rank[restarted], restarted});
               }
             }
           }
@@ -245,60 +243,69 @@ FailureDispatchResult dispatch_with_failures(const Instance& instance,
         wake_idle_machines(e.when);
         break;
       }
-      case EventKind::kMachineFree: {
+      case kSimEventFree: {
         const MachineId i = e.machine;
         if (failed[i] || running_on[i] != kNoTask) break;
         // Best-ranked waiting candidate runnable here, now or later.
         TaskId best_now = kNoTask;
         Time soonest_future = kNever;
-        EligibleHeap& heap = candidates[i];
-        deferred.clear();
+        std::vector<RankedTask>& heap = ws.machine_heaps[i];
+        ws.deferred.clear();
         while (!heap.empty()) {
-          const auto [r, j] = heap.top();
-          if (status[j] != TaskStatus::kWaiting) {
-            heap.pop();  // stale: dispatched or done since it was pushed
+          const auto [r, j] = heap.front();
+          if (status[j] != kWaiting) {
+            heap_pop(heap);  // stale: dispatched or done since it was pushed
             continue;
           }
           if (earliest[j] > e.when) {
             soonest_future = std::min(soonest_future, earliest[j]);
-            deferred.emplace_back(r, j);
-            heap.pop();
+            ws.deferred.push_back(RankedTask{r, j});
+            heap_pop(heap);
             continue;
           }
           best_now = j;
-          heap.pop();
+          heap_pop(heap);
           break;
         }
-        for (const auto& entry : deferred) heap.push(entry);
+        for (const RankedTask& entry : ws.deferred) heap_push(heap, entry);
         if (best_now != kNoTask) {
           const TaskId j = best_now;
-          status[j] = TaskStatus::kRunning;
+          status[j] = kRunning;
           running_on[i] = j;
           const Time dur = duration_of(j);
-          result.schedule.assignment.machine_of[j] = i;
-          result.schedule.start[j] = e.when;
-          result.schedule.finish[j] = e.when + dur;
-          result.trace.events.push_back(DispatchEvent{e.when, j, i, dur});
-          events.push(Event{e.when + dur, EventKind::kTaskFinish, i, j, epoch[j],
-                            seq++});
+          out.schedule.assignment.machine_of[j] = i;
+          out.schedule.start[j] = e.when;
+          out.schedule.finish[j] = e.when + dur;
+          out.trace.events.push_back(DispatchEvent{e.when, j, i, dur});
+          events.push(SimEvent{e.when + dur, kSimEventFinish, i, j, epoch[j], seq++});
         } else if (soonest_future < kNever) {
-          events.push(Event{soonest_future, EventKind::kMachineFree, i, kNoTask, 0,
-                            seq++});
+          events.push(
+              SimEvent{soonest_future, kSimEventFree, i, kNoTask, 0, seq++});
         } else {
-          machine_idle[i] = true;  // re-woken on the next requeue
+          machine_idle[i] = 1;  // re-woken on the next requeue
         }
         break;
       }
     }
   }
 
-  result.makespan = result.schedule.makespan();
+  out.makespan = out.schedule.makespan();
   if (mx) {
     mx->counter("sim.failures.calls").add(1);
     mx->counter("sim.failures.tasks").add(n);
-    mx->counter("sim.failures.restarts").add(result.restarts);
-    mx->counter("sim.failures.refetches").add(result.refetches);
+    mx->counter("sim.failures.restarts").add(out.restarts);
+    mx->counter("sim.failures.refetches").add(out.refetches);
   }
+}
+
+FailureDispatchResult dispatch_with_failures(const Instance& instance,
+                                             const Placement& placement,
+                                             const Realization& actual,
+                                             const std::vector<TaskId>& priority,
+                                             const FailurePlan& plan) {
+  FailureDispatchResult result;
+  dispatch_with_failures(instance, placement, actual, priority, plan,
+                         thread_workspace(), result);
   return result;
 }
 

@@ -14,6 +14,7 @@
 // exactly what the fault-tolerance bench measures across strategies.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/placement.hpp"
@@ -25,6 +26,7 @@ namespace rdp {
 
 class Instance;
 struct Realization;
+class SimWorkspace;
 
 /// A permanent fail-stop event.
 struct MachineFailure {
@@ -45,6 +47,9 @@ struct FailureDispatchResult {
   std::size_t restarts = 0; ///< dispatches that were killed by a failure
   std::size_t refetches = 0;///< tasks that lost every replica
   Time makespan = 0;
+  /// Simulation events popped from the queue (finishes + failures +
+  /// machine-free wakeups); the throughput bench divides by wall time.
+  std::uint64_t events_processed = 0;
 };
 
 /// Runs the failure-aware semi-clairvoyant dispatch. Priority semantics
@@ -56,5 +61,15 @@ struct FailureDispatchResult {
 [[nodiscard]] FailureDispatchResult dispatch_with_failures(
     const Instance& instance, const Placement& placement, const Realization& actual,
     const std::vector<TaskId>& priority, const FailurePlan& plan);
+
+/// Workspace form: per-run state lives in `ws` and the result is written
+/// into `out` reusing its capacity, so repeated calls on one thread reach
+/// zero steady-state allocation. The by-value overload wraps this with
+/// the per-thread workspace.
+void dispatch_with_failures(const Instance& instance, const Placement& placement,
+                            const Realization& actual,
+                            const std::vector<TaskId>& priority,
+                            const FailurePlan& plan, SimWorkspace& ws,
+                            FailureDispatchResult& out);
 
 }  // namespace rdp

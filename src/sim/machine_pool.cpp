@@ -12,29 +12,43 @@ MachinePool::MachinePool(std::vector<Time> initial_ready)
   if (ready_.empty()) {
     throw std::invalid_argument("MachinePool: need at least one machine");
   }
+  heap_.reserve(ready_.size());
   for (MachineId i = 0; i < ready_.size(); ++i) {
     if (ready_[i] < 0) {
       throw std::invalid_argument("MachinePool: negative initial ready time");
     }
-    heap_.push(Slot{ready_[i], i});
+    heap_.push_back(Slot{ready_[i], i});
   }
+  std::make_heap(heap_.begin(), heap_.end());
+  active_ = ready_.size();
+}
+
+void MachinePool::compact() const {
+  heap_.clear();
+  for (MachineId i = 0; i < ready_.size(); ++i) {
+    if (!retired_[i]) heap_.push_back(Slot{ready_[i], i});
+  }
+  std::make_heap(heap_.begin(), heap_.end());
+  stale_ = 0;
 }
 
 void MachinePool::refresh() const {
-  while (!heap_.empty()) {
-    const Slot& top = heap_.top();
-    if (retired_[top.id] || ready_[top.id] != top.ready) {
-      heap_.pop();  // stale
-    } else {
-      return;
-    }
+  // Rebuild instead of popping one-by-one once stale entries outnumber
+  // live ones; with the 1/2 threshold the heap never exceeds twice the
+  // active machine count, so a long stream of occupy() calls can no
+  // longer grow it without bound.
+  if (stale_ * 2 > heap_.size()) compact();
+  while (!heap_.empty() && stale(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+    --stale_;
   }
 }
 
 std::optional<MachineId> MachinePool::next_idle() const {
   refresh();
   if (heap_.empty()) return std::nullopt;
-  return heap_.top().id;
+  return heap_.front().id;
 }
 
 std::pair<Time, Time> MachinePool::occupy(MachineId i, Time duration) {
@@ -44,13 +58,20 @@ std::pair<Time, Time> MachinePool::occupy(MachineId i, Time duration) {
   const Time start = ready_[i];
   const Time finish = start + duration;
   ready_[i] = finish;
-  heap_.push(Slot{finish, i});
+  ++stale_;  // machine i's previous live entry now mismatches ready_[i]
+  heap_.push_back(Slot{finish, i});
+  std::push_heap(heap_.begin(), heap_.end());
+  if (stale_ * 2 > heap_.size()) compact();
   return {start, finish};
 }
 
 void MachinePool::retire(MachineId i) {
   if (i >= ready_.size()) throw std::out_of_range("MachinePool: bad machine id");
+  if (retired_[i]) return;
   retired_[i] = true;
+  --active_;
+  ++stale_;  // machine i's live entry is now dead weight
+  if (stale_ * 2 > heap_.size()) compact();
 }
 
 }  // namespace rdp

@@ -3,8 +3,8 @@
 // idle next?", with deterministic tie-breaking by machine id.
 #pragma once
 
+#include <algorithm>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "core/types.hpp"
@@ -41,23 +41,38 @@ class MachinePool {
   /// Per-machine ready times (== final loads when starts were all 0).
   [[nodiscard]] const std::vector<Time>& ready_times() const noexcept { return ready_; }
 
+  /// Current entry count of the internal lazy heap, live + stale. Exposed
+  /// so tests can pin the O(active machines) bound that compaction
+  /// enforces; not part of the scheduling contract.
+  [[nodiscard]] std::size_t heap_size() const noexcept { return heap_.size(); }
+
  private:
   struct Slot {
     Time ready;
     MachineId id;
+    // "Later" ordering: std::push_heap/std::pop_heap build a max-heap, so
+    // inverting yields the min-(ready, id) element on top.
     bool operator<(const Slot& other) const noexcept {
-      if (ready != other.ready) return ready > other.ready;  // min-heap
+      if (ready != other.ready) return ready > other.ready;
       return id > other.id;
     }
   };
 
   void refresh() const;
+  void compact() const;
+  [[nodiscard]] bool stale(const Slot& slot) const noexcept {
+    return retired_[slot.id] || ready_[slot.id] != slot.ready;
+  }
 
   std::vector<Time> ready_;
   std::vector<bool> retired_;
-  // Lazy heap: entries may be stale (ready changed / machine retired);
-  // refresh() pops them.
-  mutable std::priority_queue<Slot> heap_;
+  // Lazy heap: entries go stale in place when a machine's ready time
+  // moves (occupy) or the machine retires; refresh() pops stale tops and
+  // compact() rebuilds once stale entries outnumber live ones, keeping
+  // the heap O(active machines) even for long-lived / streaming runs.
+  mutable std::vector<Slot> heap_;
+  mutable std::size_t stale_ = 0;   ///< stale entries currently in heap_
+  std::size_t active_ = 0;          ///< machines not yet retired
 };
 
 }  // namespace rdp

@@ -9,6 +9,7 @@
 // revealed (consumed from the Realization) at completion.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/placement.hpp"
@@ -20,6 +21,7 @@ namespace rdp {
 
 class Instance;
 struct Realization;
+class SimWorkspace;
 
 /// Result of a phase-2 run: the timed schedule plus the dispatch trace.
 struct DispatchResult {
@@ -47,5 +49,16 @@ struct DispatchResult {
                                              const std::vector<TaskId>& priority,
                                              std::vector<Time> initial_ready = {},
                                              std::vector<double> speeds = {});
+
+/// Workspace form of dispatch_online: all per-run state is carved out of
+/// `ws` and the result is written into `out` (reusing its capacity), so a
+/// caller that keeps one (ws, out) pair per worker thread performs zero
+/// steady-state allocation across a sweep. The by-value overload wraps
+/// this with a per-thread workspace.
+void dispatch_online(const Instance& instance, const Placement& placement,
+                     const Realization& actual, const std::vector<TaskId>& priority,
+                     std::span<const Time> initial_ready,
+                     std::span<const double> speeds, SimWorkspace& ws,
+                     DispatchResult& out);
 
 }  // namespace rdp

@@ -1,16 +1,16 @@
 #include "sim/speculative.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
-#include <queue>
 #include <stdexcept>
-#include <vector>
 
 #include "core/instance.hpp"
 #include "core/realization.hpp"
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/workspace.hpp"
 
 namespace rdp {
 
@@ -18,28 +18,17 @@ namespace {
 
 constexpr Time kNever = std::numeric_limits<Time>::infinity();
 
-struct Copy {
-  MachineId machine = kNoMachine;
-  Time start = 0;
-  Time finish = 0;      // actual completion if not killed
-  bool alive = false;
-};
+enum : std::uint8_t { kWaiting = 0, kRunning = 1, kDone = 2 };
 
-struct Event {
-  Time when;
-  bool is_finish;       // finish events before free events at equal times
-  MachineId machine;
-  TaskId task;          // finish only
-  std::size_t copy;     // finish only
-  std::uint64_t seq;
+inline void heap_push(std::vector<RankedTask>& heap, RankedTask entry) {
+  heap.push_back(entry);
+  std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+}
 
-  bool operator<(const Event& other) const noexcept {
-    if (when != other.when) return when > other.when;
-    if (is_finish != other.is_finish) return !is_finish;  // finish first
-    if (!is_finish && machine != other.machine) return machine > other.machine;
-    return seq > other.seq;
-  }
-};
+inline void heap_pop(std::vector<RankedTask>& heap) {
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+  heap.pop_back();
+}
 
 }  // namespace
 
@@ -61,7 +50,11 @@ SpeculativeResult dispatch_speculative(const Instance& instance,
     throw std::invalid_argument("dispatch_speculative: max_copies must be >= 1");
   }
 
-  std::vector<std::uint32_t> rank(n, UINT32_MAX);
+  SimWorkspace& ws = thread_workspace();
+  ws.begin_run(n, m);
+  MonotonicArena& arena = ws.arena;
+
+  const std::span<std::uint32_t> rank = arena.make_span<std::uint32_t>(n, UINT32_MAX);
   for (std::uint32_t r = 0; r < n; ++r) {
     const TaskId j = priority[r];
     if (j >= n || rank[j] != UINT32_MAX) {
@@ -74,21 +67,41 @@ SpeculativeResult dispatch_speculative(const Instance& instance,
   obs::Tracer* const tr = obs::tracer();
   obs::ScopedSpan obs_span(tr, "dispatch_speculative", "sim");
 
-  enum class TaskState { kWaiting, kRunning, kDone };
-  std::vector<TaskState> state(n, TaskState::kWaiting);
-  std::vector<std::vector<Copy>> copies(n);
-  std::vector<bool> machine_busy(m, false);
-  std::vector<bool> machine_idle_parked(m, false);
+  const std::span<std::uint8_t> state = arena.make_span<std::uint8_t>(n, kWaiting);
+  const std::span<std::uint8_t> machine_busy = arena.make_span<std::uint8_t>(m, 0);
+  const std::span<std::uint8_t> machine_parked = arena.make_span<std::uint8_t>(m, 0);
+
+  // Copies, struct-of-arrays with a fixed per-task stride. Live copies of
+  // one task occupy distinct busy machines and none dies before the task
+  // completes, so a task never accumulates more than min(max_copies, m)
+  // copies over its whole lifetime.
+  const std::size_t stride =
+      std::min<std::size_t>(policy.max_copies, static_cast<std::size_t>(m));
+  const std::span<std::uint32_t> copy_count = arena.make_span<std::uint32_t>(n, 0);
+  const std::span<MachineId> copy_machine = arena.allocate_span<MachineId>(n * stride);
+  const std::span<Time> copy_start = arena.allocate_span<Time>(n * stride);
+  const std::span<Time> copy_finish = arena.allocate_span<Time>(n * stride);
+  const std::span<std::uint8_t> copy_alive =
+      arena.make_span<std::uint8_t>(n * stride, 0);
 
   SpeculativeResult result;
   result.schedule.assignment = Assignment(n);
   result.schedule.start.assign(n, 0);
   result.schedule.finish.assign(n, 0);
+  result.trace.events.reserve(n);
 
-  std::priority_queue<Event> events;
+  // Per-machine waiting-task heaps; tasks never return to kWaiting here
+  // (no failures), so entries are pushed once and go stale in place.
+  for (TaskId j = 0; j < n; ++j) {
+    for (MachineId i : placement.machines_for(j)) {
+      heap_push(ws.machine_heaps[i], RankedTask{rank[j], j});
+    }
+  }
+
+  SimEventQueue& events = ws.events;
   std::uint64_t seq = 0;
   for (MachineId i = 0; i < m; ++i) {
-    events.push(Event{0, false, i, kNoTask, 0, seq++});
+    events.push(SimEvent{0, kSimEventFree, i, kNoTask, 0, seq++});
   }
 
   const bool speculation_on = policy.enabled && policy.max_copies >= 2;
@@ -96,14 +109,13 @@ SpeculativeResult dispatch_speculative(const Instance& instance,
 
   auto launch = [&](TaskId j, MachineId i, Time now, bool is_backup) {
     const Time duration = actual[j] / speeds.speed(i);
-    Copy copy;
-    copy.machine = i;
-    copy.start = now;
-    copy.finish = now + duration;
-    copy.alive = true;
-    copies[j].push_back(copy);
-    machine_busy[i] = true;
-    state[j] = TaskState::kRunning;
+    const std::size_t c = j * stride + copy_count[j];
+    copy_machine[c] = i;
+    copy_start[c] = now;
+    copy_finish[c] = now + duration;
+    copy_alive[c] = 1;
+    machine_busy[i] = 1;
+    state[j] = kRunning;
     if (is_backup) {
       ++result.duplicates_launched;
       if (tr) {
@@ -113,48 +125,50 @@ SpeculativeResult dispatch_speculative(const Instance& instance,
       }
     }
     result.trace.events.push_back(DispatchEvent{now, j, i, duration});
-    events.push(Event{copy.finish, true, i, j, copies[j].size() - 1, seq++});
+    events.push(SimEvent{now + duration, kSimEventFinish, i, j, copy_count[j], seq++});
+    ++copy_count[j];
   };
 
+  // Machines idle with no work to take park on an explicit list instead
+  // of a parked flag rescan: a completion used to walk all m machines to
+  // find the (typically few) parked ones.
   auto wake_parked = [&](Time now) {
-    for (MachineId i = 0; i < m; ++i) {
-      if (machine_idle_parked[i]) {
-        machine_idle_parked[i] = false;
-        events.push(Event{now, false, i, kNoTask, 0, seq++});
-      }
+    for (MachineId i : ws.parked) {
+      machine_parked[i] = 0;
+      events.push(SimEvent{now, kSimEventFree, i, kNoTask, 0, seq++});
     }
+    ws.parked.clear();
   };
 
   while (remaining > 0) {
     if (events.empty()) {
       throw std::logic_error("dispatch_speculative: event queue drained early");
     }
-    const Event e = events.top();
-    events.pop();
+    const SimEvent e = events.pop();
 
-    if (e.is_finish) {
+    if (e.kind == kSimEventFinish) {
       const TaskId j = e.task;
-      Copy& copy = copies[j][e.copy];
-      if (!copy.alive || state[j] == TaskState::kDone) continue;  // killed/stale
+      const std::size_t c = j * stride + e.aux;
+      if (!copy_alive[c] || state[j] == kDone) continue;  // killed/stale
       // Winner.
-      copy.alive = false;
-      machine_busy[copy.machine] = false;
-      state[j] = TaskState::kDone;
+      copy_alive[c] = 0;
+      machine_busy[copy_machine[c]] = 0;
+      state[j] = kDone;
       --remaining;
-      result.schedule.assignment.machine_of[j] = copy.machine;
-      result.schedule.start[j] = copy.start;
-      result.schedule.finish[j] = copy.finish;
-      if (e.copy > 0) ++result.duplicates_won;
+      result.schedule.assignment.machine_of[j] = copy_machine[c];
+      result.schedule.start[j] = copy_start[c];
+      result.schedule.finish[j] = copy_finish[c];
+      if (e.aux > 0) ++result.duplicates_won;
       // Kill every other live copy; their machines free immediately.
-      for (std::size_t c = 0; c < copies[j].size(); ++c) {
-        Copy& other = copies[j][c];
-        if (c == e.copy || !other.alive) continue;
-        other.alive = false;
-        machine_busy[other.machine] = false;
-        result.wasted_time += e.when - other.start;
-        events.push(Event{e.when, false, other.machine, kNoTask, 0, seq++});
+      for (std::size_t k = j * stride; k < j * stride + copy_count[j]; ++k) {
+        if (k == c || !copy_alive[k]) continue;
+        copy_alive[k] = 0;
+        machine_busy[copy_machine[k]] = 0;
+        result.wasted_time += e.when - copy_start[k];
+        events.push(
+            SimEvent{e.when, kSimEventFree, copy_machine[k], kNoTask, 0, seq++});
       }
-      events.push(Event{e.when, false, copy.machine, kNoTask, 0, seq++});
+      events.push(SimEvent{e.when, kSimEventFree, copy_machine[c], kNoTask, 0, seq++});
       wake_parked(e.when);
       continue;
     }
@@ -163,18 +177,14 @@ SpeculativeResult dispatch_speculative(const Instance& instance,
     const MachineId i = e.machine;
     if (machine_busy[i]) continue;  // stale
 
-    // 1. Highest-priority waiting task with a replica here.
-    TaskId best_waiting = kNoTask;
-    std::uint32_t best_rank = UINT32_MAX;
-    for (TaskId j = 0; j < n; ++j) {
-      if (state[j] != TaskState::kWaiting || !placement.allows(j, i)) continue;
-      if (rank[j] < best_rank) {
-        best_rank = rank[j];
-        best_waiting = j;
-      }
-    }
-    if (best_waiting != kNoTask) {
-      launch(best_waiting, i, e.when, /*is_backup=*/false);
+    // 1. Highest-priority waiting task with a replica here (lazy heap;
+    // ranks are a permutation, so the pop matches the former full scan).
+    std::vector<RankedTask>& heap = ws.machine_heaps[i];
+    while (!heap.empty() && state[heap.front().second] != kWaiting) heap_pop(heap);
+    if (!heap.empty()) {
+      const TaskId j = heap.front().second;
+      heap_pop(heap);
+      launch(j, i, e.when, /*is_backup=*/false);
       continue;
     }
 
@@ -183,14 +193,14 @@ SpeculativeResult dispatch_speculative(const Instance& instance,
       TaskId candidate = kNoTask;
       Time latest_estimate = -kNever;
       for (TaskId j = 0; j < n; ++j) {
-        if (state[j] != TaskState::kRunning || !placement.allows(j, i)) continue;
+        if (state[j] != kRunning || !placement.allows(j, i)) continue;
         std::size_t live = 0;
         Time earliest_est_finish = kNever;
-        for (const Copy& c : copies[j]) {
-          if (!c.alive) continue;
+        for (std::size_t k = j * stride; k < j * stride + copy_count[j]; ++k) {
+          if (!copy_alive[k]) continue;
           ++live;
           const Time est =
-              c.start + instance.estimate(j) / speeds.speed(c.machine);
+              copy_start[k] + instance.estimate(j) / speeds.speed(copy_machine[k]);
           earliest_est_finish = std::min(earliest_est_finish, est);
         }
         if (live == 0 || live >= policy.max_copies) continue;
@@ -210,7 +220,10 @@ SpeculativeResult dispatch_speculative(const Instance& instance,
       }
     }
 
-    machine_idle_parked[i] = true;  // re-woken on the next completion
+    if (!machine_parked[i]) {  // re-woken on the next completion
+      machine_parked[i] = 1;
+      ws.parked.push_back(i);
+    }
   }
 
   result.makespan = result.schedule.makespan();

@@ -2,18 +2,33 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <stdexcept>
-#include <vector>
 
 #include "core/instance.hpp"
 #include "core/realization.hpp"
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "sim/machine_pool.hpp"
+#include "sim/ready_heap.hpp"
+#include "sim/workspace.hpp"
 
 namespace rdp {
+
+namespace {
+
+inline void heap_push(std::vector<RankedTask>& heap, RankedTask entry) {
+  heap.push_back(entry);
+  std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+}
+
+inline void heap_pop(std::vector<RankedTask>& heap) {
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+  heap.pop_back();
+}
+
+}  // namespace
 
 TransferDispatchResult dispatch_with_transfers(const Instance& instance,
                                                const Placement& placement,
@@ -32,7 +47,11 @@ TransferDispatchResult dispatch_with_transfers(const Instance& instance,
     throw std::invalid_argument("dispatch_with_transfers: negative latency");
   }
 
-  std::vector<std::uint32_t> rank(n, UINT32_MAX);
+  SimWorkspace& ws = thread_workspace();
+  ws.begin_run(n, m);
+  MonotonicArena& arena = ws.arena;
+
+  const std::span<std::uint32_t> rank = arena.make_span<std::uint32_t>(n, UINT32_MAX);
   for (std::uint32_t r = 0; r < n; ++r) {
     const TaskId j = priority[r];
     if (j >= n || rank[j] != UINT32_MAX) {
@@ -44,8 +63,23 @@ TransferDispatchResult dispatch_with_transfers(const Instance& instance,
   obs::MetricsRegistry* const mx = obs::metrics();
   obs::ScopedSpan span(obs::tracer(), "dispatch_with_transfers", "sim");
 
-  std::vector<bool> scheduled(n, false);
-  MachinePool pool(m);
+  const std::span<std::uint8_t> scheduled = arena.make_span<std::uint8_t>(n, 0);
+
+  // Per-machine *local* candidate heaps (lazily invalidated). The best
+  // remote candidate needs no per-machine structure: when a machine has
+  // no local waiting task at all, every waiting task is remote for it, so
+  // the globally best-ranked waiting task -- found by a cursor over the
+  // priority permutation -- is the remote pick. Together these replace
+  // the former all-tasks scan per dispatch.
+  for (TaskId j = 0; j < n; ++j) {
+    for (MachineId i : placement.machines_for(j)) {
+      heap_push(ws.machine_heaps[i], RankedTask{rank[j], j});
+    }
+  }
+  std::size_t head = 0;  // first maybe-unscheduled rank in priority order
+
+  ReadyHeap pool;
+  pool.init(arena, m, {});
 
   TransferDispatchResult result;
   result.schedule.assignment = Assignment(n);
@@ -55,30 +89,22 @@ TransferDispatchResult dispatch_with_transfers(const Instance& instance,
 
   std::size_t remaining = n;
   while (remaining > 0) {
-    const auto idle = pool.next_idle();
-    if (!idle) {
+    if (pool.empty()) {
       throw std::logic_error("dispatch_with_transfers: no machine available");
     }
-    const MachineId i = *idle;
+    const MachineId i = pool.top();
 
-    // Best local and best remote waiting tasks by priority.
-    TaskId best_local = kNoTask, best_remote = kNoTask;
-    std::uint32_t local_rank = UINT32_MAX, remote_rank = UINT32_MAX;
-    for (TaskId j = 0; j < n; ++j) {
-      if (scheduled[j]) continue;
-      if (placement.allows(j, i)) {
-        if (rank[j] < local_rank) {
-          local_rank = rank[j];
-          best_local = j;
-        }
-      } else if (rank[j] < remote_rank) {
-        remote_rank = rank[j];
-        best_remote = j;
-      }
+    std::vector<RankedTask>& heap = ws.machine_heaps[i];
+    while (!heap.empty() && scheduled[heap.front().second]) heap_pop(heap);
+    const bool use_local = !heap.empty();
+    TaskId j = kNoTask;
+    if (use_local) {
+      j = heap.front().second;
+      heap_pop(heap);
+    } else {
+      while (head < n && scheduled[priority[head]]) ++head;
+      if (head < n) j = priority[head];
     }
-
-    const bool use_local = best_local != kNoTask;
-    const TaskId j = use_local ? best_local : best_remote;
     if (j == kNoTask) {
       throw std::logic_error("dispatch_with_transfers: no waiting task");
     }
@@ -93,8 +119,8 @@ TransferDispatchResult dispatch_with_transfers(const Instance& instance,
         mx->histogram("sim.transfer.fetch_time").observe(fetch);
       }
     }
-    const auto [start, finish] = pool.occupy(i, duration);
-    scheduled[j] = true;
+    const auto [start, finish] = pool.occupy_top(duration);
+    scheduled[j] = 1;
     result.schedule.assignment.machine_of[j] = i;
     result.schedule.start[j] = start;
     result.schedule.finish[j] = finish;

@@ -77,6 +77,46 @@ TEST(Placement, TasksPerMachineInverts) {
   EXPECT_EQ(per_machine[3], (std::vector<TaskId>{1}));
 }
 
+TEST(PlacementInterning, GroupsShareOneIdPerDistinctSet) {
+  const Placement p = Placement::in_groups({0, 1, 0, 1, 0}, 2, 4);
+  EXPECT_EQ(p.num_distinct_sets(), 2u);
+  EXPECT_EQ(p.set_id(0), p.set_id(2));
+  EXPECT_EQ(p.set_id(0), p.set_id(4));
+  EXPECT_EQ(p.set_id(1), p.set_id(3));
+  EXPECT_NE(p.set_id(0), p.set_id(1));
+  EXPECT_EQ(p.set_population(p.set_id(0)), 3u);
+  EXPECT_EQ(p.set_population(p.set_id(1)), 2u);
+  EXPECT_EQ(p.distinct_set(p.set_id(0)), p.machines_for(0));
+  EXPECT_EQ(p.distinct_set(p.set_id(1)), p.machines_for(1));
+}
+
+TEST(PlacementInterning, EverywhereCollapsesToOneSet) {
+  const Placement p = Placement::everywhere(100, 8);
+  EXPECT_EQ(p.num_distinct_sets(), 1u);
+  EXPECT_EQ(p.set_population(0), 100u);
+}
+
+TEST(PlacementInterning, OrderAndDuplicatesNormalizedBeforeInterning) {
+  // {2,1} and {1,2,2} are the same set after sort+dedup; {1,2,3} is not.
+  const Placement p({{2, 1}, {1, 2, 2}, {1, 2, 3}}, 4);
+  EXPECT_EQ(p.num_distinct_sets(), 2u);
+  EXPECT_EQ(p.set_id(0), p.set_id(1));
+  EXPECT_NE(p.set_id(0), p.set_id(2));
+}
+
+TEST(PlacementInterning, AllDistinctSetsGetDistinctIds) {
+  // Stresses the open-addressed table past its collision handling: 600
+  // singleton sets over 600 machines, all distinct.
+  std::vector<std::vector<MachineId>> sets;
+  for (MachineId i = 0; i < 600; ++i) sets.push_back({i});
+  const Placement p(std::move(sets), 600);
+  EXPECT_EQ(p.num_distinct_sets(), 600u);
+  for (TaskId j = 0; j < 600; ++j) {
+    EXPECT_EQ(p.set_population(p.set_id(j)), 1u);
+    EXPECT_EQ(p.distinct_set(p.set_id(j)), p.machines_for(j));
+  }
+}
+
 TEST(PlacementValidation, AcceptsMatching) {
   Instance inst = Instance::from_estimates({1.0, 2.0}, 4, 1.5);
   const Placement p = Placement::everywhere(2, 4);

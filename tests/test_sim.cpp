@@ -84,6 +84,48 @@ TEST(MachinePool, RetiredMachinesAreSkipped) {
   EXPECT_THROW(pool.occupy(0, 1.0), std::invalid_argument);
 }
 
+// Satellite regression: the lazy heap used to push one entry per occupy()
+// and never evict stale ones, so a long streaming run grew the heap
+// without bound. Compaction now rebuilds once stale entries outnumber
+// live ones, pinning the heap to O(active machines).
+TEST(MachinePool, LazyHeapStaysBoundedUnderChurn) {
+  constexpr MachineId kMachines = 8;
+  MachinePool pool(kMachines);
+  for (int step = 0; step < 10000; ++step) {
+    const auto i = pool.next_idle();
+    ASSERT_TRUE(i.has_value());
+    pool.occupy(*i, 1.0 + static_cast<double>(step % 3));
+    // Live entries <= m, and compaction triggers before stale entries
+    // outnumber live ones, so the heap can never exceed 2m + 1.
+    EXPECT_LE(pool.heap_size(), 2u * kMachines + 1) << "at step " << step;
+  }
+  // Retirement churn must respect the same bound.
+  for (MachineId i = 0; i < kMachines; ++i) {
+    pool.retire(i);
+    EXPECT_LE(pool.heap_size(), 2u * kMachines + 1);
+    EXPECT_EQ(pool.next_idle().has_value(), i + 1 < kMachines);
+  }
+}
+
+TEST(MachinePool, SelectionOrderMatchesLinearScanOracle) {
+  // Enough churn to cross many compactions; every pick is checked against
+  // a naive min-(ready, id) scan over the same state.
+  MachinePool pool(4);
+  std::vector<Time> ready(4, 0.0);
+  for (int step = 0; step < 2000; ++step) {
+    MachineId expected = 0;
+    for (MachineId i = 1; i < 4; ++i) {
+      if (ready[i] < ready[expected]) expected = i;
+    }
+    const auto got = pool.next_idle();
+    ASSERT_TRUE(got.has_value());
+    ASSERT_EQ(*got, expected) << "divergence at step " << step;
+    const Time d = static_cast<double>(1 + (step * 7) % 5);
+    pool.occupy(expected, d);
+    ready[expected] += d;
+  }
+}
+
 TEST(MachinePool, NegativeInputsRejected) {
   EXPECT_THROW(MachinePool(std::vector<Time>{-1.0}), std::invalid_argument);
   MachinePool pool(1);
