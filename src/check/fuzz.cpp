@@ -10,6 +10,8 @@
 
 #include "check/invariants.hpp"
 #include "check/reference_dispatcher.hpp"
+#include "exact/certify_scale.hpp"
+#include "exact/optimal.hpp"
 #include "hetero/uniform_machines.hpp"
 #include "io/json.hpp"
 #include "obs/hooks.hpp"
@@ -318,7 +320,7 @@ FuzzCase restrict_tasks(const FuzzCase& fuzz_case, std::size_t num_tasks) {
 
 namespace {
 
-constexpr std::size_t kChecksPerCase = 10;
+constexpr std::size_t kChecksPerCase = 11;
 constexpr double kTol = 1e-9;
 
 struct CheckContext {
@@ -633,6 +635,37 @@ void check_speculative_enabled(const CheckContext& ctx) {
   ctx.fail_violations("speculative-invariants", violations);
 }
 
+void check_certify_ptas_lb(const CheckContext& ctx) {
+  // Certify cross-check: on sub-22-task instances branch-and-bound
+  // brackets the true optimum, so the Hochbaum-Shmoys backend's certified
+  // lower bound must never exceed bnb.upper (ptas.lower <= OPT <=
+  // bnb.upper), and its measured schedule can never beat bnb.lower.
+  const FuzzCase& c = ctx.c;
+  const std::span<const Time> p = c.actual.actual;
+  const MachineId m = c.instance.num_machines();
+  const CertifiedCmax bnb = certified_cmax(p, m, 500'000);
+  HsCertifyOptions hs;
+  hs.precision_k = 3 + static_cast<unsigned>(c.seed % 3);
+  const CertifiedCmax ptas = hs_certified_cmax(p, m, hs);
+  const Time scale = std::max({bnb.upper, ptas.upper, Time{1}});
+  if (ptas.lower > bnb.upper + kTol * scale) {
+    ctx.fail("certify-ptas-lower-bound",
+             "PTAS certified lower " + std::to_string(ptas.lower) +
+                 " exceeds B&B optimum upper " + std::to_string(bnb.upper));
+  }
+  if (bnb.lower > ptas.upper + kTol * scale) {
+    ctx.fail("certify-ptas-lower-bound",
+             "PTAS schedule makespan " + std::to_string(ptas.upper) +
+                 " undercuts the certified B&B lower bound " +
+                 std::to_string(bnb.lower));
+  }
+  if (ptas.lower > ptas.upper + kTol * scale) {
+    ctx.fail("certify-ptas-lower-bound",
+             "PTAS bracket inverted: lower " + std::to_string(ptas.lower) +
+                 " > upper " + std::to_string(ptas.upper));
+  }
+}
+
 }  // namespace
 
 std::size_t checks_per_case() noexcept { return kChecksPerCase; }
@@ -652,6 +685,7 @@ std::vector<FuzzFailure> run_fuzz_case(const FuzzCase& fuzz_case) {
   check_transfer_invariants(ctx);
   check_speculative_disabled(ctx);
   check_speculative_enabled(ctx);
+  check_certify_ptas_lb(ctx);
   return failures;
 }
 

@@ -1,6 +1,7 @@
 #include "exact/certify.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstring>
 #include <list>
@@ -11,6 +12,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "exact/certify_scale.hpp"
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
@@ -93,6 +95,7 @@ CertifiedCmax denormalize(const CertifiedCmax& canon, const Canonical& c,
                           std::span<const Time> p, MachineId m) {
   CertifiedCmax out;
   out.exact = canon.exact;
+  out.backend = canon.backend;
   out.assignment = Assignment(p.size());
   for (std::size_t r = 0; r < p.size(); ++r) {
     out.assignment.machine_of[c.order[r]] = canon.assignment.machine_of[r];
@@ -226,8 +229,27 @@ std::vector<CertifiedCmax> CertifyEngine::certify_batch(
   for (std::size_t s = 0; s < slots.size(); ++s) {
     seed_slot.try_emplace({slots[s].key.values.size(), slots[s].key.m}, s);
   }
+  // Size routing: instances past the PTAS threshold go to the
+  // Hochbaum-Shmoys dual-approximation backend, which is a pure function
+  // of (values, m, options) -- no warm start needed, and batch results
+  // stay bit-identical across thread counts by construction.
+  const auto routes_to_ptas = [&](const Slot& slot) {
+    return options.ptas_threshold > 0 &&
+           slot.key.values.size() > options.ptas_threshold;
+  };
+  std::atomic<std::uint64_t> bnb_solves{0};
+  std::atomic<std::uint64_t> ptas_solves{0};
   const auto solve_slot = [&](std::size_t s) {
     Slot& slot = slots[s];
+    if (routes_to_ptas(slot)) {
+      HsCertifyOptions hs;
+      hs.precision_k = options.ptas_precision;
+      hs.dp_state_budget = options.ptas_state_budget;
+      hs.assume_sorted = true;  // canonical values are sorted non-increasing
+      slot.result = hs_certified_cmax(slot.key.values, slot.key.m, hs);
+      ptas_solves.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     BnbWarmStart warm;
     if (options.warm_start) {
       const std::size_t seed =
@@ -238,6 +260,7 @@ std::vector<CertifiedCmax> CertifyEngine::certify_batch(
     }
     slot.result =
         certified_cmax(slot.key.values, slot.key.m, options.node_budget, warm);
+    bnb_solves.fetch_add(1, std::memory_order_relaxed);
   };
   std::vector<std::size_t> pending;
   for (std::size_t s = 0; s < slots.size(); ++s) {
@@ -286,6 +309,10 @@ std::vector<CertifiedCmax> CertifyEngine::certify_batch(
     // snapshots even when one side is zero for the whole run.
     mx->counter("exp.certify.cache_hits").add(batch_hits);
     mx->counter("exp.certify.cache_misses").add(solves);
+    mx->counter("exp.certify.backend.bnb")
+        .add(bnb_solves.load(std::memory_order_relaxed));
+    mx->counter("exp.certify.backend.ptas")
+        .add(ptas_solves.load(std::memory_order_relaxed));
     mx->gauge("exp.certify.cache_size")
         .set(static_cast<double>(cache_stats().size));
   }

@@ -43,6 +43,17 @@ struct CertifyOptions {
   ThreadPool* pool = nullptr;
   /// Seed each batch solve with the batch's first same-shape result.
   bool warm_start = true;
+  /// Instances with more than this many tasks route to the
+  /// Hochbaum-Shmoys dual-approximation backend (exact/certify_scale.hpp)
+  /// instead of branch-and-bound; results carry backend ==
+  /// CertifyBackend::kPtas. 0 disables PTAS routing entirely.
+  std::size_t ptas_threshold = 512;
+  /// PTAS guarantee parameter: the large-n bracket targets
+  /// upper <= (1 + 1/ptas_precision) * lower.
+  unsigned ptas_precision = 8;
+  /// Config-DP state budget for the PTAS decision procedure; exhaustion
+  /// widens the bracket but never breaks soundness.
+  std::size_t ptas_state_budget = 200'000;
 };
 
 /// Point-in-time cache statistics.

@@ -2,59 +2,78 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "algo/lpt.hpp"
+#include "exact/first_fit_tree.hpp"
 #include "exact/lower_bounds.hpp"
 
 namespace rdp {
 
-bool ffd_fits(std::span<const Time> p, MachineId m, Time cap, Assignment* out) {
+bool ffd_fits_ordered(std::span<const Time> p, std::span<const TaskId> order,
+                      MachineId m, Time cap, FirstFitTree& bins,
+                      Assignment* out) {
   if (m == 0) throw std::invalid_argument("ffd_fits: m must be >= 1");
-  const std::vector<TaskId> order = lpt_order(p);
-  std::vector<Time> bins(m, 0);
-  Assignment assignment(p.size());
-  constexpr double kSlack = 1e-12;
-  for (TaskId j : order) {
-    bool placed = false;
-    for (MachineId i = 0; i < m; ++i) {
-      if (bins[i] + p[j] <= cap * (1.0 + kSlack)) {
-        bins[i] += p[j];
-        assignment.machine_of[j] = i;
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) return false;
+  // Relative slack collapses to an exact comparison at cap == 0 by design
+  // (see kFfdRelativeSlack); only negative / NaN capacities are rejected.
+  if (!(cap >= 0)) {
+    throw std::invalid_argument("ffd_fits: cap must be >= 0 and not NaN");
   }
-  if (out != nullptr) *out = std::move(assignment);
+  bins.reset(m);
+  if (out != nullptr) out->machine_of.assign(p.size(), kNoMachine);
+  const Time cap_eff = cap * (1.0 + kFfdRelativeSlack);
+  for (TaskId j : order) {
+    const MachineId bin = bins.place(p[j], cap_eff);
+    if (bin == kNoMachine) return false;
+    if (out != nullptr) out->machine_of[j] = bin;
+  }
   return true;
 }
 
-MultifitResult multifit_cmax(std::span<const Time> p, MachineId m, int iterations) {
+bool ffd_fits(std::span<const Time> p, MachineId m, Time cap, Assignment* out) {
+  const std::vector<TaskId> order = lpt_order(p);
+  FirstFitTree bins;
+  return ffd_fits_ordered(p, order, m, cap, bins, out);
+}
+
+MultifitResult multifit_cmax(std::span<const Time> p, MachineId m,
+                             int iterations) {
   if (m == 0) throw std::invalid_argument("multifit_cmax: m must be >= 1");
   MultifitResult result;
   result.assignment = Assignment(p.size());
   if (p.empty()) return result;
 
   Time lo = makespan_lower_bound(p, m);
+  result.certified_lower = lo;
   const GreedyScheduleResult lpt = lpt_schedule(p, m);
   Time hi = lpt.makespan;
-  result.makespan = hi;
   result.assignment = lpt.assignment;
 
+  // Sorted once here; every bisection iteration reuses the order and the
+  // first-fit tree, so an iteration costs O(n log m) with no allocation.
+  const std::vector<TaskId> order = lpt_order(p);
+  FirstFitTree bins;
+  Assignment candidate(p.size());
+  Time highest_failed_cap = 0;
   for (int it = 0; it < iterations && lo < hi; ++it) {
     const Time cap = 0.5 * (lo + hi);
-    Assignment packed;
-    if (ffd_fits(p, m, cap, &packed)) {
+    if (ffd_fits_ordered(p, order, m, cap, bins, &candidate)) {
       // Feasible at cap: the realized bin loads may even be below cap.
       hi = cap;
-      result.assignment = std::move(packed);
-      result.makespan = cap;
+      std::swap(result.assignment, candidate);
     } else {
       lo = cap;
+      highest_failed_cap = std::max(highest_failed_cap, cap);
     }
     ++result.iterations;
+  }
+
+  // FFD failure at C certifies OPT > (11/13) * C (MULTIFIT lemma).
+  if (highest_failed_cap > 0) {
+    result.certified_lower =
+        std::max(result.certified_lower,
+                 highest_failed_cap * multifit_certified_lower_factor());
   }
 
   // Report the true max load of the final packing, not the capacity.
@@ -63,6 +82,7 @@ MultifitResult multifit_cmax(std::span<const Time> p, MachineId m, int iteration
     loads[result.assignment.machine_of[j]] += p[j];
   }
   result.makespan = *std::max_element(loads.begin(), loads.end());
+  result.certified_lower = std::min(result.certified_lower, result.makespan);
   return result;
 }
 

@@ -1,0 +1,97 @@
+// First-Fit bin selection in O(log m): a segment tree over machine loads
+// whose internal nodes hold the *minimum* load of their subtree. The
+// first-fit query ("leftmost bin i with load[i] + item <= cap") descends
+// left-first into any subtree whose minimum qualifies, so it lands on
+// exactly the bin a linear scan would pick -- and because the leaf test
+// is the same floating-point expression (`load + item <= cap`) the
+// selection is bit-identical to the linear loop, not merely equivalent.
+//
+// This turns FFD's O(n*m) inner scan into O(n log m), which is what makes
+// a MULTIFIT / Hochbaum-Shmoys bisection step affordable at 10^5..10^6
+// tasks (exact/dual_approx.cpp, exact/certify_scale.cpp). `reset()`
+// rewinds without freeing, so a bisection loop reuses one tree with zero
+// steady-state allocation.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rdp {
+
+class FirstFitTree {
+ public:
+  FirstFitTree() = default;
+  explicit FirstFitTree(MachineId num_bins) { reset(num_bins); }
+
+  /// Rewinds to `num_bins` empty bins, reusing storage when the padded
+  /// tree size is unchanged.
+  void reset(MachineId num_bins) {
+    bins_ = num_bins;
+    base_ = num_bins <= 1 ? 1 : std::bit_ceil(static_cast<std::size_t>(num_bins));
+    tree_.assign(2 * base_, kUnusable);
+    for (std::size_t i = 0; i < bins_; ++i) tree_[base_ + i] = 0;
+    for (std::size_t node = base_ - 1; node >= 1; --node) {
+      tree_[node] = std::min(tree_[2 * node], tree_[2 * node + 1]);
+    }
+  }
+
+  [[nodiscard]] MachineId num_bins() const noexcept {
+    return static_cast<MachineId>(bins_);
+  }
+
+  /// Load currently in bin `i`.
+  [[nodiscard]] Time load(MachineId i) const { return tree_[base_ + i]; }
+
+  /// The leftmost bin whose load satisfies `load + item <= cap`, or
+  /// kNoMachine when none does. Does not modify the tree.
+  [[nodiscard]] MachineId find_first_fit(Time item, Time cap) const {
+    if (bins_ == 0 || !(tree_[1] + item <= cap)) return kNoMachine;
+    std::size_t node = 1;
+    while (node < base_) {
+      const std::size_t left = 2 * node;
+      node = tree_[left] + item <= cap ? left : left + 1;
+    }
+    return static_cast<MachineId>(node - base_);
+  }
+
+  /// First-fit placement: finds the leftmost qualifying bin, commits the
+  /// item into it, and returns its index (kNoMachine = item placed
+  /// nowhere, tree unchanged).
+  MachineId place(Time item, Time cap) {
+    const MachineId bin = find_first_fit(item, cap);
+    if (bin == kNoMachine) return kNoMachine;
+    add(bin, item);
+    return bin;
+  }
+
+  /// Adds `item` to bin `i` unconditionally (used to preload bins that
+  /// were filled outside the tree, e.g. the big-job packing).
+  void add(MachineId i, Time item) {
+    std::size_t node = base_ + i;
+    tree_[node] += item;
+    for (node /= 2; node >= 1; node /= 2) {
+      tree_[node] = std::min(tree_[2 * node], tree_[2 * node + 1]);
+    }
+  }
+
+  /// The minimum load over all bins (the root reduction).
+  [[nodiscard]] Time min_load() const {
+    return bins_ == 0 ? 0 : tree_[1];
+  }
+
+ private:
+  // Padding leaves must never win a first-fit query; +infinity loads keep
+  // every `load + item <= cap` test false for them.
+  static constexpr Time kUnusable = std::numeric_limits<Time>::infinity();
+
+  std::size_t bins_ = 0;
+  std::size_t base_ = 1;
+  std::vector<Time> tree_;
+};
+
+}  // namespace rdp

@@ -14,11 +14,27 @@
 
 namespace rdp {
 
+/// Which solver family produced a CertifiedCmax bracket. The small-n path
+/// stacks analytic bounds, the m==2 partition DP, MULTIFIT, and
+/// branch-and-bound; the large-n path is the Hochbaum-Shmoys
+/// dual-approximation bisection (exact/certify_scale.hpp). The tag lets
+/// reports and counters distinguish the two without changing the
+/// {lower, upper} contract.
+enum class CertifyBackend : std::uint8_t {
+  kBnb = 0,
+  kPtas = 1,
+};
+
+[[nodiscard]] constexpr const char* to_string(CertifyBackend backend) {
+  return backend == CertifyBackend::kPtas ? "ptas" : "bnb";
+}
+
 struct CertifiedCmax {
   Time lower = 0;   ///< certified lower bound on OPT
   Time upper = 0;   ///< makespan of the best schedule found
   bool exact = false;  ///< lower == upper == OPT
   Assignment assignment;  ///< schedule achieving `upper`
+  CertifyBackend backend = CertifyBackend::kBnb;  ///< solver that produced this
 
   /// Midpoint-free conservative value to divide by for ratios.
   [[nodiscard]] Time ratio_denominator() const noexcept { return lower; }

@@ -161,6 +161,52 @@ BenchRecord normalize_sim_throughput(const JsonValue& doc,
   return record;
 }
 
+/// ext_certify_scale shape: {params, scale: [...], multifit, soundness,
+/// determinism}. Timings gate as "timing"; search-iteration counts,
+/// bound/soundness violation counters, and bit-mismatch totals are
+/// deterministic by contract and gate as "exact".
+BenchRecord normalize_certify_scale(const JsonValue& doc,
+                                    const std::string& source) {
+  BenchRecord record;
+  record.name = "certify_scale";
+  record.source = source;
+  if (const JsonValue* params = doc.find("params")) {
+    record.params_json = params->dump(-1);
+    record.params_hash = fnv1a_hex(record.params_json);
+  }
+  const JsonValue* scale = doc.find("scale");
+  for (const JsonValue& row : scale->as_array()) {
+    const auto n = static_cast<long long>(row.get_number("n"));
+    const std::string suffix = "_n" + std::to_string(n);
+    add_metric(record, "scale.engine_seconds" + suffix,
+               row.get_number("engine_seconds"), "lower", "timing");
+    add_metric(record, "scale.iterations" + suffix,
+               row.get_number("iterations"), "lower", "exact");
+    // The realized guarantee depends only on the deterministic bisection
+    // bracket; a hair of absolute slack covers dump/parse rounding.
+    add_metric(record, "scale.guarantee" + suffix, row.get_number("guarantee"),
+               "lower", "exact", /*abs_slack=*/1e-9);
+    add_metric(record, "scale.violations" + suffix, row.get_number("violation"),
+               "lower", "exact");
+  }
+  if (const JsonValue* multifit = doc.find("multifit")) {
+    add_metric(record, "multifit.seconds", multifit->get_number("seconds"),
+               "lower", "timing");
+    add_metric(record, "multifit.iterations",
+               multifit->get_number("iterations"), "lower", "exact");
+  }
+  const JsonValue* soundness = doc.find("soundness");
+  add_metric(record, "soundness.violations",
+             soundness->get_number("violations"), "lower", "exact");
+  add_metric(record, "soundness.exact_cases",
+             soundness->get_number("exact_cases"), "none", "exact");
+  if (const JsonValue* determinism = doc.find("determinism")) {
+    add_metric(record, "determinism.bit_mismatches",
+               determinism->get_number("bit_mismatches"), "lower", "exact");
+  }
+  return record;
+}
+
 bool seconds_like(const std::string& name) {
   return name.find("seconds") != std::string::npos ||
          name.find("_time") != std::string::npos;
@@ -290,6 +336,8 @@ BenchRecord normalize_bench_json(const JsonValue& doc, const std::string& source
   } else if (doc.find("dispatch_speedup") != nullptr &&
              doc.find("queue_speedup") != nullptr) {
     record = normalize_sim_throughput(doc, source);
+  } else if (doc.find("scale") != nullptr && doc.find("soundness") != nullptr) {
+    record = normalize_certify_scale(doc, source);
   } else if (doc.find("counters") != nullptr &&
              doc.find("histograms") != nullptr) {
     record = normalize_snapshot(doc, source);
@@ -297,8 +345,8 @@ BenchRecord normalize_bench_json(const JsonValue& doc, const std::string& source
     throw std::runtime_error(
         "perf: " + source +
         ": unrecognized benchmark JSON shape (expected a BenchRecord, "
-        "ext_certify_speedup, ext_check_overhead, ext_sim_throughput, or "
-        "metrics snapshot)");
+        "ext_certify_speedup, ext_check_overhead, ext_sim_throughput, "
+        "ext_certify_scale, or metrics snapshot)");
   }
   for (auto& [key, m] : record.metrics) finalize_metric(m);
   return record;

@@ -26,6 +26,13 @@ bool CompareResult::regressed() const {
                      [](const MetricVerdict& v) { return v.regressed(); });
 }
 
+bool CompareResult::exact_regressed() const {
+  if (!params_match) return true;
+  return std::any_of(metrics.begin(), metrics.end(), [](const MetricVerdict& v) {
+    return v.noise == "exact" && v.regressed();
+  });
+}
+
 std::string CompareResult::render_table() const {
   std::ostringstream out;
   out << "perf compare: " << bench << "  (baseline " << baseline_source
@@ -52,6 +59,7 @@ JsonValue CompareResult::to_json() const {
     obj["delta"] = v.delta;
     obj["threshold"] = v.threshold;
     obj["direction"] = v.direction;
+    obj["noise"] = v.noise;
     obj["status"] = v.status;
     metric_array.emplace_back(std::move(obj));
   }
@@ -64,6 +72,7 @@ JsonValue CompareResult::to_json() const {
   root["params_match"] = params_match;
   root["host_match"] = host_match;
   root["regressed"] = regressed();
+  root["exact_regressed"] = exact_regressed();
   root["metrics"] = std::move(metric_array);
   root["notes"] = std::move(note_array);
   return JsonValue(std::move(root));
@@ -107,6 +116,7 @@ CompareResult compare_records(const BenchRecord& baseline,
     v.name = name;
     v.baseline = base.value;
     v.direction = base.direction;
+    v.noise = base.noise;
     v.threshold = threshold_for(base, options);
     const BenchMetric* cur = current.find(name);
     if (cur == nullptr) {
@@ -133,6 +143,7 @@ CompareResult compare_records(const BenchRecord& baseline,
     v.name = name;
     v.current = cur.value;
     v.direction = cur.direction;
+    v.noise = cur.noise;
     v.status = "new";
     result.metrics.push_back(std::move(v));
   }

@@ -36,6 +36,7 @@ struct MetricVerdict {
   double delta = 0;        ///< current - baseline
   double threshold = 0;    ///< slack granted before calling it a change
   std::string direction;   ///< "lower" | "higher" | "none"
+  std::string noise;       ///< "timing" | "exact" (from the baseline metric)
   /// "ok" | "improved" | "regressed" | "info" | "missing" | "new"
   std::string status;
 
@@ -54,6 +55,13 @@ struct CompareResult {
   /// True when any gated metric regressed/vanished, or params drifted
   /// (unless ignore_params).
   [[nodiscard]] bool regressed() const;
+
+  /// True when an "exact"-noise-class metric (counters, iteration counts,
+  /// bit-mismatch totals -- deterministic by contract) regressed or
+  /// vanished, or params drifted. These stay enforced even when timing
+  /// regressions are downgraded to warnings on shared runners
+  /// (`perf gate --warn-only --enforce-exact`).
+  [[nodiscard]] bool exact_regressed() const;
 
   /// Fixed-width human diff table plus notes.
   [[nodiscard]] std::string render_table() const;

@@ -733,6 +733,91 @@ ArtifactResult run_memaware_theorems(const ArtifactContext& ctx) {
   return result;
 }
 
+// -------------------------------------------------------------------
+// Large-n theorem validation: certified-LB denominators from the
+// Hochbaum-Shmoys backend.
+
+ArtifactResult run_certify_scale_sweep(const ArtifactContext& ctx) {
+  constexpr MachineId kM = 8;
+  constexpr std::size_t kN = 100'000;
+  constexpr std::size_t kTrials = 2;
+  const std::vector<double> alphas = {1.5, 2.0};
+  const std::vector<NoiseModel> noises = {NoiseModel::kUniform,
+                                          NoiseModel::kTwoPoint};
+
+  ArtifactResult result{
+      ExperimentReport("ext-certify-scale",
+                       "Theorems 2-4 at n=10^5: PTAS-certified denominators"),
+      {}, {}, {}};
+  result.report.set_param("m", static_cast<double>(kM));
+  result.report.set_param("n", static_cast<double>(kN));
+  result.report.set_param("trials", static_cast<double>(kTrials));
+  Series& series = result.report.series(
+      "sweep", {"alpha", "replication", "measured_worst", "bound"});
+
+  struct Row {
+    MachineId replication;
+    TwoPhaseStrategy strategy;
+    std::string theorem;
+    std::function<double(double)> bound;
+  };
+  std::vector<Row> rows;
+  rows.push_back({1, make_lpt_no_choice(), "Theorem 2",
+                  [](double a) { return thm2_lpt_no_choice(a, kM); }});
+  rows.push_back({kM / 2, make_ls_group(2), "Theorem 4",
+                  [](double a) { return thm4_ls_group(a, kM, 2); }});
+  rows.push_back({kM, make_lpt_no_restriction(), "Theorem 3",
+                  [](double a) { return thm3_lpt_no_restriction(a, kM); }});
+
+  const RatioExperimentConfig config = ratio_config(ctx);
+  TextTable table({"alpha", "replication", "algorithm", "worst measured ratio",
+                   "proven bound", "exact denominators"});
+  for (double alpha : alphas) {
+    WorkloadParams params;
+    params.num_tasks = kN;
+    params.num_machines = kM;
+    params.alpha = alpha;
+    params.seed = ctx.seed + 33;
+    const Instance inst = uniform_workload(params, 1.0, 10.0);
+    for (const Row& row : rows) {
+      double worst = 0;
+      bool all_exact = true;
+      for (NoiseModel noise : noises) {
+        const RatioAggregate agg = measure_ratio_batch(
+            row.strategy, inst, noise, kTrials, ctx.seed + 400, config);
+        worst = std::max(worst, agg.worst.ratio);
+        all_exact = all_exact && agg.worst.exact_optimum;
+      }
+      const double bound = row.bound(alpha);
+      table.add_row({fmt(alpha, 2), "|M_j|=" + std::to_string(row.replication),
+                     row.strategy.name(), fmt(worst), fmt(bound),
+                     all_exact ? "yes" : "no (certified LB)"});
+      series.add_row({alpha, static_cast<double>(row.replication), worst,
+                      bound});
+      result.checks.push_back({row.theorem + " at n=1e5: " +
+                                   row.strategy.name() + ", " + alpha_tag(alpha),
+                               worst, bound, TheoremCheck::Kind::kUpperBound,
+                               1e-9});
+    }
+  }
+
+  std::ostringstream md;
+  md << "The theorem sweeps above certify their denominators with exact "
+        "branch-and-bound, which caps them near n=24. This sweep re-runs "
+        "the Theorem 2-4 validations at n=" << kN << " (m=" << kM
+     << "): denominators route to the Hochbaum-Shmoys dual-approximation "
+        "backend, whose certified lower bound never exceeds OPT, so "
+        "measured ratios over-estimate the true competitive ratio and "
+        "\"measured <= bound\" stays a sound check (see "
+        "docs/ALGORITHMS.md). Worst ratio over " << kTrials
+     << " trials each of uniform/two-point noise; the placement-aware "
+        "adversary is a small-n construction and is exercised by the "
+        "exact sweeps.\n\n"
+     << table.render_markdown() << "\n";
+  result.markdown = md.str();
+  return result;
+}
+
 std::map<std::string, std::string> ratio_sweep_params(const TheoremSweepSpec& spec) {
   std::map<std::string, std::string> params;
   params["m"] = std::to_string(spec.m);
@@ -891,6 +976,18 @@ std::vector<Artifact> build_registry() {
        {{"m", "5"}, {"n", "12"}, {"alpha", "1.5"}, {"deltas", "0.5,1.0,2.0"},
         {"trials", "5"}},
        run_memaware_theorems});
+
+  artifacts.push_back(
+      {"ext-certify-scale",
+       "Theorems 2-4 at n=10^5: PTAS-certified denominators", "Theorems 2-4",
+       "Empirical validation at scale: the Theorem 2-4 ratio checks re-run "
+       "at n=100000, where competitive-ratio denominators come from the "
+       "Hochbaum-Shmoys certified lower bound instead of exact "
+       "branch-and-bound.",
+       ArtifactKind::kTheorem,
+       {"smoke"},
+       {{"m", "8"}, {"n", "100000"}, {"trials", "2"}, {"alphas", "1.5,2.0"}},
+       run_certify_scale_sweep});
 
   return artifacts;
 }

@@ -86,7 +86,7 @@ TEST(ReproRegistry, FilterSelectsByNameTagAndKind) {
   EXPECT_EQ(select_artifacts(all, "").size(), all.size());
   EXPECT_EQ(select_artifacts(all, "table").size(), 2u);
   EXPECT_EQ(select_artifacts(all, "fig1").size(), 1u);
-  EXPECT_EQ(select_artifacts(all, "smoke").size(), 3u);
+  EXPECT_EQ(select_artifacts(all, "smoke").size(), 4u);
   // Comma-separated terms union; duplicates are not added twice.
   EXPECT_EQ(select_artifacts(all, "fig1,table").size(), 3u);
   EXPECT_EQ(select_artifacts(all, "no-such-artifact").size(), 0u);
@@ -294,8 +294,8 @@ ReproOptions smoke_options(const fs::path& out, std::size_t jobs) {
 TEST(ReproPipeline, SmokeRunEmitsLayoutAndManifest) {
   TempDir dir("smoke");
   const ReproSummary summary = run_repro(smoke_options(dir.path(), 2));
-  EXPECT_EQ(summary.selected, 3u);
-  EXPECT_EQ(summary.generated, 3u);
+  EXPECT_EQ(summary.selected, 4u);
+  EXPECT_EQ(summary.generated, 4u);
   EXPECT_EQ(summary.cached, 0u);
   EXPECT_EQ(summary.violations, 0u);
   EXPECT_GT(summary.checks, 0u);
@@ -320,7 +320,7 @@ TEST(ReproPipeline, SmokeRunEmitsLayoutAndManifest) {
   const std::optional<Manifest> manifest =
       load_manifest((artifacts / "manifest.json").string());
   ASSERT_TRUE(manifest.has_value());
-  EXPECT_EQ(manifest->entries.size(), 3u);
+  EXPECT_EQ(manifest->entries.size(), 4u);
   EXPECT_EQ(manifest->filter, "smoke");
   EXPECT_EQ(manifest->bound_violations, 0u);
   for (const ManifestEntry& entry : manifest->entries) {
@@ -364,7 +364,7 @@ TEST(ReproPipeline, SecondRunSkipsViaInputHash) {
 
   const ReproSummary second = run_repro(options);
   EXPECT_EQ(second.generated, 0u);
-  EXPECT_EQ(second.cached, 3u);
+  EXPECT_EQ(second.cached, 4u);
   for (const ManifestEntry& entry : second.manifest.entries) {
     EXPECT_EQ(entry.status, "cached") << entry.name;
     EXPECT_EQ(entry.wall_seconds, 0.0);
@@ -378,14 +378,14 @@ TEST(ReproPipeline, SecondRunSkipsViaInputHash) {
   ReproOptions reseeded = options;
   reseeded.seed = 2;
   const ReproSummary third = run_repro(reseeded);
-  EXPECT_EQ(third.generated, 3u);
+  EXPECT_EQ(third.generated, 4u);
   EXPECT_EQ(third.cached, 0u);
 
   // --force regenerates even with matching hashes.
   ReproOptions forced = reseeded;
   forced.force = true;
   const ReproSummary fourth = run_repro(forced);
-  EXPECT_EQ(fourth.generated, 3u);
+  EXPECT_EQ(fourth.generated, 4u);
 }
 
 TEST(ReproPipeline, MissingOutputFileInvalidatesCacheEntry) {
@@ -396,7 +396,7 @@ TEST(ReproPipeline, MissingOutputFileInvalidatesCacheEntry) {
 
   const ReproSummary again = run_repro(options);
   EXPECT_EQ(again.generated, 1u);
-  EXPECT_EQ(again.cached, 2u);
+  EXPECT_EQ(again.cached, 3u);
   EXPECT_TRUE(
       fs::exists(dir.path() / "artifacts" / "thm4-ls-group" / "checks.json"));
 }

@@ -68,10 +68,10 @@ int usage(const char* program) {
          "            are shrunk and written one JSONL line each)\n"
          "  perf     record  --in=FILE[,FILE...] [--name=N] [--out=FILE]\n"
          "           compare --baseline=FILE --current=FILE [--json=FILE]\n"
-         "                   [--warn-only] [--ignore-params] [--rel-tol=R]\n"
-         "                   [--mad-mult=K]\n"
+         "                   [--warn-only] [--enforce-exact] [--ignore-params]\n"
+         "                   [--rel-tol=R] [--mad-mult=K]\n"
          "           gate    [--baselines=DIR] [--current-dir=DIR]\n"
-         "                   [--json=FILE] [--warn-only]\n"
+         "                   [--json=FILE] [--warn-only] [--enforce-exact]\n"
          "           (normalize BENCH_*.json into BenchRecords, diff fresh\n"
          "            runs against committed baselines in bench/baselines/;\n"
          "            see docs/PERFORMANCE.md)\n\n"
@@ -526,6 +526,12 @@ int cmd_perf_compare(const Args& args) {
     std::cout << "verdict written to " << json_path << "\n";
   }
   const bool warn_only = args.get("warn-only", false);
+  const bool enforce_exact = args.get("enforce-exact", false);
+  if (warn_only && enforce_exact && result.exact_regressed()) {
+    std::cout << "enforce-exact: exact-noise-class metric regressed; "
+                 "failing despite --warn-only\n";
+    return EXIT_FAILURE;
+  }
   if (result.regressed() && warn_only) {
     std::cout << "warn-only: regression reported but exiting 0\n";
   }
@@ -536,12 +542,17 @@ int cmd_perf_compare(const Args& args) {
 /// fresh output (by the baseline's recorded `source` filename) under
 /// --current-dir. A baseline whose fresh output is missing is a hard
 /// failure even under --warn-only: the gate must notice when a benchmark
-/// silently stops running.
+/// silently stops running. --enforce-exact additionally keeps
+/// "exact"-noise-class metrics (cache hit counts, iteration counts,
+/// bit-mismatch counters -- deterministic by contract) enforcing under
+/// --warn-only, so shared-runner timing noise is tolerated but a
+/// determinism or algorithmic-shape change still fails the gate.
 int cmd_perf_gate(const Args& args) {
   const std::string baselines_dir =
       args.get("baselines", std::string("bench/baselines"));
   const std::string current_dir = args.get("current-dir", std::string("."));
   const bool warn_only = args.get("warn-only", false);
+  const bool enforce_exact = args.get("enforce-exact", false);
   const perf::CompareOptions options = compare_options_from(args);
 
   std::vector<std::string> baseline_files;
@@ -561,6 +572,7 @@ int cmd_perf_gate(const Args& args) {
   }
 
   bool any_regressed = false;
+  bool any_exact_regressed = false;
   bool any_error = false;
   JsonArray results;
   for (const std::string& path : baseline_files) {
@@ -585,12 +597,15 @@ int cmd_perf_gate(const Args& args) {
     std::cout << result.render_table() << "\n";
     results.emplace_back(result.to_json());
     any_regressed = any_regressed || result.regressed();
+    any_exact_regressed = any_exact_regressed || result.exact_regressed();
   }
 
   JsonObject verdict;
   verdict["regressed"] = any_regressed;
+  verdict["exact_regressed"] = any_exact_regressed;
   verdict["errors"] = any_error;
   verdict["warn_only"] = warn_only;
+  verdict["enforce_exact"] = enforce_exact;
   verdict["results"] = std::move(results);
   const std::string json_path = args.get("json", std::string(""));
   if (!json_path.empty()) {
@@ -599,6 +614,11 @@ int cmd_perf_gate(const Args& args) {
   }
 
   if (any_error) return EXIT_FAILURE;  // schema/coverage errors always fail
+  if (warn_only && enforce_exact && any_exact_regressed) {
+    std::cout << "enforce-exact: exact-noise-class metric regressed; "
+                 "failing despite --warn-only\n";
+    return EXIT_FAILURE;
+  }
   if (any_regressed && warn_only) {
     std::cout << "warn-only: regression reported but exiting 0\n";
     return EXIT_SUCCESS;
