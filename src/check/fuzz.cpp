@@ -21,6 +21,7 @@
 #include "parallel/thread_pool.hpp"
 #include "rng/distributions.hpp"
 #include "rng/rng.hpp"
+#include "serve/streaming_dispatcher.hpp"
 #include "sim/online_dispatcher.hpp"
 #include "sim/speculative.hpp"
 #include "sim/trace.hpp"
@@ -320,7 +321,7 @@ FuzzCase restrict_tasks(const FuzzCase& fuzz_case, std::size_t num_tasks) {
 
 namespace {
 
-constexpr std::size_t kChecksPerCase = 11;
+constexpr std::size_t kChecksPerCase = 12;
 constexpr double kTol = 1e-9;
 
 struct CheckContext {
@@ -666,6 +667,56 @@ void check_certify_ptas_lb(const CheckContext& ctx) {
   }
 }
 
+void check_serve_drain_parity(const CheckContext& ctx,
+                              const DispatchResult& online) {
+  // Drain mode: every task arrives at t = 0, so the streaming dispatcher
+  // must make exactly the offline decisions -- bit-identical schedule
+  // bytes AND the identical chronological trace (same dispatch order,
+  // same machines, same start times). This is the serve/ equivalence
+  // contract documented in docs/SERVING.md.
+  const FuzzCase& c = ctx.c;
+  const std::vector<Time> arrivals(c.instance.num_tasks(), Time{0});
+  const StreamingDispatchResult drained =
+      serve_stream(c.instance, c.placement, c.actual, c.priority, arrivals, {},
+                   c.speeds);
+  const DispatchResult offline = dispatch_online(
+      c.instance, c.placement, c.actual, c.priority, {}, c.speeds);
+  if (const std::string diff = diff_schedules(drained.schedule, offline.schedule);
+      !diff.empty()) {
+    ctx.fail("serve-drain-parity", diff + " (with speeds)");
+    return;
+  }
+  if (drained.trace.size() != offline.trace.size()) {
+    ctx.fail("serve-drain-parity", "trace lengths diverge");
+    return;
+  }
+  for (std::size_t k = 0; k < offline.trace.size(); ++k) {
+    const DispatchEvent& a = drained.trace.events[k];
+    const DispatchEvent& b = offline.trace.events[k];
+    if (a.when != b.when || a.task != b.task || a.machine != b.machine ||
+        a.actual != b.actual) {
+      ctx.fail("serve-drain-parity",
+               "trace event " + std::to_string(k) + " diverges (task " +
+                   std::to_string(a.task) + " vs " + std::to_string(b.task) +
+                   ")");
+      return;
+    }
+  }
+  if (drained.peak_backlog != c.instance.num_tasks()) {
+    ctx.fail("serve-drain-parity",
+             "drain-mode peak backlog " + std::to_string(drained.peak_backlog) +
+                 " != n");
+    return;
+  }
+  // Identical machines as well (the speeds-free division-less path).
+  const StreamingDispatchResult plain = serve_stream(
+      c.instance, c.placement, c.actual, c.priority, arrivals, {}, {});
+  if (const std::string diff = diff_schedules(plain.schedule, online.schedule);
+      !diff.empty()) {
+    ctx.fail("serve-drain-parity", diff);
+  }
+}
+
 }  // namespace
 
 std::size_t checks_per_case() noexcept { return kChecksPerCase; }
@@ -686,6 +737,7 @@ std::vector<FuzzFailure> run_fuzz_case(const FuzzCase& fuzz_case) {
   check_speculative_disabled(ctx);
   check_speculative_enabled(ctx);
   check_certify_ptas_lb(ctx);
+  check_serve_drain_parity(ctx, online);
   return failures;
 }
 

@@ -321,6 +321,41 @@ void BenchRecord::save(const std::string& path) const {
   if (!out) throw std::runtime_error("perf: write failed for " + path);
 }
 
+/// ext_serve_throughput: streaming dispatcher vs the offline core on the
+/// same workload. The ratio and raw rates are timing-class; the drain
+/// parity counter is deterministic (the bench hard-fails on a nonzero
+/// value, so it gates "exact" like sim_throughput's parity metrics).
+BenchRecord normalize_serve_throughput(const JsonValue& doc,
+                                       const std::string& source) {
+  BenchRecord record;
+  record.name = "serve_throughput";
+  record.source = source;
+  JsonObject params;
+  for (const char* key : {"tasks", "machines", "groups", "reps", "rate"}) {
+    params[key] = doc.get_number(key);
+  }
+  record.params_json = JsonValue(std::move(params)).dump(-1);
+  record.params_hash = fnv1a_hex(record.params_json);
+  for (const char* key :
+       {"offline_seconds", "drain_seconds", "serve_seconds"}) {
+    add_metric(record, key, doc.get_number(key), "lower", "timing");
+  }
+  for (const char* key :
+       {"offline_events_per_sec", "drain_events_per_sec",
+        "serve_events_per_sec", "serve_vs_offline_ratio",
+        "drain_vs_offline_ratio"}) {
+    add_metric(record, key, doc.get_number(key), "higher", "timing");
+  }
+  add_metric(record, "drain_parity_mismatches",
+             doc.get_number("drain_parity_mismatches"), "lower", "exact");
+  add_metric(record, "peak_backlog", doc.get_number("peak_backlog"), "none",
+             "exact");
+  for (const char* key : {"response_p50", "response_p90", "response_p99"}) {
+    add_metric(record, key, doc.get_number(key), "none", "exact");
+  }
+  return record;
+}
+
 BenchRecord normalize_bench_json(const JsonValue& doc, const std::string& source) {
   if (!doc.is_object()) {
     throw std::runtime_error("perf: " + source + ": not a JSON object");
@@ -336,6 +371,9 @@ BenchRecord normalize_bench_json(const JsonValue& doc, const std::string& source
   } else if (doc.find("dispatch_speedup") != nullptr &&
              doc.find("queue_speedup") != nullptr) {
     record = normalize_sim_throughput(doc, source);
+  } else if (doc.find("serve_vs_offline_ratio") != nullptr &&
+             doc.find("drain_parity_mismatches") != nullptr) {
+    record = normalize_serve_throughput(doc, source);
   } else if (doc.find("scale") != nullptr && doc.find("soundness") != nullptr) {
     record = normalize_certify_scale(doc, source);
   } else if (doc.find("counters") != nullptr &&
@@ -346,7 +384,7 @@ BenchRecord normalize_bench_json(const JsonValue& doc, const std::string& source
         "perf: " + source +
         ": unrecognized benchmark JSON shape (expected a BenchRecord, "
         "ext_certify_speedup, ext_check_overhead, ext_sim_throughput, "
-        "ext_certify_scale, or metrics snapshot)");
+        "ext_serve_throughput, ext_certify_scale, or metrics snapshot)");
   }
   for (auto& [key, m] : record.metrics) finalize_metric(m);
   return record;

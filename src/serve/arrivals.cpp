@@ -1,0 +1,177 @@
+#include "serve/arrivals.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "rng/rng.hpp"
+
+namespace rdp {
+
+namespace {
+
+/// Exponential interarrival with mean 1/rate; the 1e-300 floor keeps
+/// log() finite (the same guard the distributions library uses).
+double sample_exponential(Xoshiro256& rng, double rate) {
+  double u = 1.0 - rng.next_double();  // (0, 1]
+  if (u < 1e-300) u = 1e-300;
+  return -std::log(u) / rate;
+}
+
+void validate(const ArrivalParams& p) {
+  if (!(p.rate > 0.0) || !std::isfinite(p.rate)) {
+    throw std::invalid_argument("arrivals: rate must be positive and finite");
+  }
+  if (p.model == ArrivalModel::kBurst) {
+    if (!(p.burst_boost > 1.0) || !std::isfinite(p.burst_boost)) {
+      throw std::invalid_argument("arrivals: burst boost must exceed 1");
+    }
+    if (!(p.burst_on > 0.0) || !(p.burst_off > 0.0)) {
+      throw std::invalid_argument("arrivals: burst phase means must be positive");
+    }
+    // The off-phase rate that makes the time-weighted average of the two
+    // phase rates equal `rate` exactly. boost <= (on + off) / on keeps it
+    // non-negative: the on phase alone must not exceed the mean budget.
+    const double off_rate = (p.rate * (p.burst_on + p.burst_off) -
+                             p.rate * p.burst_boost * p.burst_on) /
+                            p.burst_off;
+    if (!(off_rate >= 0.0)) {
+      throw std::invalid_argument(
+          "arrivals: burst boost too large for the on/off phase mix "
+          "(need boost <= (on + off) / on)");
+    }
+  }
+}
+
+double burst_off_rate(const ArrivalParams& p) {
+  return (p.rate * (p.burst_on + p.burst_off) -
+          p.rate * p.burst_boost * p.burst_on) /
+         p.burst_off;
+}
+
+/// MMPP-2 sampler: competing exponentials between "next arrival in this
+/// phase" and "phase switch". Phase 0 = on (hot), phase 1 = off (cold).
+class BurstProcess {
+ public:
+  BurstProcess(const ArrivalParams& p, Xoshiro256& rng)
+      : rng_(rng),
+        phase_rate_{p.rate * p.burst_boost, burst_off_rate(p)},
+        phase_mean_{p.burst_on, p.burst_off} {}
+
+  double next_interarrival() {
+    double gap = 0.0;
+    while (true) {
+      const double rate = phase_rate_[phase_];
+      const double to_switch = sample_exponential(rng_, 1.0 / phase_mean_[phase_]);
+      if (rate > 0.0) {
+        const double to_arrival = sample_exponential(rng_, rate);
+        if (to_arrival <= to_switch) return gap + to_arrival;
+      }
+      // Phase ends before the next arrival (or this phase never fires).
+      gap += to_switch;
+      phase_ ^= 1;
+    }
+  }
+
+ private:
+  Xoshiro256& rng_;
+  double phase_rate_[2];
+  double phase_mean_[2];
+  int phase_ = 0;
+};
+
+}  // namespace
+
+ArrivalModel arrival_model_from_name(const std::string& name) {
+  if (name == "poisson") return ArrivalModel::kPoisson;
+  if (name == "burst") return ArrivalModel::kBurst;
+  if (name == "trace") return ArrivalModel::kTrace;
+  throw std::invalid_argument("unknown arrival model '" + name +
+                              "' (expected poisson, burst, or trace)");
+}
+
+const char* arrival_model_name(ArrivalModel model) {
+  switch (model) {
+    case ArrivalModel::kPoisson: return "poisson";
+    case ArrivalModel::kBurst: return "burst";
+    case ArrivalModel::kTrace: return "trace";
+  }
+  return "?";
+}
+
+std::vector<Time> generate_arrivals(const ArrivalParams& params,
+                                    std::size_t count) {
+  validate(params);
+  if (params.model == ArrivalModel::kTrace) {
+    throw std::invalid_argument(
+        "generate_arrivals: trace arrivals come from arrivals_from_trace");
+  }
+  std::vector<Time> out;
+  out.reserve(count);
+  Xoshiro256 rng(params.seed);
+  Time now = 0.0;
+  if (params.model == ArrivalModel::kPoisson) {
+    for (std::size_t k = 0; k < count; ++k) {
+      now += sample_exponential(rng, params.rate);
+      out.push_back(now);
+    }
+  } else {
+    BurstProcess process(params, rng);
+    for (std::size_t k = 0; k < count; ++k) {
+      now += process.next_interarrival();
+      out.push_back(now);
+    }
+  }
+  return out;
+}
+
+std::vector<Time> generate_arrivals_until(const ArrivalParams& params,
+                                          Time duration) {
+  validate(params);
+  if (params.model == ArrivalModel::kTrace) {
+    throw std::invalid_argument(
+        "generate_arrivals_until: trace arrivals come from arrivals_from_trace");
+  }
+  if (!(duration >= 0.0) || !std::isfinite(duration)) {
+    throw std::invalid_argument(
+        "generate_arrivals_until: duration must be finite and non-negative");
+  }
+  std::vector<Time> out;
+  Xoshiro256 rng(params.seed);
+  Time now = 0.0;
+  if (params.model == ArrivalModel::kPoisson) {
+    while (true) {
+      now += sample_exponential(rng, params.rate);
+      if (now > duration) break;
+      out.push_back(now);
+    }
+  } else {
+    BurstProcess process(params, rng);
+    while (true) {
+      now += process.next_interarrival();
+      if (now > duration) break;
+      out.push_back(now);
+    }
+  }
+  return out;
+}
+
+std::vector<Time> arrivals_from_trace(const Trace& trace) {
+  if (!trace.has_arrivals()) {
+    throw std::invalid_argument(
+        "arrivals_from_trace: trace has no arrival column "
+        "(3-column estimate,actual,size format)");
+  }
+  std::vector<Time> out;
+  out.reserve(trace.size());
+  for (const TraceRecord& r : trace.records) {
+    if (!(r.arrival >= 0.0) || !std::isfinite(r.arrival)) {
+      throw std::invalid_argument(
+          "arrivals_from_trace: arrivals must be finite and non-negative");
+    }
+    out.push_back(r.arrival);
+  }
+  return out;
+}
+
+}  // namespace rdp

@@ -1,0 +1,65 @@
+// Arrival processes for the streaming dispatch service: deterministic
+// generators that turn an (model, rate, seed) description into a vector
+// of task release times. Three models:
+//
+//   kPoisson -- homogeneous Poisson process at `rate` tasks/sec
+//     (i.i.d. exponential interarrivals).
+//
+//   kBurst -- a two-phase Markov-modulated Poisson process (MMPP-2): an
+//     "on" phase firing at `rate * burst_boost` and an "off" phase whose
+//     rate is derived so the long-run mean rate is exactly `rate`. Phase
+//     holding times are exponential with means `burst_on` / `burst_off`.
+//     This is the classic bursty-traffic model: same average load as the
+//     Poisson stream, much heavier short-term queueing.
+//
+//   kTrace -- release times replayed from a workload trace's `arrival`
+//     column (see workload/trace.hpp); nothing is sampled.
+//
+// All sampling goes through rng/ (Xoshiro256 seeded by SplitMix64), so a
+// given (params, count) pair yields the same arrival vector on every
+// platform. Generators return times sorted ascending starting at >= 0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "workload/trace.hpp"
+
+namespace rdp {
+
+enum class ArrivalModel : std::uint8_t {
+  kPoisson,  ///< homogeneous Poisson at `rate`
+  kBurst,    ///< MMPP-2: on/off phases, long-run mean rate = `rate`
+  kTrace,    ///< replay the trace's arrival column
+};
+
+/// Parses "poisson" / "burst" / "trace" (throws std::invalid_argument on
+/// anything else).
+[[nodiscard]] ArrivalModel arrival_model_from_name(const std::string& name);
+[[nodiscard]] const char* arrival_model_name(ArrivalModel model);
+
+struct ArrivalParams {
+  ArrivalModel model = ArrivalModel::kPoisson;
+  double rate = 1.0;        ///< long-run mean arrivals per second (> 0)
+  double burst_boost = 4.0; ///< on-phase rate multiplier (> 1)
+  double burst_on = 1.0;    ///< mean seconds per on phase (> 0)
+  double burst_off = 4.0;   ///< mean seconds per off phase (> 0)
+  std::uint64_t seed = 1;
+};
+
+/// Exactly `count` arrival times of the process described by `params`.
+/// Sorted ascending, first arrival strictly after t = 0.
+[[nodiscard]] std::vector<Time> generate_arrivals(const ArrivalParams& params,
+                                                  std::size_t count);
+
+/// Every arrival of the process in (0, duration]. Sorted ascending.
+[[nodiscard]] std::vector<Time> generate_arrivals_until(
+    const ArrivalParams& params, Time duration);
+
+/// Release times from a trace's arrival column. Throws if the trace
+/// carries no arrivals (3-column format). Returned in record order --
+/// callers that need time order sort (serve_stream admits by time).
+[[nodiscard]] std::vector<Time> arrivals_from_trace(const Trace& trace);
+
+}  // namespace rdp

@@ -1,0 +1,49 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "sim/workspace.hpp"
+
+namespace rdp {
+
+Instance cycle_instance(const Instance& base, std::size_t count) {
+  const std::size_t n = base.num_tasks();
+  if (n == 0) {
+    throw std::invalid_argument("cycle_instance: base instance is empty");
+  }
+  std::vector<Task> tasks;
+  tasks.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    const TaskId b = static_cast<TaskId>(j % n);
+    tasks.push_back(Task{base.estimate(b), base.size(b)});
+  }
+  return Instance(std::move(tasks), base.num_machines(), base.alpha());
+}
+
+ServeReport run_serve(const Instance& instance, const Placement& placement,
+                      const Realization& actual,
+                      const std::vector<TaskId>& priority,
+                      std::span<const Time> arrivals,
+                      std::span<const double> speeds) {
+  using Clock = std::chrono::steady_clock;
+  StreamingDispatchResult result;
+  const auto begin = Clock::now();
+  serve_stream(instance, placement, actual, priority, arrivals, {}, speeds,
+               thread_workspace(), result);
+  const double seconds = std::chrono::duration<double>(Clock::now() - begin).count();
+
+  ServeReport report;
+  report.tasks = instance.num_tasks();
+  report.machines = instance.num_machines();
+  report.peak_backlog = result.peak_backlog;
+  report.wall_seconds = seconds;
+  report.dispatched_per_sec =
+      seconds > 0 ? static_cast<double>(report.tasks) / seconds : 0.0;
+  report.stats = compute_serve_stats(result.schedule, arrivals);
+  report.horizon = report.stats.last_finish;
+  return report;
+}
+
+}  // namespace rdp

@@ -1,0 +1,47 @@
+// Driver glue for the streaming service: runs one serve_stream pass
+// under a wall clock and folds the outcome into a flat report the CLI
+// and benches can print or serialize. Strategy selection, workload
+// generation, and arrival sampling stay with the caller (they are
+// already owned by algo/, workload/, and serve/arrivals) -- this layer
+// only measures and summarizes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/placement.hpp"
+#include "core/types.hpp"
+#include "serve/streaming_dispatcher.hpp"
+
+namespace rdp {
+
+class Instance;
+struct Realization;
+
+struct ServeReport {
+  std::size_t tasks = 0;
+  MachineId machines = 0;
+  std::size_t peak_backlog = 0;
+  double wall_seconds = 0;       ///< host time spent inside serve_stream
+  double dispatched_per_sec = 0; ///< tasks / wall_seconds
+  Time horizon = 0;              ///< simulated time: last finish
+  ServeStats stats;              ///< response / queue-wait / service
+};
+
+/// Tiles a base instance's task mix out to `count` tasks (task j is a
+/// copy of base task j mod n), keeping machines and alpha -- how a small
+/// recorded workload becomes the template for an arbitrarily long
+/// arrival stream. Throws if `base` is empty.
+[[nodiscard]] Instance cycle_instance(const Instance& base, std::size_t count);
+
+/// One streaming run, wall-clocked. Reuses the calling thread's
+/// workspace; repeated calls allocate nothing in steady state.
+[[nodiscard]] ServeReport run_serve(const Instance& instance,
+                                    const Placement& placement,
+                                    const Realization& actual,
+                                    const std::vector<TaskId>& priority,
+                                    std::span<const Time> arrivals,
+                                    std::span<const double> speeds = {});
+
+}  // namespace rdp

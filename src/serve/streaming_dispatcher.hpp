@@ -1,0 +1,97 @@
+// The streaming dispatcher: the paper's phase-2 semi-clairvoyant loop
+// lifted from one-shot (all n tasks known at t = 0, dispatch until
+// drained) to a long-lived service where tasks are released over time.
+//
+// A task becomes eligible at its arrival time; whenever a machine is
+// idle it takes the highest-priority *admitted* task whose replica set
+// contains it, or parks until an arrival makes one eligible. Decisions
+// still never look at actual durations -- arrivals only add a second
+// source of "now" alongside machine frees.
+//
+// The implementation keeps dispatch_online's layout and adds the minimum
+// on top: replica-set queues stay priority-sorted CSR slices, admission
+// flips a bit in a hierarchical bitmap over each queue's rank slots
+// (find-first-set replaces the offline head pointer), arrivals come from
+// a sorted cursor rather than the event queue, and a small (ready, id)
+// binary heap holds busy machines. Once the stream is exhausted the
+// surviving bits are compacted into dense per-queue lists and the drain
+// tail runs on plain head pointers at dispatch_online speed; a cohort
+// arriving in one instant skips the bitmaps entirely. All per-run state comes from the
+// SimWorkspace arena -- a serve loop that reuses one workspace performs
+// zero steady-state allocation. Equal-time ordering matches the offline
+// loop: every arrival at time t is admitted before any machine freed at
+// t dispatches, and machines freed at the same instant grab work in
+// machine-id order.
+//
+// Equivalence contract (fuzz-checked, see check/fuzz.cpp and
+// docs/SERVING.md): with every arrival at t = 0 ("drain mode") the
+// schedule and trace are bit-identical to dispatch_online -- same
+// floating-point arithmetic, same tie-breaks, same trace order.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/placement.hpp"
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+#include "obs/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace rdp {
+
+class Instance;
+struct Realization;
+class SimWorkspace;
+
+/// Result of a streaming run: the timed schedule, the chronological
+/// dispatch trace, and the high-water mark of admitted-but-unstarted
+/// tasks (the backlog a real queue would have held).
+struct StreamingDispatchResult {
+  Schedule schedule;
+  DispatchTrace trace;
+  std::size_t peak_backlog = 0;
+};
+
+/// Runs the streaming dispatch loop until every task has been served.
+///
+/// \param arrivals  per-task release times (finite, >= 0); task j cannot
+///                  start before arrivals[j]. Equal-time arrivals are
+///                  admitted in task-id order.
+/// \param priority / initial_ready / speeds  as in dispatch_online.
+[[nodiscard]] StreamingDispatchResult serve_stream(
+    const Instance& instance, const Placement& placement,
+    const Realization& actual, const std::vector<TaskId>& priority,
+    std::span<const Time> arrivals, std::vector<Time> initial_ready = {},
+    std::vector<double> speeds = {});
+
+/// Workspace form: per-run state is carved out of `ws`, results reuse
+/// `out`'s capacity (zero steady-state allocation across runs).
+void serve_stream(const Instance& instance, const Placement& placement,
+                  const Realization& actual, const std::vector<TaskId>& priority,
+                  std::span<const Time> arrivals,
+                  std::span<const Time> initial_ready,
+                  std::span<const double> speeds, SimWorkspace& ws,
+                  StreamingDispatchResult& out);
+
+/// Response-time decomposition of a streaming schedule: for each task,
+///   queue wait = start - arrival   (admission to first byte of work)
+///   service    = finish - start    (time on the machine)
+///   response   = finish - arrival  (what the caller experienced; sojourn)
+/// Built from the schedule after the fact through obs::Histogram (HDR
+/// quantiles, <= 0.8% error), so the dispatch loop itself carries no
+/// instrumentation. Summaries rather than the histograms themselves:
+/// a Histogram owns a mutex and cannot be returned by value.
+struct ServeStats {
+  obs::Histogram::Summary response;
+  obs::Histogram::Summary queue_wait;
+  obs::Histogram::Summary service;
+  Time first_arrival = 0;
+  Time last_finish = 0;
+};
+
+[[nodiscard]] ServeStats compute_serve_stats(const Schedule& schedule,
+                                             std::span<const Time> arrivals);
+
+}  // namespace rdp

@@ -63,6 +63,22 @@ class ReadyHeap {
     }
   }
 
+  /// Re-inserts a machine that was removed with retire_top(), ready at
+  /// `ready` -- how the streaming dispatcher wakes a parked machine at an
+  /// arrival. The span from init() holds all m machines and a machine is
+  /// in the heap at most once, so size_ never exceeds the capacity.
+  void push(Time ready, MachineId id) noexcept {
+    const Entry entry{ready, id};
+    std::uint32_t k = size_++;
+    while (k > 0) {
+      const std::uint32_t parent = (k - 1) / 2;
+      if (!before(entry, entries_[parent])) break;
+      entries_[k] = entries_[parent];
+      k = parent;
+    }
+    entries_[k] = entry;
+  }
+
  private:
   struct Entry {
     Time ready;

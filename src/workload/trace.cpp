@@ -10,11 +10,17 @@
 namespace rdp {
 
 void write_trace(std::ostream& out, const Trace& trace) {
-  out << "# rdp trace: one record per task (estimate,actual,size)\n";
+  const bool streaming = trace.has_arrivals();
+  out << "# rdp trace: one record per task (estimate,actual,size"
+      << (streaming ? ",arrival" : "") << ")\n";
   CsvWriter csv(out);
   csv.typed_row("trace", trace.size());
   for (const TraceRecord& r : trace.records) {
-    csv.typed_row(r.estimate, r.actual, r.size);
+    if (streaming) {
+      csv.typed_row(r.estimate, r.actual, r.size, r.arrival);
+    } else {
+      csv.typed_row(r.estimate, r.actual, r.size);
+    }
   }
 }
 
@@ -59,9 +65,18 @@ Trace parse_trace(const std::string& text) {
   }
   const auto declared = static_cast<std::size_t>(parse_cell(rows[0][1], "count"));
   Trace trace;
+  std::size_t width = 0;  // 3 or 4, locked in by the first record
   for (std::size_t r = 1; r < rows.size(); ++r) {
-    if (rows[r].size() != 3) {
-      throw std::invalid_argument("parse_trace: records need estimate,actual,size");
+    if (rows[r].size() != 3 && rows[r].size() != 4) {
+      throw std::invalid_argument(
+          "parse_trace: records need estimate,actual,size[,arrival]");
+    }
+    if (width == 0) {
+      width = rows[r].size();
+    } else if (rows[r].size() != width) {
+      throw std::invalid_argument(
+          "parse_trace: mixed 3- and 4-column records (arrival column must "
+          "cover every task or none)");
     }
     TraceRecord record;
     record.estimate = parse_cell(rows[r][0], "estimate");
@@ -69,6 +84,12 @@ Trace parse_trace(const std::string& text) {
     record.size = parse_cell(rows[r][2], "size");
     if (!(record.estimate > 0.0) || !(record.actual > 0.0) || record.size < 0.0) {
       throw std::invalid_argument("parse_trace: non-positive time or negative size");
+    }
+    if (width == 4) {
+      record.arrival = parse_cell(rows[r][3], "arrival");
+      if (!(record.arrival >= 0.0)) {
+        throw std::invalid_argument("parse_trace: negative arrival time");
+      }
     }
     trace.records.push_back(record);
   }
@@ -122,15 +143,25 @@ ReplayableWorkload workload_from_trace(const Trace& trace, MachineId num_machine
   return out;
 }
 
-Trace make_synthetic_trace(const Instance& instance, const Realization& actual) {
+Trace make_synthetic_trace(const Instance& instance, const Realization& actual,
+                           const std::vector<Time>& arrivals) {
   if (actual.size() != instance.num_tasks()) {
     throw std::invalid_argument("make_synthetic_trace: size mismatch");
+  }
+  if (!arrivals.empty() && arrivals.size() != instance.num_tasks()) {
+    throw std::invalid_argument("make_synthetic_trace: arrivals size mismatch");
   }
   Trace trace;
   trace.records.reserve(instance.num_tasks());
   for (TaskId j = 0; j < instance.num_tasks(); ++j) {
-    trace.records.push_back(
-        TraceRecord{instance.estimate(j), actual[j], instance.size(j)});
+    TraceRecord record{instance.estimate(j), actual[j], instance.size(j)};
+    if (!arrivals.empty()) {
+      if (!(arrivals[j] >= 0.0)) {
+        throw std::invalid_argument("make_synthetic_trace: negative arrival");
+      }
+      record.arrival = arrivals[j];
+    }
+    trace.records.push_back(record);
   }
   return trace;
 }

@@ -7,6 +7,12 @@
 // Format (after optional '#' comment lines):
 //   header row: trace,<num_records>
 //   one row per record: estimate,actual,size
+//   or, with release times: estimate,actual,size,arrival
+//
+// The 4-column form records when each task entered the system (seconds,
+// >= 0) and feeds the streaming dispatcher (serve/). A trace is either
+// all 3-column or all 4-column; mixing widths is a parse error. Traces
+// without the column replay as batch workloads (every task at t = 0).
 #pragma once
 
 #include <iosfwd>
@@ -23,12 +29,19 @@ struct TraceRecord {
   Time estimate = 0;
   Time actual = 0;
   double size = 1.0;
+  Time arrival = -1;  ///< release time; < 0 = not recorded (batch trace)
 };
 
 struct Trace {
   std::vector<TraceRecord> records;
 
   [[nodiscard]] std::size_t size() const noexcept { return records.size(); }
+
+  /// True when the trace was written in the 4-column streaming format
+  /// (parse enforces all-or-nothing, so checking one record suffices).
+  [[nodiscard]] bool has_arrivals() const noexcept {
+    return !records.empty() && records.front().arrival >= 0;
+  }
 };
 
 /// Serializes a trace to the CSV dialect above.
@@ -57,8 +70,11 @@ struct ReplayableWorkload {
                                                      double alpha_override = 0.0);
 
 /// Synthesizes a trace by pairing a generated instance with a noise-model
-/// realization -- useful for producing shareable test fixtures.
+/// realization -- useful for producing shareable test fixtures. Pass
+/// `arrivals` (one release time per task) to emit the 4-column streaming
+/// format; empty emits the batch 3-column form.
 [[nodiscard]] Trace make_synthetic_trace(const Instance& instance,
-                                         const Realization& actual);
+                                         const Realization& actual,
+                                         const std::vector<Time>& arrivals = {});
 
 }  // namespace rdp

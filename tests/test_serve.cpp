@@ -1,0 +1,554 @@
+// Tests for the streaming dispatch service (serve/): arrival-process
+// generators, the streaming dispatcher's semantics and its drain-mode
+// bit-parity contract with dispatch_online, response-time stats, and the
+// service-layer glue. docs/SERVING.md walks through the contracts
+// exercised here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "algo/dispatch_policies.hpp"
+#include "core/instance.hpp"
+#include "core/placement.hpp"
+#include "core/realization.hpp"
+#include "perturb/stochastic.hpp"
+#include "serve/arrivals.hpp"
+#include "serve/service.hpp"
+#include "serve/streaming_dispatcher.hpp"
+#include "sim/online_dispatcher.hpp"
+#include "workload/generators.hpp"
+#include "workload/trace.hpp"
+
+namespace rdp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Arrival processes
+
+TEST(Arrivals, PoissonSortedPositiveAndMeanRate) {
+  ArrivalParams params;
+  params.model = ArrivalModel::kPoisson;
+  params.rate = 20.0;
+  params.seed = 7;
+  const std::size_t n = 20000;
+  const std::vector<Time> arrivals = generate_arrivals(params, n);
+  ASSERT_EQ(arrivals.size(), n);
+  EXPECT_GT(arrivals.front(), 0.0);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+
+  // Interarrival gaps of a Poisson process are i.i.d. Exp(rate): the
+  // empirical mean must sit near 1/rate and, the exponential signature,
+  // the coefficient of variation near 1. Wide tolerances -- this is a
+  // fixed-seed sanity check, not a statistical test suite.
+  std::vector<double> gaps(n);
+  gaps[0] = arrivals[0];
+  for (std::size_t k = 1; k < n; ++k) gaps[k] = arrivals[k] - arrivals[k - 1];
+  double sum = 0.0;
+  for (double g : gaps) sum += g;
+  const double mean = sum / static_cast<double>(n);
+  EXPECT_NEAR(mean, 1.0 / params.rate, 0.05 / params.rate);
+  double var = 0.0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(n - 1);
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.05);
+}
+
+TEST(Arrivals, PoissonQuantilesMatchExponential) {
+  // KS-style check at a few fixed probes: the empirical CDF of the
+  // interarrival gaps stays within a few percent of 1 - exp(-rate x).
+  ArrivalParams params;
+  params.model = ArrivalModel::kPoisson;
+  params.rate = 5.0;
+  params.seed = 11;
+  const std::size_t n = 20000;
+  const std::vector<Time> arrivals = generate_arrivals(params, n);
+  std::vector<double> gaps(n);
+  gaps[0] = arrivals[0];
+  for (std::size_t k = 1; k < n; ++k) gaps[k] = arrivals[k] - arrivals[k - 1];
+  for (const double x : {0.05, 0.2, 0.5}) {
+    std::size_t below = 0;
+    for (double g : gaps) below += g <= x ? 1 : 0;
+    const double empirical = static_cast<double>(below) / static_cast<double>(n);
+    const double expected = 1.0 - std::exp(-params.rate * x);
+    EXPECT_NEAR(empirical, expected, 0.02) << "probe x=" << x;
+  }
+}
+
+TEST(Arrivals, BurstKeepsLongRunMeanRate) {
+  // The MMPP-2 off-phase rate is derived so the long-run mean equals
+  // `rate` exactly; over many phase cycles the realized rate converges.
+  ArrivalParams params;
+  params.model = ArrivalModel::kBurst;
+  params.rate = 50.0;
+  params.burst_boost = 4.0;
+  params.burst_on = 0.5;
+  params.burst_off = 2.0;
+  params.seed = 13;
+  const std::size_t n = 50000;
+  const std::vector<Time> arrivals = generate_arrivals(params, n);
+  ASSERT_EQ(arrivals.size(), n);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  const double realized = static_cast<double>(n) / arrivals.back();
+  EXPECT_NEAR(realized, params.rate, 0.1 * params.rate);
+}
+
+TEST(Arrivals, BurstIsBurstierThanPoisson) {
+  // Same mean rate, heavier short-term queueing: the gap coefficient of
+  // variation of the MMPP-2 stream must exceed the Poisson value of 1.
+  ArrivalParams poisson;
+  poisson.model = ArrivalModel::kPoisson;
+  poisson.rate = 50.0;
+  poisson.seed = 17;
+  ArrivalParams burst = poisson;
+  burst.model = ArrivalModel::kBurst;
+  burst.burst_boost = 4.0;
+  const std::size_t n = 30000;
+  const auto cv = [n](const std::vector<Time>& arrivals) {
+    std::vector<double> gaps(n);
+    gaps[0] = arrivals[0];
+    for (std::size_t k = 1; k < n; ++k) gaps[k] = arrivals[k] - arrivals[k - 1];
+    double mean = 0.0;
+    for (double g : gaps) mean += g;
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (double g : gaps) var += (g - mean) * (g - mean);
+    return std::sqrt(var / static_cast<double>(n - 1)) / mean;
+  };
+  EXPECT_GT(cv(generate_arrivals(burst, n)),
+            cv(generate_arrivals(poisson, n)) + 0.2);
+}
+
+TEST(Arrivals, UntilDurationStaysInWindow) {
+  ArrivalParams params;
+  params.model = ArrivalModel::kPoisson;
+  params.rate = 100.0;
+  params.seed = 3;
+  const Time duration = 50.0;
+  const std::vector<Time> arrivals = generate_arrivals_until(params, duration);
+  ASSERT_FALSE(arrivals.empty());
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  EXPECT_GT(arrivals.front(), 0.0);
+  EXPECT_LE(arrivals.back(), duration);
+  // ~rate * duration arrivals in expectation.
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), params.rate * duration,
+              0.15 * params.rate * duration);
+}
+
+TEST(Arrivals, TraceRoundTripThroughIo) {
+  // Release times survive the 4-column trace format to the format's
+  // printed precision: synthesize -> serialize -> parse -> extract.
+  WorkloadParams wp;
+  wp.num_tasks = 64;
+  wp.num_machines = 4;
+  wp.alpha = 2.0;
+  wp.seed = 9;
+  const Instance instance = uniform_workload(wp, 1.0, 10.0);
+  const Realization actual = realize(instance, NoiseModel::kUniform, 10);
+  ArrivalParams params;
+  params.model = ArrivalModel::kPoisson;
+  params.rate = 8.0;
+  params.seed = 21;
+  const std::vector<Time> arrivals = generate_arrivals(params, wp.num_tasks);
+
+  const Trace trace = make_synthetic_trace(instance, actual, arrivals);
+  ASSERT_TRUE(trace.has_arrivals());
+  const Trace back = parse_trace(trace_to_string(trace));
+  ASSERT_TRUE(back.has_arrivals());
+  const std::vector<Time> round = arrivals_from_trace(back);
+  ASSERT_EQ(round.size(), arrivals.size());
+  for (std::size_t j = 0; j < arrivals.size(); ++j) {
+    EXPECT_NEAR(round[j], arrivals[j], 1e-9 * (1.0 + arrivals[j]))
+        << "task " << j;
+  }
+}
+
+TEST(Arrivals, BatchTraceHasNoArrivalColumn) {
+  WorkloadParams wp;
+  wp.num_tasks = 8;
+  wp.num_machines = 2;
+  wp.alpha = 2.0;
+  wp.seed = 1;
+  const Instance instance = uniform_workload(wp, 1.0, 4.0);
+  const Realization actual = realize(instance, NoiseModel::kUniform, 2);
+  const Trace batch = make_synthetic_trace(instance, actual);
+  EXPECT_FALSE(batch.has_arrivals());
+  EXPECT_THROW((void)arrivals_from_trace(batch), std::invalid_argument);
+}
+
+TEST(Arrivals, ModelNamesRoundTrip) {
+  EXPECT_EQ(arrival_model_from_name("poisson"), ArrivalModel::kPoisson);
+  EXPECT_EQ(arrival_model_from_name("burst"), ArrivalModel::kBurst);
+  EXPECT_EQ(arrival_model_from_name("trace"), ArrivalModel::kTrace);
+  EXPECT_THROW((void)arrival_model_from_name("nope"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming dispatcher: drain-mode bit-parity with dispatch_online
+
+void expect_bit_identical(const StreamingDispatchResult& serve,
+                          const DispatchResult& offline, std::size_t n) {
+  ASSERT_EQ(serve.trace.size(), offline.trace.size());
+  for (TaskId j = 0; j < n; ++j) {
+    ASSERT_EQ(serve.schedule.assignment.machine_of[j],
+              offline.schedule.assignment.machine_of[j])
+        << "assignment diverges at task " << j;
+    ASSERT_EQ(serve.schedule.start[j], offline.schedule.start[j]);
+    ASSERT_EQ(serve.schedule.finish[j], offline.schedule.finish[j]);
+  }
+  for (std::size_t e = 0; e < serve.trace.size(); ++e) {
+    ASSERT_EQ(serve.trace.events[e].when, offline.trace.events[e].when);
+    ASSERT_EQ(serve.trace.events[e].task, offline.trace.events[e].task);
+    ASSERT_EQ(serve.trace.events[e].machine, offline.trace.events[e].machine);
+    ASSERT_EQ(serve.trace.events[e].actual, offline.trace.events[e].actual);
+  }
+}
+
+TEST(ServeDrainParity, TwoHundredSeedsBitExact) {
+  // The acceptance contract: with every arrival at t = 0 the streaming
+  // dispatcher IS dispatch_online -- same machines, same floating-point
+  // start/finish arithmetic, same trace order -- across 200 randomized
+  // (workload, placement, speeds, initial_ready) draws.
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    WorkloadParams wp;
+    wp.num_tasks = 40 + (seed % 7) * 25;
+    wp.num_machines = static_cast<MachineId>(2 + seed % 7);
+    wp.alpha = 1.5 + 0.1 * static_cast<double>(seed % 4);
+    wp.seed = seed;
+    const Instance instance = uniform_workload(wp, 1.0, 10.0);
+    const std::size_t n = instance.num_tasks();
+    const MachineId m = instance.num_machines();
+
+    const MachineId groups = 1 + static_cast<MachineId>(seed % m);
+    std::vector<MachineId> group_of(n);
+    for (TaskId j = 0; j < n; ++j) {
+      group_of[j] = static_cast<MachineId>((j + seed) % groups);
+    }
+    const Placement placement =
+        m % groups == 0 ? Placement::in_groups(group_of, groups, m)
+                        : Placement::everywhere(n, m);
+    const std::vector<TaskId> priority = make_priority(
+        instance, seed % 2 == 0 ? PriorityRule::kLongestEstimateFirst
+                                : PriorityRule::kShortestEstimateFirst);
+    const Realization actual =
+        realize(instance, NoiseModel::kUniform, seed + 1000);
+
+    std::vector<Time> initial_ready;
+    std::vector<double> speeds;
+    if (seed % 3 == 1) {
+      initial_ready.resize(m);
+      speeds.resize(m);
+      for (MachineId i = 0; i < m; ++i) {
+        initial_ready[i] = static_cast<Time>((i * 7 + seed) % 5);
+        speeds[i] = 0.5 + 0.25 * static_cast<double>((i + seed) % 6);
+      }
+    }
+
+    const std::vector<Time> zeros(n, Time{0});
+    const StreamingDispatchResult drained =
+        serve_stream(instance, placement, actual, priority, zeros,
+                     initial_ready, speeds);
+    const DispatchResult offline = dispatch_online(
+        instance, placement, actual, priority, initial_ready, speeds);
+    expect_bit_identical(drained, offline, n);
+    EXPECT_EQ(drained.peak_backlog, n) << "seed " << seed;
+  }
+}
+
+TEST(ServeDrainParity, StaggeredArrivalsBeforeFirstFreeStillBitExact) {
+  // Arrivals that differ but all land before any machine becomes ready
+  // are semantically drain mode, yet take the bitmap admission path and
+  // the stream-exhaustion compaction rather than the equal-time cohort
+  // shortcut -- so this pins the general machinery to the offline
+  // schedule too.
+  WorkloadParams wp;
+  wp.num_tasks = 300;
+  wp.num_machines = 6;
+  wp.alpha = 1.7;
+  wp.seed = 77;
+  const Instance instance = uniform_workload(wp, 1.0, 10.0);
+  const std::size_t n = instance.num_tasks();
+  std::vector<MachineId> group_of(n);
+  for (TaskId j = 0; j < n; ++j) group_of[j] = j % 3;
+  const Placement placement = Placement::in_groups(group_of, 3, 6);
+  const std::vector<TaskId> priority =
+      make_priority(instance, PriorityRule::kLongestEstimateFirst);
+  const Realization actual = realize(instance, NoiseModel::kTwoPoint, 78);
+
+  std::vector<Time> arrivals(n);
+  for (TaskId j = 0; j < n; ++j) {
+    arrivals[j] = 5.0 * static_cast<Time>(j) / static_cast<Time>(n);
+  }
+  const std::vector<Time> ready(wp.num_machines, Time{5.0});
+
+  const StreamingDispatchResult streamed =
+      serve_stream(instance, placement, actual, priority, arrivals,
+                   std::vector<Time>(ready), {});
+  const DispatchResult offline = dispatch_online(
+      instance, placement, actual, priority, std::vector<Time>(ready), {});
+  expect_bit_identical(streamed, offline, n);
+  EXPECT_EQ(streamed.peak_backlog, n);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming dispatcher: online semantics
+
+struct ServeFixture {
+  Instance instance;
+  Placement placement;
+  std::vector<TaskId> priority;
+  Realization actual;
+  std::vector<Time> arrivals;
+};
+
+ServeFixture poisson_fixture(std::size_t n, MachineId m, MachineId groups,
+                             double rate, std::uint64_t seed) {
+  WorkloadParams wp;
+  wp.num_tasks = n;
+  wp.num_machines = m;
+  wp.alpha = 1.5;
+  wp.seed = seed;
+  Instance instance = uniform_workload(wp, 1.0, 10.0);
+  std::vector<MachineId> group_of(n);
+  for (TaskId j = 0; j < n; ++j) group_of[j] = j % groups;
+  Placement placement = Placement::in_groups(group_of, groups, m);
+  std::vector<TaskId> priority =
+      make_priority(instance, PriorityRule::kLongestEstimateFirst);
+  Realization actual = realize(instance, NoiseModel::kUniform, seed + 1);
+  ArrivalParams params;
+  params.model = ArrivalModel::kPoisson;
+  params.rate = rate;
+  params.seed = seed + 2;
+  std::vector<Time> arrivals = generate_arrivals(params, n);
+  return {std::move(instance), std::move(placement), std::move(priority),
+          std::move(actual), std::move(arrivals)};
+}
+
+TEST(ServeStream, OnlineInvariantsHold) {
+  const ServeFixture fx = poisson_fixture(800, 8, 4, 30.0, 5);
+  const std::size_t n = fx.instance.num_tasks();
+  const StreamingDispatchResult result = serve_stream(
+      fx.instance, fx.placement, fx.actual, fx.priority, fx.arrivals);
+
+  ASSERT_EQ(result.trace.size(), n);
+  std::vector<int> dispatched(n, 0);
+  Time prev = 0.0;
+  for (const DispatchEvent& e : result.trace.events) {
+    // Chronological trace, each task exactly once, on an allowed machine.
+    EXPECT_GE(e.when, prev);
+    prev = e.when;
+    ASSERT_LT(e.task, n);
+    EXPECT_EQ(dispatched[e.task]++, 0);
+    EXPECT_TRUE(fx.placement.allows(e.task, e.machine));
+    // A task can never start before it arrives.
+    EXPECT_GE(e.when, fx.arrivals[e.task]) << "task " << e.task;
+  }
+  for (TaskId j = 0; j < n; ++j) {
+    EXPECT_EQ(dispatched[j], 1);
+    EXPECT_DOUBLE_EQ(result.schedule.finish[j],
+                     result.schedule.start[j] + fx.actual[j]);
+  }
+  EXPECT_GE(result.peak_backlog, 1u);
+  EXPECT_LE(result.peak_backlog, n);
+}
+
+TEST(ServeStream, DispatchRespectsPriorityAmongAdmitted) {
+  // Replay oracle for the admission bitmaps: at every dispatch, the
+  // chosen task must be the highest-priority (lowest-rank) task that had
+  // arrived by then (ties: arrivals at t are admitted before dispatches
+  // at t), was not yet dispatched, and whose replica set contains the
+  // machine.
+  const ServeFixture fx = poisson_fixture(400, 6, 3, 25.0, 8);
+  const std::size_t n = fx.instance.num_tasks();
+  const StreamingDispatchResult result = serve_stream(
+      fx.instance, fx.placement, fx.actual, fx.priority, fx.arrivals);
+
+  std::vector<std::uint32_t> rank_of(n);
+  for (std::uint32_t r = 0; r < n; ++r) rank_of[fx.priority[r]] = r;
+  std::vector<int> done(n, 0);
+  for (const DispatchEvent& e : result.trace.events) {
+    for (TaskId j = 0; j < n; ++j) {
+      if (done[j] || j == e.task) continue;
+      if (fx.arrivals[j] > e.when) continue;
+      if (!fx.placement.allows(j, e.machine)) continue;
+      EXPECT_GT(rank_of[j], rank_of[e.task])
+          << "machine " << e.machine << " at t=" << e.when << " ran task "
+          << e.task << " past higher-priority admitted task " << j;
+    }
+    done[e.task] = 1;
+  }
+}
+
+TEST(ServeStream, IdleMachineWaitsForArrivalsAndWakes) {
+  // One machine, gapped arrivals: the machine must go idle after the
+  // first task and pick up each later task at its arrival instant.
+  const Instance instance = Instance::from_estimates({4.0, 2.0, 3.0}, 1, 2.0);
+  const Placement placement = Placement::everywhere(3, 1);
+  const std::vector<TaskId> priority = {0, 1, 2};
+  const Realization actual{{1.0, 1.0, 2.0}};
+  const std::vector<Time> arrivals = {0.0, 5.0, 5.5};
+
+  const StreamingDispatchResult result =
+      serve_stream(instance, placement, actual, priority, arrivals);
+  EXPECT_DOUBLE_EQ(result.schedule.start[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.schedule.finish[0], 1.0);
+  // Parked from t=1 to the arrival at t=5.
+  EXPECT_DOUBLE_EQ(result.schedule.start[1], 5.0);
+  EXPECT_DOUBLE_EQ(result.schedule.finish[1], 6.0);
+  // Task 2 arrived at 5.5 while the machine was busy; starts when free.
+  EXPECT_DOUBLE_EQ(result.schedule.start[2], 6.0);
+  EXPECT_DOUBLE_EQ(result.schedule.finish[2], 8.0);
+  EXPECT_EQ(result.peak_backlog, 1u);
+}
+
+TEST(ServeStream, LaterArrivalOfHigherPriorityTaskPreemptsQueueOrder) {
+  // Task 0 has the highest priority but arrives last: earlier arrivals
+  // must not wait for it, and once it lands it goes next.
+  const Instance instance = Instance::from_estimates({9.0, 2.0, 2.0, 2.0}, 1, 2.0);
+  const Placement placement = Placement::everywhere(4, 1);
+  const std::vector<TaskId> priority = {0, 1, 2, 3};
+  const Realization actual{{9.0, 2.0, 2.0, 2.0}};
+  const std::vector<Time> arrivals = {3.0, 0.0, 0.0, 0.0};
+
+  const StreamingDispatchResult result =
+      serve_stream(instance, placement, actual, priority, arrivals);
+  // t=0: only tasks 1..3 admitted; rank order runs task 1 (finish 2).
+  EXPECT_DOUBLE_EQ(result.schedule.start[1], 0.0);
+  // t=2: task 0 not yet arrived; task 2 runs (finish 4).
+  EXPECT_DOUBLE_EQ(result.schedule.start[2], 2.0);
+  // t=4: task 0 (arrived at 3) outranks task 3.
+  EXPECT_DOUBLE_EQ(result.schedule.start[0], 4.0);
+  EXPECT_DOUBLE_EQ(result.schedule.start[3], 13.0);
+}
+
+TEST(ServeStream, HeterogeneousSpeedsScaleDurations) {
+  const ServeFixture fx = poisson_fixture(200, 4, 2, 20.0, 12);
+  const std::size_t n = fx.instance.num_tasks();
+  const std::vector<double> speeds = {1.0, 2.0, 0.5, 4.0};
+  const StreamingDispatchResult result =
+      serve_stream(fx.instance, fx.placement, fx.actual, fx.priority,
+                   fx.arrivals, {}, std::vector<double>(speeds));
+  for (TaskId j = 0; j < n; ++j) {
+    const MachineId i = result.schedule.assignment.machine_of[j];
+    // finish = start + actual / speed, reproduced operation for
+    // operation (subtracting start back off would reintroduce rounding).
+    EXPECT_DOUBLE_EQ(result.schedule.finish[j],
+                     result.schedule.start[j] + fx.actual[j] / speeds[i]);
+  }
+}
+
+TEST(ServeStream, DeterministicAcrossRepeatedRuns) {
+  const ServeFixture fx = poisson_fixture(500, 8, 4, 40.0, 19);
+  const StreamingDispatchResult a = serve_stream(
+      fx.instance, fx.placement, fx.actual, fx.priority, fx.arrivals);
+  const StreamingDispatchResult b = serve_stream(
+      fx.instance, fx.placement, fx.actual, fx.priority, fx.arrivals);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  EXPECT_EQ(a.peak_backlog, b.peak_backlog);
+  for (std::size_t e = 0; e < a.trace.size(); ++e) {
+    EXPECT_EQ(a.trace.events[e].task, b.trace.events[e].task);
+    EXPECT_EQ(a.trace.events[e].machine, b.trace.events[e].machine);
+    EXPECT_EQ(a.trace.events[e].when, b.trace.events[e].when);
+  }
+}
+
+TEST(ServeStream, UnsortedArrivalsAdmitInTimeOrder) {
+  // Arrival vectors are per-task and need not be sorted; admission order
+  // is (time, id). Reversing the assignment of the same arrival times
+  // must still produce starts no earlier than each task's release.
+  const Instance instance = Instance::from_estimates({2.0, 2.0, 2.0, 2.0}, 2, 2.0);
+  const Placement placement = Placement::everywhere(4, 2);
+  const std::vector<TaskId> priority = {0, 1, 2, 3};
+  const Realization actual{{2.0, 2.0, 2.0, 2.0}};
+  const std::vector<Time> arrivals = {6.0, 4.0, 2.0, 0.0};
+
+  const StreamingDispatchResult result =
+      serve_stream(instance, placement, actual, priority, arrivals);
+  for (TaskId j = 0; j < 4; ++j) {
+    EXPECT_GE(result.schedule.start[j], arrivals[j]) << "task " << j;
+  }
+  // Task 3 (arrives first) starts immediately despite lowest priority.
+  EXPECT_DOUBLE_EQ(result.schedule.start[3], 0.0);
+}
+
+TEST(ServeStream, ValidatesInputs) {
+  const Instance instance = Instance::from_estimates({1.0, 2.0}, 2, 2.0);
+  const Placement placement = Placement::everywhere(2, 2);
+  const std::vector<TaskId> priority = {0, 1};
+  const Realization actual{{1.0, 2.0}};
+  const std::vector<Time> ok = {0.0, 0.0};
+
+  EXPECT_NO_THROW(
+      (void)serve_stream(instance, placement, actual, priority, ok));
+  const std::vector<Time> short_arrivals = {0.0};
+  EXPECT_THROW((void)serve_stream(instance, placement, actual, priority,
+                                  short_arrivals),
+               std::invalid_argument);
+  const std::vector<Time> negative = {-1.0, 0.0};
+  EXPECT_THROW(
+      (void)serve_stream(instance, placement, actual, priority, negative),
+      std::invalid_argument);
+  const std::vector<Time> nan = {std::nan(""), 0.0};
+  EXPECT_THROW((void)serve_stream(instance, placement, actual, priority, nan),
+               std::invalid_argument);
+  const std::vector<TaskId> bad_priority = {0, 0};
+  EXPECT_THROW(
+      (void)serve_stream(instance, placement, actual, bad_priority, ok),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Response-time stats and the service layer
+
+TEST(ServeStats, DecomposesResponseIntoWaitAndService) {
+  const ServeFixture fx = poisson_fixture(600, 8, 4, 30.0, 23);
+  const StreamingDispatchResult result = serve_stream(
+      fx.instance, fx.placement, fx.actual, fx.priority, fx.arrivals);
+  const ServeStats stats = compute_serve_stats(result.schedule, fx.arrivals);
+
+  EXPECT_EQ(stats.response.count, fx.instance.num_tasks());
+  // response = queue wait + service, so the means must add up (each
+  // histogram carries <= 0.8% quantile error, but means are exact sums).
+  EXPECT_NEAR(stats.response.mean,
+              stats.queue_wait.mean + stats.service.mean,
+              1e-6 * stats.response.mean);
+  EXPECT_GE(stats.queue_wait.min, 0.0);
+  EXPECT_LE(stats.response.p50, stats.response.p99);
+  EXPECT_GT(stats.service.mean, 0.0);
+  EXPECT_DOUBLE_EQ(stats.first_arrival, fx.arrivals[0]);
+  const Time max_finish =
+      *std::max_element(result.schedule.finish.begin(),
+                        result.schedule.finish.end());
+  EXPECT_DOUBLE_EQ(stats.last_finish, max_finish);
+}
+
+TEST(ServeService, RunServeReportsThroughputAndHorizon) {
+  const ServeFixture fx = poisson_fixture(400, 4, 2, 50.0, 31);
+  const ServeReport report = run_serve(fx.instance, fx.placement, fx.actual,
+                                       fx.priority, fx.arrivals);
+  EXPECT_EQ(report.tasks, fx.instance.num_tasks());
+  EXPECT_EQ(report.machines, fx.instance.num_machines());
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.dispatched_per_sec, 0.0);
+  EXPECT_GT(report.horizon, fx.arrivals.back());
+  EXPECT_GE(report.peak_backlog, 1u);
+}
+
+TEST(ServeService, CycleInstanceTilesTaskMix) {
+  const Instance base = Instance::from_estimates({1.0, 2.0, 3.0}, 4, 1.8);
+  const Instance cycled = cycle_instance(base, 8);
+  ASSERT_EQ(cycled.num_tasks(), 8u);
+  EXPECT_EQ(cycled.num_machines(), base.num_machines());
+  EXPECT_DOUBLE_EQ(cycled.alpha(), base.alpha());
+  for (TaskId j = 0; j < 8; ++j) {
+    EXPECT_DOUBLE_EQ(cycled.estimate(j), base.estimate(j % 3));
+  }
+  EXPECT_THROW((void)cycle_instance(Instance{}, 4),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rdp

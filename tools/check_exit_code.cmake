@@ -1,0 +1,22 @@
+# Runs a command and fails unless it exits with the expected status.
+# CTest's PASS_REGULAR_EXPRESSION ignores exit codes and WILL_FAIL only
+# distinguishes zero from nonzero, so the pinned-exit-code tests (usage
+# errors must be 2, runtime failures 1 -- see rdp_cli.cpp) go through
+# this script instead.
+#
+# Usage: cmake -DCLI=<path> -DEXPECTED=<code> -DARGS="<flag;flag;...>"
+#        -P check_exit_code.cmake
+if(NOT DEFINED CLI OR NOT DEFINED EXPECTED)
+  message(FATAL_ERROR "check_exit_code.cmake: need -DCLI= and -DEXPECTED=")
+endif()
+separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND "${CLI}" ${arg_list}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL "${EXPECTED}")
+  message(FATAL_ERROR
+          "expected exit ${EXPECTED}, got '${rc}' from: ${CLI} ${ARGS}\n"
+          "stdout: ${out}\nstderr: ${err}")
+endif()

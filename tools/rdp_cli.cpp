@@ -29,6 +29,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,10 +39,15 @@ namespace {
 
 using namespace rdp;
 
+/// Exit codes, pinned by the CLI tests: bad usage (unknown command, bad
+/// or missing flags -- anything surfacing as std::invalid_argument) is 2
+/// with a usage hint; runtime failures (I/O, gate regressions) are 1.
+constexpr int kExitUsage = 2;
+
 int usage(const char* program) {
   std::cerr
       << "usage: " << program
-      << " <generate|realize|run|evaluate|sweep|bounds|repro|fuzz|perf>"
+      << " <generate|realize|run|serve|evaluate|sweep|bounds|repro|fuzz|perf>"
          " [--flags]\n\n"
          "  generate --kind=uniform|heavy-tailed|bimodal|lognormal|"
          "correlated|anti-correlated|independent|unit|profile:NAME\n"
@@ -49,6 +55,15 @@ int usage(const char* program) {
          "  realize  --instance=FILE --noise=MODEL --seed=S --out=TRACE\n"
          "  run      --instance=FILE --strategy=SPEC [--trace=TRACE]\n"
          "           [--noise=MODEL --seed=S] [--svg=FILE] [--json=FILE]\n"
+         "  serve    --arrivals=poisson|burst|trace [--rate=R]\n"
+         "           [--tasks=N | --duration=S] [--strategy=SPEC]\n"
+         "           [--kind=KIND --m=M --alpha=A | --instance=FILE]\n"
+         "           [--noise=MODEL] [--seed=S] [--arrival-seed=S]\n"
+         "           [--burst-boost=B --burst-on=T --burst-off=T]\n"
+         "           [--trace=FILE] [--json=FILE]\n"
+         "           (streaming dispatch under continuous arrivals;\n"
+         "            reports response-time p50/p90/p99, queueing-delay\n"
+         "            decomposition, and dispatched tasks/sec)\n"
          "  evaluate --instance=FILE [--scenarios=K] [--seed=S]\n"
          "  sweep    --instance=FILE --strategy=SPEC [--noise=MODEL]\n"
          "           [--trials=K] [--threads=T] [--seed=S] [--json=FILE]\n"
@@ -86,7 +101,7 @@ int usage(const char* program) {
   for (const std::string& spec : known_strategy_specs()) std::cerr << ' ' << spec;
   std::cerr << "\nnoise models: none uniform log-uniform two-point"
                " beta-centered always-high always-low\n";
-  return EXIT_FAILURE;
+  return kExitUsage;
 }
 
 NoiseModel noise_from_name(const std::string& name) {
@@ -96,9 +111,10 @@ NoiseModel noise_from_name(const std::string& name) {
   throw std::invalid_argument("unknown noise model '" + name + "'");
 }
 
-Instance generate_instance(const Args& args) {
+Instance generate_instance(const Args& args, std::size_t force_n = 0) {
   WorkloadParams params;
-  params.num_tasks = static_cast<std::size_t>(args.get("n", std::int64_t{40}));
+  params.num_tasks =
+      force_n ? force_n : static_cast<std::size_t>(args.get("n", std::int64_t{40}));
   params.num_machines = static_cast<MachineId>(args.get("m", std::int64_t{8}));
   params.alpha = args.get("alpha", 1.5);
   params.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{1}));
@@ -325,6 +341,134 @@ int cmd_sweep(const Args& args) {
       report.attach_metrics(mx->snapshot());
     }
     report.save_json(json_path);
+    std::cout << "JSON written to " << json_path << "\n";
+  }
+  return EXIT_SUCCESS;
+}
+
+void write_text_file(const std::string& path, const std::string& content);
+
+int cmd_serve(const Args& args) {
+  const ArrivalModel model =
+      arrival_model_from_name(args.get("arrivals", std::string("poisson")));
+  const TwoPhaseStrategy strategy =
+      strategy_from_spec(args.get("strategy", std::string("ls-group:2")));
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{1}));
+
+  std::vector<Time> arrivals;
+  std::optional<Instance> inst;
+  Realization actual;
+
+  if (model == ArrivalModel::kTrace) {
+    const std::string trace_path = args.get("trace", std::string(""));
+    if (trace_path.empty()) {
+      throw std::invalid_argument("serve: --arrivals=trace requires --trace=FILE");
+    }
+    const Trace trace = load_trace(trace_path);
+    arrivals = arrivals_from_trace(trace);
+    ReplayableWorkload workload = workload_from_trace(
+        trace, static_cast<MachineId>(args.get("m", std::int64_t{8})));
+    inst.emplace(std::move(workload.instance));
+    actual = std::move(workload.actual);
+  } else {
+    ArrivalParams params;
+    params.model = model;
+    params.rate = args.get("rate", 100.0);
+    params.burst_boost = args.get("burst-boost", 4.0);
+    params.burst_on = args.get("burst-on", 1.0);
+    params.burst_off = args.get("burst-off", 4.0);
+    params.seed = static_cast<std::uint64_t>(args.get(
+        "arrival-seed", static_cast<std::int64_t>(seed + 1)));
+    if (args.has("duration") && args.has("tasks")) {
+      throw std::invalid_argument("serve: pass --duration or --tasks, not both");
+    }
+    if (args.has("duration")) {
+      arrivals = generate_arrivals_until(params, args.get("duration", 10.0));
+      if (arrivals.empty()) {
+        throw std::invalid_argument(
+            "serve: no arrivals inside --duration (raise --rate or --duration)");
+      }
+    } else {
+      const auto tasks =
+          static_cast<std::size_t>(args.get("tasks", std::int64_t{2000}));
+      if (tasks == 0) throw std::invalid_argument("serve: --tasks must be >= 1");
+      arrivals = generate_arrivals(params, tasks);
+    }
+    const std::string instance_path = args.get("instance", std::string(""));
+    if (!instance_path.empty()) {
+      // A file instance acts as the task-mix template; it is cycled to
+      // cover however many tasks the arrival process produced.
+      inst.emplace(cycle_instance(load_instance(instance_path), arrivals.size()));
+    } else {
+      inst.emplace(generate_instance(args, arrivals.size()));
+    }
+    actual = realize(*inst, noise_from_name(args.get("noise", std::string("uniform"))),
+                     seed);
+  }
+
+  const Placement placement = strategy.place(*inst);
+  const std::vector<TaskId> priority = make_priority(*inst, strategy.rule());
+  const ServeReport report =
+      run_serve(*inst, placement, actual, priority, arrivals);
+
+  // Offered load over the arrival window (the horizon also counts the
+  // final drain, which would understate the rate).
+  const Time last_arrival =
+      arrivals.empty() ? Time{0} : *std::max_element(arrivals.begin(), arrivals.end());
+  const double offered =
+      last_arrival > 0 ? static_cast<double>(report.tasks) / last_arrival : 0;
+  TextTable table({"quantity", "value"});
+  table.add_row({"arrivals", arrival_model_name(model)});
+  table.add_row({"strategy", strategy.name()});
+  table.add_row({"tasks", std::to_string(report.tasks)});
+  table.add_row({"machines", std::to_string(report.machines)});
+  table.add_row({"offered rate (sim tasks/s)", fmt(offered, 2)});
+  table.add_row({"peak backlog", std::to_string(report.peak_backlog)});
+  table.add_row({"horizon (sim s)", fmt(report.horizon, 3)});
+  table.add_row({"response p50/p90/p99",
+                 fmt(report.stats.response.p50, 4) + " / " +
+                     fmt(report.stats.response.p90, 4) + " / " +
+                     fmt(report.stats.response.p99, 4)});
+  table.add_row({"queue wait p50/p90/p99",
+                 fmt(report.stats.queue_wait.p50, 4) + " / " +
+                     fmt(report.stats.queue_wait.p90, 4) + " / " +
+                     fmt(report.stats.queue_wait.p99, 4)});
+  table.add_row({"mean response", fmt(report.stats.response.mean, 4)});
+  table.add_row({"mean service", fmt(report.stats.service.mean, 4)});
+  table.add_row({"wall seconds", fmt(report.wall_seconds, 4)});
+  table.add_row({"dispatched tasks/sec (wall)", fmt(report.dispatched_per_sec, 0)});
+  std::cout << table.render();
+
+  const std::string json_path = args.get("json", std::string(""));
+  if (!json_path.empty()) {
+    JsonObject obj;
+    obj["arrivals"] = JsonValue(std::string(arrival_model_name(model)));
+    obj["strategy"] = JsonValue(strategy.name());
+    obj["tasks"] = JsonValue(static_cast<unsigned long long>(report.tasks));
+    obj["machines"] = JsonValue(static_cast<unsigned long long>(report.machines));
+    obj["peak_backlog"] =
+        JsonValue(static_cast<unsigned long long>(report.peak_backlog));
+    obj["horizon"] = JsonValue(report.horizon);
+    obj["offered_rate"] = JsonValue(offered);
+    obj["wall_seconds"] = JsonValue(report.wall_seconds);
+    obj["dispatched_per_sec"] = JsonValue(report.dispatched_per_sec);
+    JsonObject response;
+    response["mean"] = JsonValue(report.stats.response.mean);
+    response["p50"] = JsonValue(report.stats.response.p50);
+    response["p90"] = JsonValue(report.stats.response.p90);
+    response["p99"] = JsonValue(report.stats.response.p99);
+    obj["response"] = JsonValue(std::move(response));
+    JsonObject queue_wait;
+    queue_wait["mean"] = JsonValue(report.stats.queue_wait.mean);
+    queue_wait["p50"] = JsonValue(report.stats.queue_wait.p50);
+    queue_wait["p90"] = JsonValue(report.stats.queue_wait.p90);
+    queue_wait["p99"] = JsonValue(report.stats.queue_wait.p99);
+    obj["queue_wait"] = JsonValue(std::move(queue_wait));
+    JsonObject service;
+    service["mean"] = JsonValue(report.stats.service.mean);
+    service["p99"] = JsonValue(report.stats.service.p99);
+    obj["service"] = JsonValue(std::move(service));
+    write_text_file(json_path, JsonValue(std::move(obj)).dump(2) + "\n");
     std::cout << "JSON written to " << json_path << "\n";
   }
   return EXIT_SUCCESS;
@@ -678,6 +822,8 @@ int main(int argc, char** argv) {
       status = cmd_realize(args);
     } else if (command == "run") {
       status = cmd_run(args);
+    } else if (command == "serve") {
+      status = cmd_serve(args);
     } else if (command == "evaluate") {
       status = cmd_evaluate(args);
     } else if (command == "sweep") {
@@ -709,6 +855,13 @@ int main(int argc, char** argv) {
       std::cout << "trace written to " << trace_path << "\n";
     }
     return status;
+  } catch (const std::invalid_argument& error) {
+    // Bad or missing flag values from any subcommand surface here: one
+    // consistent message, a usage pointer, and the usage exit code.
+    std::cerr << "error: " << error.what() << "\n"
+              << "run '" << argv[0]
+              << "' without arguments for the full command list\n";
+    return kExitUsage;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return EXIT_FAILURE;
