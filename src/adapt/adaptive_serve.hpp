@@ -1,0 +1,68 @@
+// Adaptive streaming service: the PR 8 serve loop with the estimator in
+// the loop. Tasks are admitted in arrival order and cut into placement
+// epochs; within an epoch the replica sets are frozen (those tasks are
+// "admitted"), and at every epoch boundary the estimator -- fed by the
+// tasks that just completed -- may re-place the not-yet-admitted tail:
+// the per-class degrees are re-selected whenever the global alpha_hat
+// has drifted past a relative threshold since the last planning point.
+// Machine ready-times carry across epochs, and the epoch placement seeds
+// its block loads with them, so re-planning sees the real backlog.
+//
+// This is deliberately an admission-epoch approximation (tasks of one
+// epoch are fully scheduled before the next epoch is placed) rather than
+// a task-by-task re-optimizer: placement stays phase-1-shaped -- replica
+// sets never change after admission, matching the paper's model -- and
+// the whole run stays deterministic in (instance, arrivals, realization).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "adapt/adaptive_strategy.hpp"
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+class Instance;
+struct Realization;
+
+struct AdaptiveServeOptions {
+  AdaptiveGroupOptions adapt;
+  /// Tasks admitted per placement epoch (the re-planning granularity).
+  std::size_t epoch_tasks = 256;
+  /// Re-select degrees when |alpha_hat / alpha_planned - 1| exceeds this.
+  double drift_threshold = 0.10;
+};
+
+/// One epoch's planning record.
+struct AdaptiveEpoch {
+  std::size_t first_task = 0;    ///< index into the arrival order
+  std::size_t tasks = 0;
+  double alpha_hat = 1.0;        ///< global estimate when the epoch was placed
+  MachineId min_degree = 0;      ///< over the classes
+  MachineId max_degree = 0;
+  bool replanned = false;        ///< degrees re-selected at this boundary
+};
+
+struct AdaptiveServeResult {
+  Schedule schedule;             ///< all tasks, original task ids
+  std::vector<AdaptiveEpoch> epochs;
+  std::size_t replans = 0;       ///< drift-triggered re-placements
+  std::size_t peak_backlog = 0;  ///< max over epochs
+  Time makespan = 0;
+  double final_alpha_hat = 1.0;
+};
+
+/// Runs the adaptive serve loop. `arrivals` must hold one finite,
+/// non-negative release time per task. When `estimator` is null a fresh
+/// one is created (cold start: the first epoch places by the declared
+/// alpha); pass a warm estimator to resume from history.
+[[nodiscard]] AdaptiveServeResult serve_adaptive(
+    const Instance& instance, const Realization& actual,
+    std::span<const Time> arrivals, const AdaptiveServeOptions& options = {},
+    std::shared_ptr<AlphaEstimator> estimator = nullptr);
+
+}  // namespace rdp

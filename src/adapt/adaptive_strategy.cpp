@@ -1,0 +1,177 @@
+#include "adapt/adaptive_strategy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "bounds/replication_bounds.hpp"
+#include "core/instance.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+
+namespace rdp {
+
+MachineId select_replication_degree(double alpha_hat, MachineId m,
+                                    MachineId current_degree, double bound_slack,
+                                    double hysteresis) {
+  if (!(alpha_hat >= 1.0)) {
+    throw std::invalid_argument(
+        "select_replication_degree: alpha_hat must be >= 1");
+  }
+  if (m == 0) {
+    throw std::invalid_argument("select_replication_degree: m must be >= 1");
+  }
+  if (!(bound_slack >= 0.0) || !(hysteresis >= 0.0)) {
+    throw std::invalid_argument(
+        "select_replication_degree: slack/hysteresis must be >= 0");
+  }
+  const std::vector<MachineId> degrees = feasible_replication_degrees(m);
+  double best = std::numeric_limits<double>::infinity();
+  for (MachineId r : degrees) {
+    best = std::min(best, ratio_for_replication_degree(alpha_hat, m, r));
+  }
+  MachineId pick = m;
+  for (MachineId r : degrees) {
+    if (ratio_for_replication_degree(alpha_hat, m, r) <=
+        (1.0 + bound_slack) * best) {
+      pick = r;
+      break;
+    }
+  }
+  if (current_degree != 0 && current_degree <= m && m % current_degree == 0 &&
+      current_degree != pick) {
+    const double held =
+        ratio_for_replication_degree(alpha_hat, m, current_degree);
+    const double chosen = ratio_for_replication_degree(alpha_hat, m, pick);
+    // Within the hysteresis band the held degree also has to still
+    // qualify for the slack band; a degree whose bound has left the band
+    // entirely must be dropped no matter how small the improvement.
+    if (chosen >= held * (1.0 - hysteresis) &&
+        held <= (1.0 + bound_slack) * best) {
+      return current_degree;
+    }
+  }
+  return pick;
+}
+
+double adaptive_theorem_bound(const Placement& placement, double alpha,
+                              MachineId m) {
+  if (!(alpha >= 1.0)) {
+    throw std::invalid_argument("adaptive_theorem_bound: alpha must be >= 1");
+  }
+  std::set<std::size_t> degrees;
+  for (TaskId j = 0; j < placement.num_tasks(); ++j) {
+    degrees.insert(placement.replication_degree(j));
+  }
+  double bound = 1.0;
+  for (std::size_t r : degrees) {
+    bound = std::max(bound, ratio_for_replication_degree(
+                                alpha, m, static_cast<MachineId>(r)));
+  }
+  return bound;
+}
+
+Placement place_adaptive_blocks(const Instance& instance,
+                                const TaskClassifier& classifier,
+                                std::span<const MachineId> class_degrees,
+                                std::span<const double> base_load) {
+  const MachineId m = instance.num_machines();
+  if (class_degrees.size() != classifier.num_classes()) {
+    throw std::invalid_argument(
+        "place_adaptive_blocks: one degree per class required");
+  }
+  for (MachineId r : class_degrees) {
+    if (r == 0 || r > m || m % r != 0) {
+      throw std::invalid_argument(
+          "place_adaptive_blocks: degrees must divide the machine count");
+    }
+  }
+  if (!base_load.empty() && base_load.size() != m) {
+    throw std::invalid_argument(
+        "place_adaptive_blocks: base_load must cover every machine");
+  }
+  std::vector<double> load(m, 0.0);
+  if (!base_load.empty()) load.assign(base_load.begin(), base_load.end());
+
+  const std::size_t n = instance.num_tasks();
+  std::vector<std::vector<MachineId>> sets(n);
+  for (TaskId j = 0; j < n; ++j) {
+    const Time estimate = instance.estimate(j);
+    const MachineId r = class_degrees[classifier.class_of(estimate)];
+    const MachineId blocks = m / r;
+    MachineId best_block = 0;
+    double best_load = std::numeric_limits<double>::infinity();
+    for (MachineId b = 0; b < blocks; ++b) {
+      double total = 0.0;
+      for (MachineId i = b * r; i < (b + 1) * r; ++i) total += load[i];
+      if (total < best_load) {
+        best_load = total;
+        best_block = b;
+      }
+    }
+    sets[j].reserve(r);
+    const double share = estimate / static_cast<double>(r);
+    for (MachineId i = best_block * r; i < (best_block + 1) * r; ++i) {
+      sets[j].push_back(i);
+      load[i] += share;
+    }
+  }
+  return Placement(std::move(sets), m);
+}
+
+AdaptiveGroupPlacement::AdaptiveGroupPlacement(
+    std::shared_ptr<AlphaEstimator> estimator, AdaptiveGroupOptions options)
+    : estimator_(std::move(estimator)), options_(options) {
+  if (!estimator_) {
+    throw std::invalid_argument("AdaptiveGroupPlacement: null estimator");
+  }
+}
+
+std::vector<MachineId> AdaptiveGroupPlacement::class_degrees(
+    const Instance& instance) const {
+  const MachineId m = instance.num_machines();
+  const std::size_t num_classes = estimator_->num_classes();
+  if (last_machines_ != m || last_degrees_.size() != num_classes) {
+    last_degrees_.assign(num_classes, 0);
+    last_machines_ = m;
+  }
+  obs::MetricsRegistry* mx = obs::metrics();
+  std::vector<MachineId> degrees(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const double alpha = estimator_->alpha_hat(c, instance.alpha());
+    degrees[c] = select_replication_degree(alpha, m, last_degrees_[c],
+                                           options_.bound_slack,
+                                           options_.hysteresis);
+    if (mx != nullptr) {
+      mx->histogram("adapt.alpha_hat").observe(alpha);
+      mx->histogram("adapt.k_chosen").observe(static_cast<double>(degrees[c]));
+    }
+  }
+  last_degrees_ = degrees;
+  return degrees;
+}
+
+Placement AdaptiveGroupPlacement::place(const Instance& instance) const {
+  const TaskClassifier classifier(instance, estimator_->num_classes());
+  const std::vector<MachineId> degrees = class_degrees(instance);
+  return place_adaptive_blocks(instance, classifier, degrees);
+}
+
+TwoPhaseStrategy make_adaptive_group(std::shared_ptr<AlphaEstimator> estimator,
+                                     AdaptiveGroupOptions options) {
+  // LPT dispatch: Theorems 2 and 3 (the degree-1 / degree-m components
+  // of the adaptive bound) assume LPT order, and Theorem 4 holds for any
+  // list order -- so LPT is the rule under which adaptive_theorem_bound
+  // is sound for every degree the policy can pick.
+  return TwoPhaseStrategy(
+      std::make_shared<AdaptiveGroupPlacement>(std::move(estimator), options),
+      PriorityRule::kLongestEstimateFirst, "Adaptive-Group");
+}
+
+TwoPhaseStrategy make_adaptive_group(AdaptiveGroupOptions options) {
+  return make_adaptive_group(std::make_shared<AlphaEstimator>(options.estimator),
+                             options);
+}
+
+}  // namespace rdp

@@ -1,0 +1,105 @@
+// Adaptive replication degree: choose |M_j| per task class from the
+// running alpha estimate instead of fixing one k per strategy. The
+// guarantee curve r -> ratio_for_replication_degree(alpha, m, r) is
+// minimized by full replication for every alpha (Theorem 3 + Graham
+// dominates), but replication is what costs memory -- so the selection
+// rule takes the *smallest* feasible degree whose bound undercuts the
+// next degree's bound within a slack band:
+//
+//   pick min { r : bound(r) <= (1 + bound_slack) * min_r' bound(r') }
+//
+// At small alpha_hat the degree-1 bound sits inside the band (cheap
+// placement suffices); as alpha_hat grows the low-degree bounds blow up
+// quadratically and fall out, pushing the degree toward m. A hysteresis
+// band on top keeps the degree from flapping when alpha_hat hovers near
+// a crossover (the BOINC adaptive-replication scheduler shape).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "adapt/alpha_estimator.hpp"
+#include "algo/strategy.hpp"
+#include "core/placement.hpp"
+#include "core/types.hpp"
+
+namespace rdp {
+
+struct AdaptiveGroupOptions {
+  AlphaEstimatorOptions estimator;
+  /// Guarantee degradation accepted in exchange for fewer replicas:
+  /// a degree qualifies when its bound is within (1 + bound_slack) of
+  /// the best achievable bound at alpha_hat.
+  double bound_slack = 0.35;
+  /// Keep the previous degree unless the newly selected one improves its
+  /// bound by more than this fraction (anti-flapping band).
+  double hysteresis = 0.10;
+};
+
+/// The selection rule above. `current_degree` (0 = none) enables the
+/// hysteresis comparison; throws std::invalid_argument on alpha_hat < 1
+/// or m == 0.
+[[nodiscard]] MachineId select_replication_degree(double alpha_hat, MachineId m,
+                                                  MachineId current_degree = 0,
+                                                  double bound_slack = 0.35,
+                                                  double hysteresis = 0.0);
+
+/// The guarantee a mixed-degree placement promises at a given alpha: the
+/// loosest (max) per-degree theorem bound over the degrees it uses.
+/// Every degree must divide m.
+[[nodiscard]] double adaptive_theorem_bound(const Placement& placement,
+                                            double alpha, MachineId m);
+
+/// Block List Scheduling with per-class degrees: machines are cut into
+/// m / r_c contiguous blocks for each class, every task goes to the
+/// least-loaded block of its class (load = base_load + estimate / r
+/// spread over block members, ties to the lowest block). `base_load`
+/// (optional, size m) seeds the per-machine load -- the serving loop
+/// passes current machine ready-times so placement sees the backlog.
+[[nodiscard]] Placement place_adaptive_blocks(
+    const Instance& instance, const TaskClassifier& classifier,
+    std::span<const MachineId> class_degrees,
+    std::span<const double> base_load = {});
+
+/// Phase-1 policy: classify tasks, pick a degree per class from the
+/// shared estimator (hysteresis state is kept across place() calls), and
+/// assign replica blocks with place_adaptive_blocks. Cold classes fall
+/// back to the instance's declared alpha, so an unfed policy behaves
+/// like the best fixed degree for the declared band. Observes the
+/// `adapt.alpha_hat` / `adapt.k_chosen` histograms when obs metrics are
+/// installed. Placement is not thread-safe (the hysteresis memory is
+/// mutable state); dispatchers sharing the resulting Placement are.
+class AdaptiveGroupPlacement final : public PlacementPolicy {
+ public:
+  AdaptiveGroupPlacement(std::shared_ptr<AlphaEstimator> estimator,
+                         AdaptiveGroupOptions options);
+
+  [[nodiscard]] Placement place(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override { return "adaptive-group"; }
+
+  /// Degrees the policy would pick right now, one per class.
+  [[nodiscard]] std::vector<MachineId> class_degrees(const Instance& instance) const;
+
+  [[nodiscard]] AlphaEstimator& estimator() noexcept { return *estimator_; }
+  [[nodiscard]] const AlphaEstimator& estimator() const noexcept {
+    return *estimator_;
+  }
+
+ private:
+  std::shared_ptr<AlphaEstimator> estimator_;
+  AdaptiveGroupOptions options_;
+  mutable std::vector<MachineId> last_degrees_;  ///< hysteresis memory
+  mutable MachineId last_machines_ = 0;
+};
+
+/// Adaptive strategy around a caller-owned estimator (feed it between
+/// runs with AlphaEstimator::observe_run to close the loop).
+[[nodiscard]] TwoPhaseStrategy make_adaptive_group(
+    std::shared_ptr<AlphaEstimator> estimator, AdaptiveGroupOptions options = {});
+
+/// Self-contained variant with a fresh cold estimator (spec
+/// "adaptive-group"): until fed, it places by the declared alpha.
+[[nodiscard]] TwoPhaseStrategy make_adaptive_group(AdaptiveGroupOptions options = {});
+
+}  // namespace rdp

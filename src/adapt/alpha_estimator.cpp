@@ -1,0 +1,134 @@
+#include "adapt/alpha_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+
+namespace rdp {
+
+TaskClassifier::TaskClassifier(const Instance& instance, std::size_t num_classes) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("TaskClassifier: need at least one class");
+  }
+  if (num_classes == 1 || instance.num_tasks() == 0) return;
+  std::vector<Time> sorted = instance.estimates();
+  std::sort(sorted.begin(), sorted.end());
+  boundaries_.reserve(num_classes - 1);
+  for (std::size_t c = 1; c < num_classes; ++c) {
+    // Upper edge of class c-1: the c/num_classes quantile estimate.
+    const std::size_t index =
+        std::min(sorted.size() - 1, c * sorted.size() / num_classes);
+    boundaries_.push_back(sorted[index]);
+  }
+}
+
+std::size_t TaskClassifier::class_of(Time estimate) const noexcept {
+  std::size_t c = 0;
+  while (c < boundaries_.size() && estimate > boundaries_[c]) ++c;
+  return c;
+}
+
+AlphaEstimator::AlphaEstimator(AlphaEstimatorOptions options)
+    : options_(options) {
+  if (options_.num_classes == 0) {
+    throw std::invalid_argument("AlphaEstimator: need at least one class");
+  }
+  if (!(options_.z >= 0.0) || !(options_.alpha_cap >= 1.0)) {
+    throw std::invalid_argument(
+        "AlphaEstimator: z must be >= 0 and alpha_cap >= 1");
+  }
+  classes_.resize(options_.num_classes);
+}
+
+void AlphaEstimator::observe(std::size_t task_class, Time estimate, Time actual) {
+  if (task_class >= classes_.size()) {
+    throw std::invalid_argument("AlphaEstimator: task class out of range");
+  }
+  if (!(estimate > 0.0) || !(actual > 0.0)) {
+    throw std::invalid_argument("AlphaEstimator: times must be positive");
+  }
+  classes_[task_class].add(std::log(actual / estimate));
+}
+
+void AlphaEstimator::observe_run(const TaskClassifier& classifier,
+                                 const Instance& instance,
+                                 const Realization& actual) {
+  if (actual.actual.size() != instance.num_tasks()) {
+    throw std::invalid_argument(
+        "AlphaEstimator: realization does not match the instance");
+  }
+  for (TaskId j = 0; j < instance.num_tasks(); ++j) {
+    observe(classifier.class_of(instance.estimate(j)), instance.estimate(j),
+            actual.actual[j]);
+  }
+}
+
+double AlphaEstimator::from_moments(const Welford& moments,
+                                    double prior_alpha) const {
+  if (moments.count() < options_.min_samples) {
+    return std::clamp(prior_alpha, 1.0, options_.alpha_cap);
+  }
+  // The band must cover both tails of the log-ratio distribution, so it
+  // extends |mean| + z * stddev on each side of zero.
+  const double spread = std::abs(moments.mean()) + options_.z * moments.stddev();
+  return std::clamp(std::exp(spread), 1.0, options_.alpha_cap);
+}
+
+double AlphaEstimator::alpha_hat(std::size_t task_class,
+                                 double prior_alpha) const {
+  if (task_class >= classes_.size()) {
+    throw std::invalid_argument("AlphaEstimator: task class out of range");
+  }
+  return from_moments(classes_[task_class], prior_alpha);
+}
+
+double AlphaEstimator::alpha_hat_global(double prior_alpha) const {
+  Welford merged;
+  for (const Welford& w : classes_) merged.merge(w);
+  return from_moments(merged, prior_alpha);
+}
+
+std::size_t AlphaEstimator::samples() const noexcept {
+  std::size_t total = 0;
+  for (const Welford& w : classes_) total += w.count();
+  return total;
+}
+
+std::size_t AlphaEstimator::samples(std::size_t task_class) const {
+  if (task_class >= classes_.size()) {
+    throw std::invalid_argument("AlphaEstimator: task class out of range");
+  }
+  return classes_[task_class].count();
+}
+
+const Welford& AlphaEstimator::class_moments(std::size_t task_class) const {
+  if (task_class >= classes_.size()) {
+    throw std::invalid_argument("AlphaEstimator: task class out of range");
+  }
+  return classes_[task_class];
+}
+
+void AlphaEstimator::reset() {
+  classes_.assign(options_.num_classes, Welford{});
+}
+
+double realized_alpha(const Instance& instance, const Realization& actual) {
+  if (actual.actual.size() != instance.num_tasks()) {
+    throw std::invalid_argument(
+        "realized_alpha: realization does not match the instance");
+  }
+  double alpha = 1.0;
+  for (TaskId j = 0; j < instance.num_tasks(); ++j) {
+    const double ratio = actual.actual[j] / instance.estimate(j);
+    if (!(ratio > 0.0)) {
+      throw std::invalid_argument("realized_alpha: times must be positive");
+    }
+    alpha = std::max({alpha, ratio, 1.0 / ratio});
+  }
+  return alpha;
+}
+
+}  // namespace rdp

@@ -1,0 +1,116 @@
+// Online alpha estimation from completed-task observations. The paper
+// treats the uncertainty factor alpha as a known input; in a running
+// system it is neither known nor constant. This layer closes the loop:
+// every finished task yields one (estimate, actual) pair, tasks are
+// bucketed into estimate-magnitude classes (small jobs routinely have a
+// different error profile than big ones), and each class keeps streaming
+// moments of log(actual / estimate) through stats/welford. The running
+// per-class estimate
+//
+//   alpha_hat = exp(|mean| + z * stddev)        (clamped to [1, cap])
+//
+// is the multiplicative band that covers the bulk of the observed log-
+// ratio distribution -- a quantile-flavoured alternative to the batch
+// fitters in perturb/alpha_fit that needs O(classes) memory and O(1)
+// update time, so it can ride inside the streaming dispatcher.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+#include "stats/welford.hpp"
+
+namespace rdp {
+
+class Instance;
+struct Realization;
+
+/// Buckets tasks into estimate-magnitude classes by quantiles of the
+/// estimates it was built from. Class 0 holds the smallest estimates.
+/// Deterministic in the instance; an estimator and the placement that
+/// consumes it must share one classifier so "class c" means the same
+/// tasks on both sides.
+class TaskClassifier {
+ public:
+  /// Single-class classifier (every task maps to class 0).
+  TaskClassifier() = default;
+
+  /// Quantile boundaries from the instance's estimates. `num_classes`
+  /// must be >= 1; duplicate boundaries (heavily tied estimates) simply
+  /// leave some classes empty.
+  TaskClassifier(const Instance& instance, std::size_t num_classes);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return boundaries_.size() + 1;
+  }
+
+  /// Class of an estimate: the number of boundaries strictly below it.
+  [[nodiscard]] std::size_t class_of(Time estimate) const noexcept;
+
+ private:
+  std::vector<Time> boundaries_;  ///< ascending class upper edges
+};
+
+struct AlphaEstimatorOptions {
+  std::size_t num_classes = 4;
+  /// Below this many observations a class answers with the prior alpha
+  /// (the instance's declared band) instead of its own noisy moments.
+  std::size_t min_samples = 8;
+  /// Dispersion multiplier: how many stddevs of log-ratio the band must
+  /// cover. 2 covers ~95% of a roughly normal log-ratio distribution.
+  double z = 2.0;
+  /// Hard ceiling on the estimate (a single wild outlier must not push
+  /// the band, and with it the replication degree, to infinity).
+  double alpha_cap = 16.0;
+};
+
+/// Streaming per-class alpha estimator. Feed it completed tasks with
+/// observe() / observe_run(); read the running band with alpha_hat().
+/// Not thread-safe; each serving loop owns one.
+class AlphaEstimator {
+ public:
+  explicit AlphaEstimator(AlphaEstimatorOptions options = {});
+
+  /// One completed task. Throws std::invalid_argument unless both times
+  /// are positive and the class is in range.
+  void observe(std::size_t task_class, Time estimate, Time actual);
+
+  /// Every task of a finished run at once (the offline-dispatch feed).
+  void observe_run(const TaskClassifier& classifier, const Instance& instance,
+                   const Realization& actual);
+
+  /// Running band of one class; `prior_alpha` answers for cold classes.
+  [[nodiscard]] double alpha_hat(std::size_t task_class, double prior_alpha) const;
+
+  /// Band of all classes merged (the drift signal for re-planning).
+  [[nodiscard]] double alpha_hat_global(double prior_alpha) const;
+
+  [[nodiscard]] std::size_t num_classes() const noexcept { return classes_.size(); }
+  [[nodiscard]] std::size_t samples() const noexcept;
+  [[nodiscard]] std::size_t samples(std::size_t task_class) const;
+  [[nodiscard]] const AlphaEstimatorOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Raw per-class moments (for tests and reports).
+  [[nodiscard]] const Welford& class_moments(std::size_t task_class) const;
+
+  void reset();
+
+ private:
+  [[nodiscard]] double from_moments(const Welford& moments,
+                                    double prior_alpha) const;
+
+  AlphaEstimatorOptions options_;
+  std::vector<Welford> classes_;  ///< moments of log(actual / estimate)
+};
+
+/// The smallest alpha whose band covers every task of a realization:
+/// max_j max(actual_j / estimate_j, estimate_j / actual_j), floored at 1.
+/// This is the alpha the theorem bounds must be evaluated at when judging
+/// a realized schedule (see check/fuzz.cpp's adaptive cross-check).
+[[nodiscard]] double realized_alpha(const Instance& instance,
+                                    const Realization& actual);
+
+}  // namespace rdp

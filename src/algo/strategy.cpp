@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "adapt/adaptive_strategy.hpp"
 #include "algo/overlap.hpp"
 #include "algo/selective.hpp"
 
@@ -159,6 +160,18 @@ TwoPhaseStrategy strategy_from_spec(const std::string& spec) {
   if (name == "memory-budget") {
     return make_memory_budget(parse_spec_number(parts, 1, spec));
   }
+  if (name == "adaptive-group") {
+    AdaptiveGroupOptions options;
+    if (parts.size() > 1) {
+      const double classes = parse_spec_number(parts, 1, spec);
+      if (classes < 1 || classes != static_cast<std::size_t>(classes)) {
+        throw std::invalid_argument("strategy_from_spec: bad class count in '" +
+                                    spec + "'");
+      }
+      options.estimator.num_classes = static_cast<std::size_t>(classes);
+    }
+    return make_adaptive_group(options);
+  }
   throw std::invalid_argument("strategy_from_spec: unknown strategy '" + spec +
                               "'");
 }
@@ -168,6 +181,7 @@ std::vector<std::string> known_strategy_specs() {
           "ls-no-restriction",
           "ls-group:K",        "lpt-group:K",        "sliding-window:R",
           "random-subset:R[:SEED]", "critical-tasks:F", "memory-budget:B",
+          "adaptive-group[:CLASSES]",
           "round-robin",       "random[:SEED]"};
 }
 

@@ -89,7 +89,7 @@ class TwoPhaseStrategy {
 ///   "lpt-no-choice" | "lpt-no-restriction" | "ls-no-restriction" |
 ///   "ls-group:K" | "lpt-group:K" | "sliding-window:R" |
 ///   "random-subset:R[:SEED]" | "critical-tasks:F" | "memory-budget:B" |
-///   "round-robin" | "random[:SEED]"
+///   "adaptive-group[:CLASSES]" | "round-robin" | "random[:SEED]"
 /// Throws std::invalid_argument on an unknown name or malformed
 /// parameter.
 [[nodiscard]] TwoPhaseStrategy strategy_from_spec(const std::string& spec);

@@ -8,6 +8,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "adapt/adaptive_strategy.hpp"
 #include "check/invariants.hpp"
 #include "check/reference_dispatcher.hpp"
 #include "exact/certify_scale.hpp"
@@ -255,8 +256,16 @@ FuzzCase make_fuzz_case(std::uint64_t seed, const FuzzCaseConfig& config) {
 
   out.actual.actual.resize(n);
   for (TaskId j = 0; j < n; ++j) {
+    // Drifting scenario: the band a task's factor is drawn from widens
+    // across the task index, from no uncertainty up to 1.5x the declared
+    // alpha -- so late tasks can violate the declared band.
+    double band = alpha;
+    if (config.scenario == FuzzScenario::kDriftingAlpha && n > 1) {
+      const double t = static_cast<double>(j) / static_cast<double>(n - 1);
+      band = 1.0 + (1.5 * alpha - 1.0) * t;
+    }
     out.actual.actual[j] =
-        out.instance.estimate(j) * sample_uniform(rng, 1.0 / alpha, alpha);
+        out.instance.estimate(j) * sample_uniform(rng, 1.0 / band, band);
   }
 
   // Fail-stop plan: each machine fails with probability ~40%, but at
@@ -321,7 +330,7 @@ FuzzCase restrict_tasks(const FuzzCase& fuzz_case, std::size_t num_tasks) {
 
 namespace {
 
-constexpr std::size_t kChecksPerCase = 12;
+constexpr std::size_t kChecksPerCase = 13;
 constexpr double kTol = 1e-9;
 
 struct CheckContext {
@@ -717,7 +726,50 @@ void check_serve_drain_parity(const CheckContext& ctx,
   }
 }
 
+void check_adaptive_bound(const CheckContext& ctx) {
+  // Adaptive-degree soundness: warm an estimator on the case's own
+  // (estimate, actual) history, let the adaptive policy pick per-class
+  // degrees from it, dispatch, and demand the realized ratio stays under
+  // the theorem bound the placement's degrees promise at the *realized*
+  // alpha (not the declared one -- in the drifting scenario the actuals
+  // leave the declared band on purpose). The ratio is measured against
+  // the certified B&B lower bound, which is at most OPT, so this check
+  // is strictly harder than the theorem statement.
+  const FuzzCase& c = ctx.c;
+  const MachineId m = c.instance.num_machines();
+  AdaptiveGroupOptions options;
+  options.estimator.num_classes = 3;
+  options.estimator.min_samples = 4;
+  auto estimator = std::make_shared<AlphaEstimator>(options.estimator);
+  const TaskClassifier classifier(c.instance, options.estimator.num_classes);
+  estimator->observe_run(classifier, c.instance, c.actual);
+  const TwoPhaseStrategy strategy = make_adaptive_group(estimator, options);
+
+  const Placement placement = strategy.place(c.instance);
+  const DispatchResult run =
+      dispatch_online(c.instance, placement, c.actual,
+                      make_priority(c.instance, strategy.rule()));
+  const double alpha_real = realized_alpha(c.instance, c.actual);
+  const double bound = adaptive_theorem_bound(placement, alpha_real, m);
+  const CertifiedCmax opt = certified_cmax(c.actual.actual, m, 500'000);
+  const Time makespan = run.schedule.makespan();
+  if (makespan > bound * opt.lower * (1.0 + kTol)) {
+    ctx.fail("adaptive-bound",
+             "adaptive makespan " + std::to_string(makespan) + " exceeds " +
+                 std::to_string(bound) + " x certified lower bound " +
+                 std::to_string(opt.lower) + " at realized alpha " +
+                 std::to_string(alpha_real));
+  }
+}
+
 }  // namespace
+
+FuzzScenario fuzz_scenario_from_name(const std::string& name) {
+  if (name == "default") return FuzzScenario::kDefault;
+  if (name == "drifting-alpha") return FuzzScenario::kDriftingAlpha;
+  throw std::invalid_argument("unknown fuzz scenario '" + name +
+                              "' (use default|drifting-alpha)");
+}
 
 std::size_t checks_per_case() noexcept { return kChecksPerCase; }
 
@@ -738,6 +790,7 @@ std::vector<FuzzFailure> run_fuzz_case(const FuzzCase& fuzz_case) {
   check_speculative_enabled(ctx);
   check_certify_ptas_lb(ctx);
   check_serve_drain_parity(ctx, online);
+  check_adaptive_bound(ctx);
   return failures;
 }
 

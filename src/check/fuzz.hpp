@@ -44,12 +44,28 @@
 
 namespace rdp::check {
 
+/// Realization regime for the random-case generator.
+enum class FuzzScenario {
+  /// Actuals drawn inside the instance's declared alpha band.
+  kDefault,
+  /// The actual factor band widens across the task index from 1 up to
+  /// 1.5x the declared alpha, so late tasks can leave the declared band
+  /// -- the drifting/misreported-alpha regime the adaptive estimator
+  /// must survive (its cross-check judges against the *realized* alpha).
+  kDriftingAlpha,
+};
+
+/// Parses "default" / "drifting-alpha" (CLI --scenario flag); throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] FuzzScenario fuzz_scenario_from_name(const std::string& name);
+
 /// Bounds for the random-case generator.
 struct FuzzCaseConfig {
   std::size_t min_tasks = 1;
   std::size_t max_tasks = 24;
   MachineId min_machines = 1;
   MachineId max_machines = 6;
+  FuzzScenario scenario = FuzzScenario::kDefault;
 };
 
 /// One fully-expanded fuzz input. A pure function of (seed, config): the

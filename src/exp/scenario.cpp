@@ -1,6 +1,7 @@
 #include "exp/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iterator>
 #include <limits>
 #include <stdexcept>
@@ -38,6 +39,47 @@ ScenarioSet make_mixed_scenarios(const Instance& instance, std::size_t count,
         realize(instance, kMix[s % std::size(kMix)], seed + s));
   }
   return set;
+}
+
+namespace {
+
+/// The instance re-declared at a different alpha (tasks and machines
+/// unchanged) so realize() draws from the requested band.
+Instance with_alpha(const Instance& instance, double alpha) {
+  std::vector<Task> tasks(instance.tasks().begin(), instance.tasks().end());
+  return Instance(std::move(tasks), instance.num_machines(), alpha);
+}
+
+}  // namespace
+
+ScenarioSet make_drifting_scenarios(const Instance& instance, std::size_t count,
+                                    std::uint64_t seed, double alpha_from,
+                                    double alpha_to) {
+  if (!(alpha_from >= 1.0) || !(alpha_to >= 1.0)) {
+    throw std::invalid_argument(
+        "make_drifting_scenarios: alpha endpoints must be >= 1");
+  }
+  ScenarioSet set;
+  set.scenarios.reserve(count);
+  const double log_from = std::log(alpha_from);
+  const double log_to = std::log(alpha_to);
+  for (std::size_t s = 0; s < count; ++s) {
+    const double t =
+        count > 1 ? static_cast<double>(s) / static_cast<double>(count - 1) : 0.0;
+    const double alpha_s = std::exp(log_from + (log_to - log_from) * t);
+    set.scenarios.push_back(
+        realize(with_alpha(instance, alpha_s), NoiseModel::kLogUniform, seed + s));
+  }
+  return set;
+}
+
+ScenarioSet make_misreported_scenarios(const Instance& instance, std::size_t count,
+                                       std::uint64_t seed, double true_alpha) {
+  if (!(true_alpha >= 1.0)) {
+    throw std::invalid_argument(
+        "make_misreported_scenarios: true_alpha must be >= 1");
+  }
+  return make_mixed_scenarios(with_alpha(instance, true_alpha), count, seed);
 }
 
 ScenarioEvaluation evaluate_scenarios(const TwoPhaseStrategy& strategy,

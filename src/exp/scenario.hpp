@@ -36,6 +36,29 @@ struct ScenarioSet {
 [[nodiscard]] ScenarioSet make_mixed_scenarios(const Instance& instance,
                                                std::size_t count, std::uint64_t seed);
 
+/// Drifting-alpha scenario set: scenario s is drawn from a band whose
+/// width interpolates geometrically from `alpha_from` (scenario 0) to
+/// `alpha_to` (last scenario), log-uniform factors. The instance's
+/// declared alpha is deliberately ignored -- this models an environment
+/// whose uncertainty changes under a strategy calibrated once, the
+/// regime the adaptive estimator (src/adapt/) is built for. Realized
+/// factors may leave the declared band. Both endpoints must be >= 1.
+[[nodiscard]] ScenarioSet make_drifting_scenarios(const Instance& instance,
+                                                  std::size_t count,
+                                                  std::uint64_t seed,
+                                                  double alpha_from,
+                                                  double alpha_to);
+
+/// Misreported-alpha scenario set: every scenario is drawn at
+/// `true_alpha` (mixed noise models round-robin) regardless of the
+/// instance's declared alpha -- the declared band is simply wrong, and a
+/// strategy trusting it picks its replication degree from a lie.
+/// `true_alpha` must be >= 1.
+[[nodiscard]] ScenarioSet make_misreported_scenarios(const Instance& instance,
+                                                     std::size_t count,
+                                                     std::uint64_t seed,
+                                                     double true_alpha);
+
 /// Per-strategy evaluation across a scenario set.
 struct ScenarioEvaluation {
   std::string strategy_name;

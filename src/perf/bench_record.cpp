@@ -356,6 +356,58 @@ BenchRecord normalize_serve_throughput(const JsonValue& doc,
   return record;
 }
 
+/// ext_adapt shape: {adaptive_sweep, adaptive_fuzz, *_seconds}. Both
+/// sections are deterministic in the seed (dispatch + certification are
+/// pure FP), so the ratios gate "exact" with dump/parse slack; the
+/// bound-violation counter is the acceptance criterion and gates hard at
+/// its recorded value (0). Wall-clock sections are timing-class.
+BenchRecord normalize_adapt(const JsonValue& doc, const std::string& source) {
+  BenchRecord record;
+  record.name = "adapt";
+  record.source = source;
+  const JsonValue* sweep = doc.find("adaptive_sweep");
+  const JsonValue* fuzz = doc.find("adaptive_fuzz");
+  JsonObject params;
+  for (const char* key : {"tasks", "machines", "seed", "budget"}) {
+    params[key] = doc.get_number(key);
+  }
+  params["trials"] = sweep->get_number("trials");
+  params["alpha_from"] = sweep->get_number("alpha_from");
+  params["alpha_to"] = sweep->get_number("alpha_to");
+  params["fuzz_seeds"] = fuzz->get_number("seeds");
+  record.params_json = JsonValue(std::move(params)).dump(-1);
+  record.params_hash = fnv1a_hex(record.params_json);
+
+  add_metric(record, "sweep.adaptive_mean_ratio",
+             sweep->get_number("adaptive_mean_ratio"), "lower", "exact",
+             /*abs_slack=*/1e-9);
+  add_metric(record, "sweep.best_lsgroup_mean_ratio",
+             sweep->get_number("best_lsgroup_mean_ratio"), "lower", "exact",
+             /*abs_slack=*/1e-9);
+  add_metric(record, "sweep.adaptive_final_alpha_hat",
+             sweep->get_number("adaptive_final_alpha_hat"), "none", "exact",
+             /*abs_slack=*/1e-9);
+  // The headline: 1 iff the adaptive mean ratio undercuts every fixed
+  // LS-Group degree on the drifting sweep.
+  add_metric(record, "sweep.adaptive_beats_lsgroup",
+             sweep->get_number("adaptive_beats_lsgroup"), "higher", "exact");
+  if (const JsonValue* fixed = sweep->find("fixed_mean_ratios")) {
+    for (const auto& [key, value] : fixed->as_object()) {
+      add_metric(record, "sweep.fixed." + key, value.as_number(), "none",
+                 "exact", /*abs_slack=*/1e-9);
+    }
+  }
+  add_metric(record, "fuzz.bound_violations",
+             fuzz->get_number("bound_violations"), "lower", "exact");
+  add_metric(record, "fuzz.max_bound_fraction",
+             fuzz->get_number("max_bound_fraction"), "lower", "exact",
+             /*abs_slack=*/1e-9);
+  for (const char* key : {"sweep_seconds", "fuzz_seconds"}) {
+    add_metric(record, key, doc.get_number(key), "lower", "timing");
+  }
+  return record;
+}
+
 BenchRecord normalize_bench_json(const JsonValue& doc, const std::string& source) {
   if (!doc.is_object()) {
     throw std::runtime_error("perf: " + source + ": not a JSON object");
@@ -376,6 +428,9 @@ BenchRecord normalize_bench_json(const JsonValue& doc, const std::string& source
     record = normalize_serve_throughput(doc, source);
   } else if (doc.find("scale") != nullptr && doc.find("soundness") != nullptr) {
     record = normalize_certify_scale(doc, source);
+  } else if (doc.find("adaptive_sweep") != nullptr &&
+             doc.find("adaptive_fuzz") != nullptr) {
+    record = normalize_adapt(doc, source);
   } else if (doc.find("counters") != nullptr &&
              doc.find("histograms") != nullptr) {
     record = normalize_snapshot(doc, source);
@@ -384,7 +439,8 @@ BenchRecord normalize_bench_json(const JsonValue& doc, const std::string& source
         "perf: " + source +
         ": unrecognized benchmark JSON shape (expected a BenchRecord, "
         "ext_certify_speedup, ext_check_overhead, ext_sim_throughput, "
-        "ext_serve_throughput, ext_certify_scale, or metrics snapshot)");
+        "ext_serve_throughput, ext_certify_scale, ext_adapt, or metrics "
+        "snapshot)");
   }
   for (auto& [key, m] : record.metrics) finalize_metric(m);
   return record;

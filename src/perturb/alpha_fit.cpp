@@ -36,11 +36,24 @@ double fit_alpha_quantile(std::span<const Observation> history, double coverage)
   factors.reserve(history.size());
   for (const Observation& o : history) factors.push_back(factor_of(o));
   std::sort(factors.begin(), factors.end());
-  // Smallest alpha covering ceil(coverage * n) observations.
-  const auto needed = static_cast<std::size_t>(
-      std::ceil(coverage * static_cast<double>(factors.size())));
-  const std::size_t index = std::max<std::size_t>(needed, 1) - 1;
-  return std::max(1.0, factors[index]);
+  // Smallest alpha covering a k/n fraction of the observations with
+  // k/n >= coverage. The comparison runs in ratio space (k/n vs
+  // coverage, the same quotient coverage_of_alpha computes) rather than
+  // product space: ceil(coverage * n) can round across an integer in
+  // either direction (0.9 * 10 > 9 in doubles), which would silently
+  // over- or under-cover the requested quantile.
+  const std::size_t n = factors.size();
+  const double scaled = coverage * static_cast<double>(n);
+  std::size_t k = std::min<std::size_t>(
+      n, std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(scaled))));
+  while (k > 1 &&
+         static_cast<double>(k - 1) / static_cast<double>(n) >= coverage) {
+    --k;
+  }
+  while (k < n && static_cast<double>(k) / static_cast<double>(n) < coverage) {
+    ++k;
+  }
+  return std::max(1.0, factors[k - 1]);
 }
 
 double coverage_of_alpha(std::span<const Observation> history, double alpha) {

@@ -37,7 +37,9 @@ void Welford::merge(const Welford& other) noexcept {
 }
 
 double Welford::variance() const noexcept {
-  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  // m2_ is non-negative in exact arithmetic but can round to a tiny
+  // negative under cancellation; clamp so stddev() never goes NaN.
+  return count_ > 1 ? std::max(0.0, m2_) / static_cast<double>(count_ - 1) : 0.0;
 }
 
 double Welford::stddev() const noexcept { return std::sqrt(variance()); }

@@ -1,0 +1,419 @@
+// Tests for the adaptive replication layer: the online alpha estimator,
+// the degree-selection rule (slack band + hysteresis), the per-class
+// block placement, and the epoch-based adaptive serve loop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "adapt/adaptive_serve.hpp"
+#include "adapt/adaptive_strategy.hpp"
+#include "adapt/alpha_estimator.hpp"
+#include "algo/dispatch_policies.hpp"
+#include "algo/strategy.hpp"
+#include "bounds/replication_bounds.hpp"
+#include "check/invariants.hpp"
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "core/validate.hpp"
+#include "perturb/stochastic.hpp"
+#include "serve/arrivals.hpp"
+#include "sim/online_dispatcher.hpp"
+#include "workload/generators.hpp"
+
+namespace rdp {
+namespace {
+
+Instance demo(std::size_t n = 32, MachineId m = 8, double alpha = 1.5,
+              std::uint64_t seed = 7) {
+  WorkloadParams params;
+  params.num_tasks = n;
+  params.num_machines = m;
+  params.alpha = alpha;
+  params.seed = seed;
+  return uniform_workload(params, 1.0, 10.0);
+}
+
+TEST(TaskClassifier, BucketsByEstimateQuantiles) {
+  std::vector<Task> tasks;
+  for (int i = 1; i <= 8; ++i) tasks.push_back({static_cast<Time>(i), 1.0});
+  const Instance inst(std::move(tasks), 2, 1.5);
+  const TaskClassifier classifier(inst, 4);
+  EXPECT_EQ(classifier.num_classes(), 4u);
+  // Classes must be ordered: a larger estimate never lands in a smaller
+  // class, and both extremes are used.
+  std::size_t previous = 0;
+  for (int i = 1; i <= 8; ++i) {
+    const std::size_t c = classifier.class_of(static_cast<Time>(i));
+    EXPECT_GE(c, previous);
+    previous = c;
+  }
+  EXPECT_EQ(classifier.class_of(1.0), 0u);
+  EXPECT_EQ(classifier.class_of(100.0), 3u);
+}
+
+TEST(TaskClassifier, DefaultAndDegenerateShapes) {
+  const TaskClassifier single;
+  EXPECT_EQ(single.num_classes(), 1u);
+  EXPECT_EQ(single.class_of(42.0), 0u);
+  EXPECT_THROW((void)TaskClassifier(demo(), 0), std::invalid_argument);
+  // Heavily tied estimates: classification stays total and in range.
+  const Instance ties = unit_tasks(10, 2, 1.5);
+  const TaskClassifier tied(ties, 4);
+  EXPECT_LT(tied.class_of(1.0), tied.num_classes());
+}
+
+TEST(AlphaEstimator, ColdClassesAnswerThePrior) {
+  AlphaEstimator estimator;
+  EXPECT_DOUBLE_EQ(estimator.alpha_hat(0, 1.7), 1.7);
+  EXPECT_DOUBLE_EQ(estimator.alpha_hat_global(2.0), 2.0);
+  // Priors are clamped into [1, cap] like every other estimate.
+  EXPECT_DOUBLE_EQ(estimator.alpha_hat(0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(estimator.alpha_hat(0, 1e9), estimator.options().alpha_cap);
+}
+
+TEST(AlphaEstimator, WarmEstimateCoversTheObservedBand) {
+  AlphaEstimatorOptions options;
+  options.num_classes = 1;
+  options.min_samples = 4;
+  AlphaEstimator estimator(options);
+  // Actuals alternate 1.4x over and 1.4x under the estimate.
+  for (int i = 0; i < 50; ++i) {
+    estimator.observe(0, 10.0, i % 2 == 0 ? 14.0 : 10.0 / 1.4);
+  }
+  const double hat = estimator.alpha_hat(0, 1.0);
+  EXPECT_GE(hat, 1.4);  // must cover the realized factors
+  EXPECT_LE(hat, options.alpha_cap);
+  EXPECT_EQ(estimator.samples(), 50u);
+}
+
+TEST(AlphaEstimator, ValidationAndReset) {
+  AlphaEstimator estimator;
+  EXPECT_THROW(estimator.observe(99, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(estimator.observe(0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(estimator.observe(0, 1.0, -2.0), std::invalid_argument);
+  EXPECT_THROW((void)estimator.alpha_hat(99, 1.0), std::invalid_argument);
+  estimator.observe(0, 1.0, 2.0);
+  EXPECT_EQ(estimator.samples(0), 1u);
+  estimator.reset();
+  EXPECT_EQ(estimator.samples(), 0u);
+  AlphaEstimatorOptions bad;
+  bad.num_classes = 0;
+  EXPECT_THROW((void)AlphaEstimator(bad), std::invalid_argument);
+}
+
+TEST(AlphaEstimator, ObserveRunDigestsARealization) {
+  const Instance inst = demo(64, 4, 1.6);
+  const Realization actual = realize(inst, NoiseModel::kUniform, 3);
+  AlphaEstimatorOptions options;
+  options.min_samples = 4;
+  AlphaEstimator estimator(options);
+  const TaskClassifier classifier(inst, estimator.num_classes());
+  estimator.observe_run(classifier, inst, actual);
+  EXPECT_EQ(estimator.samples(), inst.num_tasks());
+  // The global estimate is a band for the bulk of the draws: above 1,
+  // and never past the declared alpha by more than the dispersion term
+  // allows (log-space z = 2 on a bounded distribution stays near it).
+  const double hat = estimator.alpha_hat_global(1.0);
+  EXPECT_GT(hat, 1.0);
+  EXPECT_LE(hat, 2.5);
+  Realization wrong;
+  wrong.actual.assign(3, 1.0);
+  EXPECT_THROW(estimator.observe_run(classifier, inst, wrong),
+               std::invalid_argument);
+}
+
+TEST(RealizedAlpha, SymmetricWorstFactor) {
+  std::vector<Task> tasks = {{4.0, 1.0}, {10.0, 1.0}};
+  const Instance inst(std::move(tasks), 2, 3.0);
+  Realization actual;
+  actual.actual = {8.0, 4.0};  // 2x over, 2.5x under
+  EXPECT_DOUBLE_EQ(realized_alpha(inst, actual), 2.5);
+  actual.actual = {4.0, 10.0};
+  EXPECT_DOUBLE_EQ(realized_alpha(inst, actual), 1.0);  // floored at 1
+  actual.actual = {4.0};
+  EXPECT_THROW((void)realized_alpha(inst, actual), std::invalid_argument);
+}
+
+TEST(DegreeSelection, MonotoneInAlphaAndAnchored) {
+  const MachineId m = 8;
+  // At alpha = 1 every degree's bound is within spitting distance of the
+  // best, so the cheapest (no replication) must win.
+  EXPECT_EQ(select_replication_degree(1.0, m), 1u);
+  // The degree can only grow as the uncertainty grows.
+  MachineId previous = 1;
+  for (double alpha = 1.0; alpha <= 6.0; alpha += 0.05) {
+    const MachineId degree = select_replication_degree(alpha, m);
+    EXPECT_GE(degree, previous) << "alpha=" << alpha;
+    EXPECT_EQ(m % degree, 0u);
+    previous = degree;
+  }
+  // Wild uncertainty ends at full replication.
+  EXPECT_EQ(select_replication_degree(8.0, m), m);
+  // And the chosen degree's bound is within the slack band of the best.
+  for (double alpha : {1.2, 1.7, 2.5, 4.0}) {
+    const MachineId degree = select_replication_degree(alpha, m);
+    double best = ratio_for_replication_degree(alpha, m, m);
+    for (MachineId r : feasible_replication_degrees(m)) {
+      best = std::min(best, ratio_for_replication_degree(alpha, m, r));
+    }
+    EXPECT_LE(ratio_for_replication_degree(alpha, m, degree), 1.35 * best);
+  }
+}
+
+TEST(DegreeSelection, HysteresisHoldsTheCurrentDegree) {
+  const MachineId m = 8;
+  // Find an alpha where the fresh pick moves off some degree r_hold, but
+  // r_hold's bound is within both the hysteresis and the slack band --
+  // the selector must then keep r_hold.
+  bool exercised = false;
+  for (double alpha = 1.0; alpha <= 4.0; alpha += 0.01) {
+    const MachineId fresh = select_replication_degree(alpha, m);
+    for (MachineId hold : feasible_replication_degrees(m)) {
+      if (hold == fresh) continue;
+      const MachineId kept =
+          select_replication_degree(alpha, m, hold, 0.35, 0.10);
+      if (kept == hold) {
+        exercised = true;
+        // Holding is only legal inside the slack band.
+        double best = ratio_for_replication_degree(alpha, m, m);
+        for (MachineId r : feasible_replication_degrees(m)) {
+          best = std::min(best, ratio_for_replication_degree(alpha, m, r));
+        }
+        EXPECT_LE(ratio_for_replication_degree(alpha, m, hold), 1.35 * best);
+      }
+    }
+  }
+  EXPECT_TRUE(exercised);
+  // With zero hysteresis the held degree is ignored unless it ties the
+  // fresh pick.
+  EXPECT_EQ(select_replication_degree(8.0, m, 1, 0.35, 0.0), m);
+  EXPECT_THROW((void)select_replication_degree(0.5, m), std::invalid_argument);
+  EXPECT_THROW((void)select_replication_degree(1.5, 0), std::invalid_argument);
+}
+
+TEST(AdaptiveBound, MixedDegreePlacementTakesTheLoosestBound) {
+  // Tasks 0-1 on a single machine (degree 1), task 2 on all four.
+  std::vector<std::vector<MachineId>> sets = {{0}, {1}, {0, 1, 2, 3}};
+  const Placement placement(std::move(sets), 4);
+  const double alpha = 2.0;
+  const double expected = std::max(ratio_for_replication_degree(alpha, 4, 1),
+                                   ratio_for_replication_degree(alpha, 4, 4));
+  EXPECT_DOUBLE_EQ(adaptive_theorem_bound(placement, alpha, 4), expected);
+  EXPECT_THROW((void)adaptive_theorem_bound(placement, 0.9, 4),
+               std::invalid_argument);
+}
+
+TEST(AdaptivePlacement, BlocksAreContiguousAndClassSized) {
+  const Instance inst = demo(40, 8, 1.5);
+  const TaskClassifier classifier(inst, 2);
+  const std::vector<MachineId> degrees = {2, 8};
+  const Placement placement =
+      place_adaptive_blocks(inst, classifier, degrees);
+  ASSERT_EQ(placement.num_tasks(), inst.num_tasks());
+  for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+    const MachineId r = degrees[classifier.class_of(inst.estimate(j))];
+    const auto machines = placement.machines_for(j);
+    ASSERT_EQ(machines.size(), r) << "task " << j;
+    // Contiguous block aligned to the degree.
+    EXPECT_EQ(machines.front() % r, 0u);
+    for (std::size_t i = 1; i < machines.size(); ++i) {
+      EXPECT_EQ(machines[i], machines[i - 1] + 1);
+    }
+  }
+}
+
+TEST(AdaptivePlacement, ValidatesDegreesAndBaseLoad) {
+  const Instance inst = demo(8, 8, 1.5);
+  const TaskClassifier classifier(inst, 2);
+  EXPECT_THROW((void)place_adaptive_blocks(inst, classifier, {{3, 8}}),
+               std::invalid_argument);  // 3 does not divide 8
+  EXPECT_THROW((void)place_adaptive_blocks(inst, classifier, {{0, 8}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)place_adaptive_blocks(inst, classifier, {{2}}),
+               std::invalid_argument);  // one degree per class
+  const std::vector<double> short_load(3, 0.0);
+  EXPECT_THROW(
+      (void)place_adaptive_blocks(inst, classifier, {{2, 2}}, short_load),
+      std::invalid_argument);
+}
+
+TEST(AdaptivePlacement, BaseLoadSteersAwayFromBusyBlocks) {
+  // Two machines, degree 1, one huge preexisting backlog on machine 0:
+  // every task must land on machine 1 until the loads even out.
+  std::vector<Task> tasks = {{1.0, 1.0}, {1.0, 1.0}};
+  const Instance inst(std::move(tasks), 2, 1.5);
+  const TaskClassifier classifier(inst, 1);
+  const std::vector<double> busy = {100.0, 0.0};
+  const Placement placement =
+      place_adaptive_blocks(inst, classifier, {{1}}, busy);
+  EXPECT_EQ(placement.machines_for(0).front(), 1u);
+  EXPECT_EQ(placement.machines_for(1).front(), 1u);
+}
+
+TEST(AdaptiveStrategy, ColdPolicyPlacesByTheDeclaredAlpha) {
+  const Instance low = demo(24, 8, 1.05);
+  const Instance high = demo(24, 8, 6.0);
+  const TwoPhaseStrategy strategy = make_adaptive_group();
+  // Low declared uncertainty: cheap degree; high: heavy replication.
+  const Placement cheap = strategy.place(low);
+  const Placement heavy = strategy.place(high);
+  std::size_t cheap_max = 0;
+  std::size_t heavy_min = 99;
+  for (TaskId j = 0; j < cheap.num_tasks(); ++j) {
+    cheap_max = std::max(cheap_max, cheap.replication_degree(j));
+  }
+  for (TaskId j = 0; j < heavy.num_tasks(); ++j) {
+    heavy_min = std::min(heavy_min, heavy.replication_degree(j));
+  }
+  EXPECT_LT(cheap_max, heavy_min);
+}
+
+TEST(AdaptiveStrategy, WarmEstimatorRaisesTheDegree) {
+  const Instance inst = demo(64, 8, 1.1);  // declares almost no noise
+  AdaptiveGroupOptions options;
+  options.estimator.min_samples = 4;
+  auto estimator = std::make_shared<AlphaEstimator>(options.estimator);
+  const TwoPhaseStrategy strategy = make_adaptive_group(estimator, options);
+
+  const Placement cold = strategy.place(inst);
+  // Feed a run whose actuals blew far past the declared band.
+  const TaskClassifier classifier(inst, estimator->num_classes());
+  Realization wild;
+  wild.actual.resize(inst.num_tasks());
+  for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+    wild.actual[j] = inst.estimate(j) * (j % 2 == 0 ? 4.0 : 0.25);
+  }
+  estimator->observe_run(classifier, inst, wild);
+  const Placement warm = strategy.place(inst);
+
+  std::size_t cold_total = 0;
+  std::size_t warm_total = 0;
+  for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+    cold_total += cold.replication_degree(j);
+    warm_total += warm.replication_degree(j);
+  }
+  EXPECT_GT(warm_total, cold_total);
+}
+
+TEST(AdaptiveStrategy, SpecResolvesAndValidates) {
+  const TwoPhaseStrategy strategy = strategy_from_spec("adaptive-group");
+  EXPECT_EQ(strategy.name(), "Adaptive-Group");
+  const TwoPhaseStrategy narrow = strategy_from_spec("adaptive-group:2");
+  const Instance inst = demo();
+  EXPECT_EQ(narrow.place(inst).num_tasks(), inst.num_tasks());
+  EXPECT_THROW((void)strategy_from_spec("adaptive-group:0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)strategy_from_spec("adaptive-group:1.5"),
+               std::invalid_argument);
+}
+
+TEST(AdaptiveStrategy, RealizedRatioStaysUnderTheAdaptiveBound) {
+  // The fuzz cross-check in miniature: warm estimator, adaptive place,
+  // dispatch, and the realized makespan obeys the placement's theorem
+  // bound at the realized alpha (vs the trivial lower bounds).
+  const Instance inst = demo(30, 6, 1.4, 11);
+  const Realization actual = realize(inst, NoiseModel::kLogUniform, 5);
+  AdaptiveGroupOptions options;
+  options.estimator.min_samples = 4;
+  auto estimator = std::make_shared<AlphaEstimator>(options.estimator);
+  const TaskClassifier classifier(inst, estimator->num_classes());
+  estimator->observe_run(classifier, inst, actual);
+  const TwoPhaseStrategy strategy = make_adaptive_group(estimator, options);
+  const Placement placement = strategy.place(inst);
+  const DispatchResult run = dispatch_online(
+      inst, placement, actual, make_priority(inst, strategy.rule()));
+  check::throw_on_violations(
+      check::check_invariants(inst, placement, actual, run.schedule),
+      "adaptive");
+  double total = 0.0;
+  double longest = 0.0;
+  for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+    total += actual[j];
+    longest = std::max(longest, actual[j]);
+  }
+  const double opt_lb =
+      std::max(longest, total / static_cast<double>(inst.num_machines()));
+  const double bound = adaptive_theorem_bound(
+      placement, realized_alpha(inst, actual), inst.num_machines());
+  EXPECT_LE(run.schedule.makespan(), bound * opt_lb * (1.0 + 1e-9));
+}
+
+TEST(AdaptiveServe, CoversEveryTaskAndIsDeterministic) {
+  const Instance inst = demo(200, 8, 1.5);
+  const Realization actual = realize(inst, NoiseModel::kUniform, 9);
+  ArrivalParams arrival_params;
+  arrival_params.rate = 40.0;
+  arrival_params.seed = 13;
+  const std::vector<Time> arrivals = generate_arrivals(arrival_params, 200);
+
+  AdaptiveServeOptions options;
+  options.epoch_tasks = 32;
+  const AdaptiveServeResult a = serve_adaptive(inst, actual, arrivals, options);
+  const AdaptiveServeResult b = serve_adaptive(inst, actual, arrivals, options);
+
+  ASSERT_EQ(a.schedule.num_tasks(), inst.num_tasks());
+  ASSERT_FALSE(a.epochs.empty());
+  std::size_t epoch_total = 0;
+  for (const AdaptiveEpoch& epoch : a.epochs) epoch_total += epoch.tasks;
+  EXPECT_EQ(epoch_total, inst.num_tasks());
+  for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+    EXPECT_NE(a.schedule.assignment.machine_of[j], kNoMachine);
+    EXPECT_GE(a.schedule.start[j], arrivals[j]);
+    EXPECT_DOUBLE_EQ(a.schedule.finish[j], a.schedule.start[j] + actual[j]);
+    // Bit-identical re-run.
+    EXPECT_EQ(a.schedule.assignment.machine_of[j],
+              b.schedule.assignment.machine_of[j]);
+    EXPECT_DOUBLE_EQ(a.schedule.start[j], b.schedule.start[j]);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_GT(a.final_alpha_hat, 1.0);
+  // Machines never run two tasks at once.
+  EXPECT_EQ(check_schedule(inst, actual, a.schedule), "");
+}
+
+TEST(AdaptiveServe, DriftTriggersReplanning) {
+  // Actuals start on the estimates and then blow out to 5x: the running
+  // alpha_hat must drift across the threshold and force at least one
+  // re-planning, and the degrees must grow across epochs.
+  const std::size_t n = 256;
+  const Instance inst = demo(n, 8, 1.1);
+  Realization actual;
+  actual.actual.resize(n);
+  for (TaskId j = 0; j < n; ++j) {
+    const double factor = j < n / 2 ? 1.0 : 5.0;
+    actual.actual[j] = inst.estimate(j) * factor;
+  }
+  std::vector<Time> arrivals(n);
+  for (TaskId j = 0; j < n; ++j) arrivals[j] = 0.01 * static_cast<double>(j);
+
+  AdaptiveServeOptions options;
+  options.epoch_tasks = 32;
+  options.adapt.estimator.min_samples = 8;
+  const AdaptiveServeResult result =
+      serve_adaptive(inst, actual, arrivals, options);
+  EXPECT_GE(result.replans, 1u);
+  EXPECT_GT(result.final_alpha_hat, 2.0);
+  EXPECT_GT(result.epochs.back().max_degree,
+            result.epochs.front().max_degree);
+}
+
+TEST(AdaptiveServe, ValidatesInputs) {
+  const Instance inst = demo(4, 2, 1.5);
+  const Realization actual = realize(inst, NoiseModel::kUniform, 1);
+  const std::vector<Time> arrivals(4, 0.0);
+  AdaptiveServeOptions bad;
+  bad.epoch_tasks = 0;
+  EXPECT_THROW((void)serve_adaptive(inst, actual, arrivals, bad),
+               std::invalid_argument);
+  const std::vector<Time> wrong(3, 0.0);
+  EXPECT_THROW((void)serve_adaptive(inst, actual, wrong), std::invalid_argument);
+  const std::vector<Time> negative = {0.0, -1.0, 0.0, 0.0};
+  EXPECT_THROW((void)serve_adaptive(inst, actual, negative),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rdp

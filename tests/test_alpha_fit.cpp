@@ -1,6 +1,7 @@
 // Tests for alpha calibration from historical (estimate, actual) pairs.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "core/instance.hpp"
@@ -99,6 +100,86 @@ TEST(AlphaFit, RoundTripWithNoiseModels) {
   EXPECT_LE(fitted, 1.6 + 1e-9);
   EXPECT_GT(fitted, 1.55);  // 4000 samples get close to the edge
   EXPECT_DOUBLE_EQ(coverage_of_alpha(history, 1.6), 1.0);
+}
+
+TEST(AlphaFit, FullCoverageEqualsMaxFit) {
+  // coverage = 1.0 must select every observation, i.e. reproduce
+  // fit_alpha_max exactly -- for any history size, including sizes where
+  // coverage * n lands on an exact integer in doubles.
+  for (int n : {1, 2, 3, 7, 10, 100}) {
+    std::vector<Observation> history;
+    for (int i = 1; i <= n; ++i) {
+      history.push_back({1.0, 1.0 + 0.01 * i});
+    }
+    EXPECT_DOUBLE_EQ(fit_alpha_quantile(history, 1.0), fit_alpha_max(history))
+        << "n=" << n;
+  }
+}
+
+TEST(AlphaFit, TwoSamplesAtNinetyFiveCoverBoth) {
+  // ceil(0.95 * 2) = 2: with two samples a 95% quantile cannot drop
+  // either one, so the fit must equal the larger factor.
+  const std::vector<Observation> history = {{1.0, 1.2}, {1.0, 1.7}};
+  EXPECT_DOUBLE_EQ(fit_alpha_quantile(history, 0.95), 1.7);
+  EXPECT_GE(coverage_of_alpha(history, fit_alpha_quantile(history, 0.95)), 0.95);
+}
+
+TEST(AlphaFit, QuantileIndexDoesNotRoundAcrossIntegers) {
+  // 0.9 * 10 = 9.0000000000000018 in doubles; a naive
+  // ceil(coverage * n) selects 10 factors instead of 9 and silently
+  // over-covers. Nine of ten observations must be enough here.
+  std::vector<Observation> history;
+  for (int i = 1; i <= 9; ++i) history.push_back({1.0, 1.1});
+  history.push_back({1.0, 30.0});
+  EXPECT_NEAR(fit_alpha_quantile(history, 0.9), 1.1, 1e-12);
+  // The dual direction: 0.7 * 10 = 6.999999999999999, so ceil gives 7 --
+  // which is also what ratio space demands (7/10 >= 0.7). Make sure the
+  // correction loops do not undershoot to 6.
+  std::vector<Observation> ladder;
+  for (int i = 1; i <= 10; ++i) ladder.push_back({1.0, 1.0 + 0.1 * i});
+  EXPECT_NEAR(fit_alpha_quantile(ladder, 0.7), 1.7, 1e-12);
+  EXPECT_GE(coverage_of_alpha(ladder, fit_alpha_quantile(ladder, 0.7)), 0.7);
+}
+
+TEST(AlphaFit, QuantileCoverageNeverUndershootsRequested) {
+  // For every k/n grid point and off-grid coverages, the fitted alpha
+  // must actually cover at least the requested fraction.
+  std::vector<Observation> history;
+  for (int i = 1; i <= 17; ++i) history.push_back({1.0, 1.0 + 0.05 * i});
+  for (double coverage :
+       {0.01, 0.1, 1.0 / 17.0, 5.0 / 17.0, 0.5, 0.7, 0.9, 16.0 / 17.0, 1.0}) {
+    const double fitted = fit_alpha_quantile(history, coverage);
+    EXPECT_GE(coverage_of_alpha(history, fitted), coverage - 1e-12)
+        << "coverage=" << coverage;
+  }
+}
+
+TEST(AlphaFit, QuantileRoundTripsStochasticRealizations) {
+  // Round trip against perturb/stochastic: realize a declared-alpha band,
+  // fit the band back from the (estimate, actual) pairs. The 95% fit must
+  // stay inside the declared band, actually cover 95%, and tighten toward
+  // the declared alpha as the sample grows.
+  WorkloadParams params;
+  params.num_machines = 4;
+  params.alpha = 2.0;
+  params.seed = 11;
+  double previous_gap = std::numeric_limits<double>::infinity();
+  for (std::size_t n : {200u, 4000u}) {
+    params.num_tasks = n;
+    const Instance inst = uniform_workload(params);
+    const Realization actual = realize(inst, NoiseModel::kLogUniform, 77);
+    std::vector<Observation> history;
+    for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+      history.push_back({inst.estimate(j), actual[j]});
+    }
+    const double fitted = fit_alpha_quantile(history, 0.95);
+    EXPECT_LE(fitted, 2.0 + 1e-9);
+    EXPECT_GE(coverage_of_alpha(history, fitted), 0.95 - 1e-12);
+    const double gap = 2.0 - fitted;
+    EXPECT_LT(gap, previous_gap);
+    previous_gap = gap;
+  }
+  EXPECT_LT(previous_gap, 0.25);  // 4000 log-uniform samples get close
 }
 
 TEST(AlphaFit, BiasDetectsSystematicUnderestimation) {

@@ -49,6 +49,57 @@ TEST(Scenarios, DeterministicInSeed) {
   }
 }
 
+TEST(Scenarios, DriftingSetsWidenAcrossTheSweep) {
+  const Instance inst = demo();
+  const ScenarioSet set = make_drifting_scenarios(inst, 8, 2, 1.0, 3.0);
+  ASSERT_EQ(set.size(), 8u);
+  // Scenario 0 is drawn at alpha = 1 (factors exactly 1); the last is
+  // drawn at alpha = 3 and may leave the instance's declared 1.8 band.
+  for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+    EXPECT_DOUBLE_EQ(set.scenarios.front()[j], inst.estimate(j));
+  }
+  double worst_factor = 1.0;
+  for (const Realization& r : set.scenarios) {
+    for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+      const double ratio = r[j] / inst.estimate(j);
+      worst_factor = std::max({worst_factor, ratio, 1.0 / ratio});
+      EXPECT_LE(std::max(ratio, 1.0 / ratio), 3.0 * (1.0 + 1e-12));
+    }
+  }
+  EXPECT_GT(worst_factor, 1.8);  // the drift really leaves the declared band
+
+  // Deterministic in the seed, and invalid endpoints are rejected.
+  const ScenarioSet again = make_drifting_scenarios(inst, 8, 2, 1.0, 3.0);
+  for (std::size_t s = 0; s < set.size(); ++s) {
+    for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+      EXPECT_DOUBLE_EQ(set.scenarios[s][j], again.scenarios[s][j]);
+    }
+  }
+  EXPECT_THROW((void)make_drifting_scenarios(inst, 4, 1, 0.5, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_drifting_scenarios(inst, 4, 1, 1.5, 0.9),
+               std::invalid_argument);
+}
+
+TEST(Scenarios, MisreportedSetsDrawAtTheTrueAlpha) {
+  const Instance inst = demo();  // declares alpha = 1.8
+  const ScenarioSet set = make_misreported_scenarios(inst, 10, 4, 3.5);
+  ASSERT_EQ(set.size(), 10u);
+  double worst_factor = 1.0;
+  for (const Realization& r : set.scenarios) {
+    for (TaskId j = 0; j < inst.num_tasks(); ++j) {
+      const double ratio = r[j] / inst.estimate(j);
+      worst_factor = std::max({worst_factor, ratio, 1.0 / ratio});
+      EXPECT_LE(std::max(ratio, 1.0 / ratio), 3.5 * (1.0 + 1e-12));
+    }
+  }
+  // kAlwaysHigh is in the mixed rotation, so the true band is actually
+  // exercised well past the declared one.
+  EXPECT_GT(worst_factor, 1.8);
+  EXPECT_THROW((void)make_misreported_scenarios(inst, 4, 1, 0.8),
+               std::invalid_argument);
+}
+
 TEST(Evaluation, FieldsAreConsistent) {
   const Instance inst = demo();
   const ScenarioSet set = make_mixed_scenarios(inst, 8, 2);

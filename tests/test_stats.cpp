@@ -66,6 +66,59 @@ TEST(Welford, MergeWithEmptyIsNoop) {
   EXPECT_DOUBLE_EQ(b.mean(), 5.0);
 }
 
+TEST(Welford, MergeWithEmptyIsExactIdentityBothWays) {
+  // Empty must be the neutral element bit-for-bit in both directions:
+  // a.merge(empty) and empty.merge(a) both reproduce a exactly,
+  // including the raw second moment and the extrema.
+  Welford a;
+  for (double x : {2.5, -1.0, 7.25, 3.0}) a.add(x);
+  const double mean = a.mean();
+  const double m2 = a.m2();
+
+  Welford copy = a;
+  copy.merge(Welford{});
+  EXPECT_EQ(copy.count(), a.count());
+  EXPECT_DOUBLE_EQ(copy.mean(), mean);
+  EXPECT_DOUBLE_EQ(copy.m2(), m2);
+  EXPECT_DOUBLE_EQ(copy.min(), -1.0);
+  EXPECT_DOUBLE_EQ(copy.max(), 7.25);
+
+  Welford into_empty;
+  into_empty.merge(a);
+  EXPECT_EQ(into_empty.count(), a.count());
+  EXPECT_DOUBLE_EQ(into_empty.mean(), mean);
+  EXPECT_DOUBLE_EQ(into_empty.m2(), m2);
+  EXPECT_DOUBLE_EQ(into_empty.min(), -1.0);
+  EXPECT_DOUBLE_EQ(into_empty.max(), 7.25);
+}
+
+TEST(Welford, VarianceNeverNegativeOrNaN) {
+  // m2_ is a running sum of products of deltas; with near-identical
+  // samples the deltas are pure rounding noise and the sum can drift a
+  // few ulps below zero, which sqrt() would turn into NaN. variance()
+  // clamps, so every prefix must report a finite non-negative spread.
+  Welford w;
+  for (int i = 0; i < 100000; ++i) {
+    w.add(0.1 + 1e-18 * (i % 3));
+    if (i % 9973 == 0) {
+      EXPECT_GE(w.variance(), 0.0);
+      EXPECT_FALSE(std::isnan(w.stddev()));
+    }
+  }
+  EXPECT_GE(w.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(w.stddev()));
+
+  // Merging shards of the same degenerate stream must stay clean too.
+  Welford merged;
+  for (int shard = 0; shard < 50; ++shard) {
+    Welford part;
+    for (int i = 0; i < 200; ++i) part.add(1e9 + 1.0 / 3.0);
+    merged.merge(part);
+  }
+  EXPECT_GE(merged.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(merged.stddev()));
+}
+
 TEST(Percentile, ExactOnSortedSample) {
   const std::vector<double> s = {1.0, 2.0, 3.0, 4.0, 5.0};
   EXPECT_DOUBLE_EQ(percentile_sorted(s, 0.0), 1.0);

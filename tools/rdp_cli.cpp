@@ -24,6 +24,7 @@
 // --sample-period=MS milliseconds for the duration of the command.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -61,10 +62,15 @@ int usage(const char* program) {
          "           [--noise=MODEL] [--seed=S] [--arrival-seed=S]\n"
          "           [--burst-boost=B --burst-on=T --burst-off=T]\n"
          "           [--trace=FILE] [--json=FILE]\n"
+         "           [--adaptive [--epoch=N] [--drift=D] [--classes=C]]\n"
          "           (streaming dispatch under continuous arrivals;\n"
          "            reports response-time p50/p90/p99, queueing-delay\n"
-         "            decomposition, and dispatched tasks/sec)\n"
+         "            decomposition, and dispatched tasks/sec; --adaptive\n"
+         "            estimates alpha online and re-places unadmitted\n"
+         "            tasks when the estimate drifts past --drift)\n"
          "  evaluate --instance=FILE [--scenarios=K] [--seed=S]\n"
+         "           [--scenario-kind=mixed|drifting|misreported]\n"
+         "           [--alpha-to=A] [--true-alpha=A]\n"
          "  sweep    --instance=FILE --strategy=SPEC [--noise=MODEL]\n"
          "           [--trials=K] [--threads=T] [--seed=S] [--json=FILE]\n"
          "           [--ratios] (certified competitive ratios per trial)\n"
@@ -77,7 +83,7 @@ int usage(const char* program) {
          "            e.g. --filter=smoke or --filter=table,fig1)\n"
          "  fuzz     [--seeds=N] [--jobs=K] [--start-seed=S]\n"
          "           [--max-n=N] [--max-m=M] [--report=FILE.jsonl]\n"
-         "           [--no-shrink]\n"
+         "           [--no-shrink] [--scenario=default|drifting-alpha]\n"
          "           (differential fuzzing of every sim/ dispatcher against\n"
          "            the schedule invariants in src/check/; failing seeds\n"
          "            are shrunk and written one JSONL line each)\n"
@@ -348,6 +354,51 @@ int cmd_sweep(const Args& args) {
 
 void write_text_file(const std::string& path, const std::string& content);
 
+/// Strict numeric flag parsing for the serve command: Args::get(double)
+/// tolerates trailing junk ("4x" -> 4) and non-finite spellings ("nan",
+/// "inf"), and a negative --tasks would wrap through size_t into an
+/// absurd allocation inside the arrival generator (a runtime failure,
+/// exit 1). Flags that size or rate the workload are re-parsed from the
+/// raw string here so every rejection is an invalid_argument (usage
+/// error, exit 2) before anything reaches a generator.
+double serve_positive_flag(const Args& args, const std::string& key,
+                           double fallback) {
+  if (!args.has(key)) return fallback;
+  const std::string raw = args.get(key, std::string(""));
+  double value = 0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stod(raw, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != raw.size() || !std::isfinite(value) || !(value > 0.0)) {
+    throw std::invalid_argument("serve: --" + key +
+                                " must be a positive finite number (got '" +
+                                raw + "')");
+  }
+  return value;
+}
+
+std::size_t serve_count_flag(const Args& args, const std::string& key,
+                             std::size_t fallback) {
+  if (!args.has(key)) return fallback;
+  const std::string raw = args.get(key, std::string(""));
+  long long value = 0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stoll(raw, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != raw.size() || raw.empty() || value < 1) {
+    throw std::invalid_argument("serve: --" + key +
+                                " must be a positive integer (got '" + raw +
+                                "')");
+  }
+  return static_cast<std::size_t>(value);
+}
+
 int cmd_serve(const Args& args) {
   const ArrivalModel model =
       arrival_model_from_name(args.get("arrivals", std::string("poisson")));
@@ -373,26 +424,34 @@ int cmd_serve(const Args& args) {
   } else {
     ArrivalParams params;
     params.model = model;
-    params.rate = args.get("rate", 100.0);
-    params.burst_boost = args.get("burst-boost", 4.0);
-    params.burst_on = args.get("burst-on", 1.0);
-    params.burst_off = args.get("burst-off", 4.0);
+    params.rate = serve_positive_flag(args, "rate", 100.0);
+    params.burst_boost = serve_positive_flag(args, "burst-boost", 4.0);
+    params.burst_on = serve_positive_flag(args, "burst-on", 1.0);
+    params.burst_off = serve_positive_flag(args, "burst-off", 4.0);
+    if (model == ArrivalModel::kBurst) {
+      const double feasible =
+          (params.burst_on + params.burst_off) / params.burst_on;
+      if (params.burst_boost > feasible) {
+        throw std::invalid_argument(
+            "serve: --burst-boost=" + std::to_string(params.burst_boost) +
+            " is infeasible for MMPP-2 (must be <= (on+off)/on = " +
+            std::to_string(feasible) + ")");
+      }
+    }
     params.seed = static_cast<std::uint64_t>(args.get(
         "arrival-seed", static_cast<std::int64_t>(seed + 1)));
     if (args.has("duration") && args.has("tasks")) {
       throw std::invalid_argument("serve: pass --duration or --tasks, not both");
     }
     if (args.has("duration")) {
-      arrivals = generate_arrivals_until(params, args.get("duration", 10.0));
+      arrivals = generate_arrivals_until(
+          params, serve_positive_flag(args, "duration", 10.0));
       if (arrivals.empty()) {
         throw std::invalid_argument(
             "serve: no arrivals inside --duration (raise --rate or --duration)");
       }
     } else {
-      const auto tasks =
-          static_cast<std::size_t>(args.get("tasks", std::int64_t{2000}));
-      if (tasks == 0) throw std::invalid_argument("serve: --tasks must be >= 1");
-      arrivals = generate_arrivals(params, tasks);
+      arrivals = generate_arrivals(params, serve_count_flag(args, "tasks", 2000));
     }
     const std::string instance_path = args.get("instance", std::string(""));
     if (!instance_path.empty()) {
@@ -404,6 +463,86 @@ int cmd_serve(const Args& args) {
     }
     actual = realize(*inst, noise_from_name(args.get("noise", std::string("uniform"))),
                      seed);
+  }
+
+  if (args.get("adaptive", false)) {
+    AdaptiveServeOptions opts;
+    opts.epoch_tasks = serve_count_flag(args, "epoch", opts.epoch_tasks);
+    opts.drift_threshold =
+        serve_positive_flag(args, "drift", opts.drift_threshold);
+    opts.adapt.estimator.num_classes =
+        serve_count_flag(args, "classes", opts.adapt.estimator.num_classes);
+    const auto wall_start = std::chrono::steady_clock::now();
+    const AdaptiveServeResult result = serve_adaptive(*inst, actual, arrivals, opts);
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+            .count();
+    const ServeStats stats = compute_serve_stats(result.schedule, arrivals);
+    MachineId min_degree = inst->num_machines();
+    MachineId max_degree = 0;
+    for (const AdaptiveEpoch& epoch : result.epochs) {
+      min_degree = std::min(min_degree, epoch.min_degree);
+      max_degree = std::max(max_degree, epoch.max_degree);
+    }
+    TextTable table({"quantity", "value"});
+    table.add_row({"arrivals", arrival_model_name(model)});
+    table.add_row({"strategy", "adaptive-group"});
+    table.add_row({"tasks", std::to_string(inst->num_tasks())});
+    table.add_row({"machines", std::to_string(inst->num_machines())});
+    table.add_row({"epochs", std::to_string(result.epochs.size())});
+    table.add_row({"replans (drift)", std::to_string(result.replans)});
+    table.add_row({"final alpha-hat", fmt(result.final_alpha_hat, 4)});
+    table.add_row({"degree range",
+                   std::to_string(min_degree) + " .. " + std::to_string(max_degree)});
+    table.add_row({"peak backlog", std::to_string(result.peak_backlog)});
+    table.add_row({"horizon (sim s)", fmt(stats.last_finish, 3)});
+    table.add_row({"response p50/p90/p99",
+                   fmt(stats.response.p50, 4) + " / " +
+                       fmt(stats.response.p90, 4) + " / " +
+                       fmt(stats.response.p99, 4)});
+    table.add_row({"queue wait p50/p90/p99",
+                   fmt(stats.queue_wait.p50, 4) + " / " +
+                       fmt(stats.queue_wait.p90, 4) + " / " +
+                       fmt(stats.queue_wait.p99, 4)});
+    table.add_row({"mean response", fmt(stats.response.mean, 4)});
+    table.add_row({"wall seconds", fmt(wall_seconds, 4)});
+    std::cout << table.render();
+
+    const std::string json_path = args.get("json", std::string(""));
+    if (!json_path.empty()) {
+      JsonObject obj;
+      obj["arrivals"] = JsonValue(std::string(arrival_model_name(model)));
+      obj["strategy"] = JsonValue(std::string("adaptive-group"));
+      obj["tasks"] =
+          JsonValue(static_cast<unsigned long long>(inst->num_tasks()));
+      obj["machines"] =
+          JsonValue(static_cast<unsigned long long>(inst->num_machines()));
+      obj["peak_backlog"] =
+          JsonValue(static_cast<unsigned long long>(result.peak_backlog));
+      obj["horizon"] = JsonValue(stats.last_finish);
+      obj["makespan"] = JsonValue(result.makespan);
+      obj["wall_seconds"] = JsonValue(wall_seconds);
+      JsonObject adaptive;
+      adaptive["epochs"] =
+          JsonValue(static_cast<unsigned long long>(result.epochs.size()));
+      adaptive["replans"] =
+          JsonValue(static_cast<unsigned long long>(result.replans));
+      adaptive["final_alpha_hat"] = JsonValue(result.final_alpha_hat);
+      adaptive["min_degree"] =
+          JsonValue(static_cast<unsigned long long>(min_degree));
+      adaptive["max_degree"] =
+          JsonValue(static_cast<unsigned long long>(max_degree));
+      obj["adaptive"] = JsonValue(std::move(adaptive));
+      JsonObject response;
+      response["mean"] = JsonValue(stats.response.mean);
+      response["p50"] = JsonValue(stats.response.p50);
+      response["p90"] = JsonValue(stats.response.p90);
+      response["p99"] = JsonValue(stats.response.p99);
+      obj["response"] = JsonValue(std::move(response));
+      write_text_file(json_path, JsonValue(std::move(obj)).dump(2) + "\n");
+      std::cout << "JSON written to " << json_path << "\n";
+    }
+    return EXIT_SUCCESS;
   }
 
   const Placement placement = strategy.place(*inst);
@@ -481,10 +620,25 @@ int cmd_evaluate(const Args& args) {
   const auto count =
       static_cast<std::size_t>(args.get("scenarios", std::int64_t{12}));
   const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{1}));
-  const ScenarioSet scenarios = make_mixed_scenarios(inst, count, seed);
+  const std::string kind = args.get("scenario-kind", std::string("mixed"));
+  ScenarioSet scenarios;
+  if (kind == "mixed") {
+    scenarios = make_mixed_scenarios(inst, count, seed);
+  } else if (kind == "drifting") {
+    scenarios = make_drifting_scenarios(inst, count, seed, inst.alpha(),
+                                        args.get("alpha-to", 2.0 * inst.alpha()));
+  } else if (kind == "misreported") {
+    scenarios = make_misreported_scenarios(inst, count, seed,
+                                           args.get("true-alpha", 2.0 * inst.alpha()));
+  } else {
+    throw std::invalid_argument(
+        "evaluate: --scenario-kind must be mixed, drifting, or misreported (got '" +
+        kind + "')");
+  }
 
   std::vector<TwoPhaseStrategy> strategies =
       paper_strategy_family(inst.num_machines());
+  strategies.push_back(make_adaptive_group());
   TextTable table({"strategy", "mean", "worst", "worst regret"});
   for (const TwoPhaseStrategy& s : strategies) {
     const ScenarioEvaluation eval = evaluate_scenarios(s, inst, scenarios);
@@ -567,6 +721,8 @@ int cmd_fuzz(const Args& args) {
   options.gen.max_machines =
       static_cast<MachineId>(args.get("max-m", std::int64_t{6}));
   options.shrink = !args.get("no-shrink", false);
+  options.gen.scenario = check::fuzz_scenario_from_name(
+      args.get("scenario", std::string("default")));
   options.log = &std::cout;
   if (options.seeds == 0) throw std::invalid_argument("fuzz: --seeds must be >= 1");
 
