@@ -10,6 +10,7 @@
 #include "core/realization.hpp"
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "serve/streaming_dispatcher.hpp"
 
 namespace rdp {
@@ -66,6 +67,9 @@ AdaptiveServeResult serve_adaptive(const Instance& instance,
   for (std::size_t begin = 0; begin < n; begin += options.epoch_tasks) {
     const std::size_t count = std::min(options.epoch_tasks, n - begin);
     const double alpha_now = estimator->alpha_hat_global(instance.alpha());
+    // alpha_hat as a gauge gives the sampler JSONL a per-epoch time
+    // series; the histogram below keeps the whole-run distribution.
+    if (mx != nullptr) mx->gauge("adapt.alpha_hat_now").set(alpha_now);
 
     AdaptiveEpoch epoch;
     epoch.first_task = begin;
@@ -112,10 +116,42 @@ AdaptiveServeResult serve_adaptive(const Instance& instance,
     std::vector<TaskId> priority(count);
     std::iota(priority.begin(), priority.end(), TaskId{0});
 
-    const StreamingDispatchResult served =
-        serve_stream(sub, placement, sub_actual, priority, sub_arrivals,
-                     machine_ready);
+    // Mask the flight recorder during the sub-run: serve_stream would
+    // emit the epoch's *local* task ids 0..count-1. The epoch's events
+    // are re-emitted below under global ids instead.
+    obs::TimelineRecorder* const tl = obs::timeline();
+    StreamingDispatchResult served;
+    {
+      obs::TimelineScope mask(nullptr);
+      served = serve_stream(sub, placement, sub_actual, priority, sub_arrivals,
+                            machine_ready);
+    }
     result.peak_backlog = std::max(result.peak_backlog, served.peak_backlog);
+    if (tl != nullptr) {
+      const auto block = tl->reserve(3 * count);
+      std::size_t cursor = 0;
+      for (std::size_t t = 0; t < count && cursor < block.count; ++t, ++cursor) {
+        block.when[cursor] = sub_arrivals[t];
+        block.task[cursor] = order[begin + t];
+        block.machine[cursor] = obs::kTimelineNone;
+        block.kind[cursor] =
+            static_cast<std::uint8_t>(obs::TimelineEventKind::kArrive);
+      }
+      for (std::size_t t = 0; t < count && cursor < block.count; ++t, ++cursor) {
+        block.when[cursor] = served.schedule.start[t];
+        block.task[cursor] = order[begin + t];
+        block.machine[cursor] = served.schedule.assignment[t];
+        block.kind[cursor] =
+            static_cast<std::uint8_t>(obs::TimelineEventKind::kStart);
+      }
+      for (std::size_t t = 0; t < count && cursor < block.count; ++t, ++cursor) {
+        block.when[cursor] = served.schedule.finish[t];
+        block.task[cursor] = order[begin + t];
+        block.machine[cursor] = served.schedule.assignment[t];
+        block.kind[cursor] =
+            static_cast<std::uint8_t>(obs::TimelineEventKind::kFinish);
+      }
+    }
 
     for (std::size_t t = 0; t < count; ++t) {
       const TaskId j = order[begin + t];

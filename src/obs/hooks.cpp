@@ -5,5 +5,6 @@ namespace rdp::obs::detail {
 std::atomic<MetricsRegistry*> g_metrics{nullptr};
 std::atomic<Tracer*> g_tracer{nullptr};
 std::atomic<RunSampler*> g_sampler{nullptr};
+std::atomic<TimelineRecorder*> g_timeline{nullptr};
 
 }  // namespace rdp::obs::detail

@@ -14,6 +14,7 @@ namespace rdp::obs {
 class MetricsRegistry;
 class Tracer;
 class RunSampler;
+class TimelineRecorder;
 
 namespace detail {
 // Process-wide current sinks. Writes only happen via ObservabilityScope;
@@ -23,6 +24,9 @@ extern std::atomic<Tracer*> g_tracer;
 // The active run sampler (installed by RunSampler's constructor). Not a
 // hot-path sink: only provenance consumers (repro manifest) read it.
 extern std::atomic<RunSampler*> g_sampler;
+// The task-lifecycle flight recorder (obs/timeline.hpp), installed via
+// TimelineScope. Dispatchers load it once per run.
+extern std::atomic<TimelineRecorder*> g_timeline;
 }  // namespace detail
 
 /// Currently-installed metrics registry, or nullptr when observability is
@@ -39,6 +43,11 @@ extern std::atomic<RunSampler*> g_sampler;
 /// Currently-running time-series sampler (obs/sampler.hpp), or nullptr.
 [[nodiscard]] inline RunSampler* sampler() noexcept {
   return detail::g_sampler.load(std::memory_order_acquire);
+}
+
+/// Currently-installed flight recorder (obs/timeline.hpp), or nullptr.
+[[nodiscard]] inline TimelineRecorder* timeline() noexcept {
+  return detail::g_timeline.load(std::memory_order_acquire);
 }
 
 [[nodiscard]] inline bool enabled() noexcept {
@@ -71,6 +80,27 @@ class ObservabilityScope {
  private:
   MetricsRegistry* prev_metrics_;
   Tracer* prev_tracer_;
+};
+
+/// Installs a flight recorder for the duration of a scope, restoring the
+/// previous one on destruction. Kept separate from ObservabilityScope --
+/// timeline recording is opt-in per run (it buffers megabytes, not
+/// counters), and a null recorder scope deliberately masks an outer one
+/// (serve_adaptive uses this to re-emit its sub-runs under global ids).
+class TimelineScope {
+ public:
+  explicit TimelineScope(TimelineRecorder* recorder) noexcept
+      : prev_(detail::g_timeline.exchange(recorder, std::memory_order_acq_rel)) {}
+
+  TimelineScope(const TimelineScope&) = delete;
+  TimelineScope& operator=(const TimelineScope&) = delete;
+
+  ~TimelineScope() {
+    detail::g_timeline.store(prev_, std::memory_order_release);
+  }
+
+ private:
+  TimelineRecorder* prev_;
 };
 
 }  // namespace rdp::obs

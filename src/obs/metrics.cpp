@@ -117,6 +117,56 @@ Histogram::Summary Histogram::summary() const noexcept {
   return s;
 }
 
+void Histogram::merge(const Histogram& other) noexcept {
+  if (this == &other) return;
+  // Snapshot the source under its lock, then fold under ours. Taking the
+  // two locks in sequence (never nested) cannot deadlock even if two
+  // threads merge in opposite directions concurrently -- though doing so
+  // would interleave partial states, hence the header's contract.
+  std::vector<std::uint64_t> counts(kNumBuckets);
+  Welford moments;
+  double sum = 0.0;
+  double compensation = 0.0;
+  {
+    std::lock_guard lock(other.mutex_);
+    moments = other.welford_;
+    sum = other.sum_;
+    compensation = other.sum_compensation_;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      counts[i] = other.buckets_[i].load(std::memory_order_relaxed);
+    }
+  }
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] != 0) {
+      buckets_[i].fetch_add(counts[i], std::memory_order_relaxed);
+    }
+  }
+  welford_.merge(moments);
+  // Two compensated sums combine into one by running Neumaier over the
+  // other side's (sum, compensation) pair as if they were two samples:
+  // the result keeps the error of both streams' totals to ~1 ulp.
+  for (const double x : {sum, compensation}) {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      sum_compensation_ += (sum_ - t) + x;
+    } else {
+      sum_compensation_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+}
+
+void Histogram::reset() noexcept {
+  std::lock_guard lock(mutex_);
+  welford_ = Welford{};
+  sum_ = 0.0;
+  sum_compensation_ = 0.0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
 double Histogram::quantile(double q) const noexcept {
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
@@ -161,6 +211,20 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return snap;
 }
 
+JsonValue histogram_summary_json(const Histogram::Summary& s) {
+  JsonObject h;
+  h["count"] = s.count;
+  h["mean"] = s.mean;
+  h["stddev"] = s.stddev;
+  h["min"] = s.min;
+  h["max"] = s.max;
+  h["sum"] = s.sum;
+  h["p50"] = s.p50;
+  h["p90"] = s.p90;
+  h["p99"] = s.p99;
+  return JsonValue(std::move(h));
+}
+
 JsonValue metrics_snapshot_json(const MetricsSnapshot& snapshot) {
   JsonObject root;
   JsonObject counters_obj;
@@ -171,17 +235,7 @@ JsonValue metrics_snapshot_json(const MetricsSnapshot& snapshot) {
   root["gauges"] = gauges_obj;
   JsonObject hists_obj;
   for (const auto& [name, s] : snapshot.histograms) {
-    JsonObject h;
-    h["count"] = s.count;
-    h["mean"] = s.mean;
-    h["stddev"] = s.stddev;
-    h["min"] = s.min;
-    h["max"] = s.max;
-    h["sum"] = s.sum;
-    h["p50"] = s.p50;
-    h["p90"] = s.p90;
-    h["p99"] = s.p99;
-    hists_obj[name] = h;
+    hists_obj[name] = histogram_summary_json(s);
   }
   root["histograms"] = hists_obj;
   return JsonValue(root);

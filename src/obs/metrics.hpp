@@ -102,6 +102,20 @@ class Histogram {
   /// positive in-range samples; clamped to the observed [min, max].
   [[nodiscard]] double quantile(double q) const noexcept;
 
+  /// Folds `other` into this histogram: bucket-wise count addition,
+  /// Welford moment merge (Chan et al.), and Neumaier sums combined so
+  /// the merged sum() stays exactly compensated. The result summarizes
+  /// the union of both sample streams -- the rollup primitive behind
+  /// WindowedHistogram (obs/window.hpp) and sweep aggregation. Both
+  /// histograms' locks are taken (this first), so never merge two
+  /// histograms into each other concurrently.
+  void merge(const Histogram& other) noexcept;
+
+  /// Discards every recorded sample (counts, moments, sums). The bucket
+  /// array is retained, so a reset histogram is reusable without
+  /// allocation -- window rings recycle interval slots through this.
+  void reset() noexcept;
+
  private:
   static constexpr std::size_t kNonPositive = 0;  ///< x <= 0
   static constexpr std::size_t kUnderflow = 1;    ///< 0 < x, exp < kMinExp
@@ -149,6 +163,12 @@ struct MetricsSnapshot {
 /// The snapshot as a JsonValue (io/json.hpp), for embedding in larger
 /// documents (e.g. ExperimentReport).
 [[nodiscard]] JsonValue metrics_snapshot_json(const MetricsSnapshot& snapshot);
+
+/// One histogram summary as the canonical JSON object
+/// {count,mean,stddev,min,max,sum,p50,p90,p99} -- the single schema the
+/// metrics snapshot, `rdp_cli serve --json`, and the SLO engine all emit
+/// and consume.
+[[nodiscard]] JsonValue histogram_summary_json(const Histogram::Summary& s);
 
 /// Named metric registry. Lookup is mutex-protected; the returned
 /// references are stable for the registry's lifetime (node-based storage),

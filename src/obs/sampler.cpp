@@ -62,10 +62,24 @@ void RunSampler::write_sample() {
   JsonObject root;
   root["t"] = t;
   if (registry != nullptr) {
-    const JsonValue snapshot = metrics_snapshot_json(registry->snapshot());
+    const MetricsSnapshot snap = registry->snapshot();
+    const JsonValue snapshot = metrics_snapshot_json(snap);
     for (const auto& [key, value] : snapshot.as_object()) root[key] = value;
+    // Per-sample counter increases. A counter absent from the previous
+    // sample (first sample, or first time a site touched it) reports its
+    // absolute value, so sums over deltas always reproduce the cumulative
+    // counter.
+    JsonObject deltas;
+    for (const auto& [name, value] : snap.counters) {
+      const auto it = prev_counters_.find(name);
+      const std::uint64_t prev = it == prev_counters_.end() ? 0 : it->second;
+      deltas[name] = static_cast<double>(value - prev);
+    }
+    prev_counters_ = snap.counters;
+    root["deltas"] = std::move(deltas);
   } else {
     root["counters"] = JsonObject{};
+    root["deltas"] = JsonObject{};
     root["gauges"] = JsonObject{};
     root["histograms"] = JsonObject{};
   }

@@ -1,8 +1,12 @@
 // Run time-series sampling: a background thread that snapshots the
 // metrics registry at a fixed cadence and appends one JSON object per
-// line ({"t": seconds, "counters": {...}, "gauges": {...},
-// "histograms": {...}}), so a long sweep's queue depth, cache hit rate,
-// or tail latency can be inspected *over the run*, not just at the end.
+// line ({"t": seconds, "counters": {...}, "deltas": {...},
+// "gauges": {...}, "histograms": {...}}), so a long sweep's queue depth,
+// cache hit rate, or tail latency can be inspected *over the run*, not
+// just at the end. "counters" stays cumulative (byte-compatible with
+// pre-delta consumers); "deltas" is each counter's increase since the
+// previous sample, so a rate plot needs no client-side differencing. The
+// first sample's delta equals its absolute value.
 //
 // RAII-scoped like ObservabilityScope: constructing a RunSampler
 // registers it process-wide (obs::sampler(), used by the repro pipeline
@@ -15,6 +19,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -60,6 +65,10 @@ class RunSampler {
 
   RunSamplerOptions options_;
   MetricsRegistry* registry_;
+  // Counter values at the previous sample, for the "deltas" field. Only
+  // touched by write_sample(), which runs on the loop thread and -- after
+  // the join -- once from stop(), never concurrently.
+  std::map<std::string, std::uint64_t> prev_counters_;
   std::chrono::steady_clock::time_point start_;
   std::ofstream out_;
   std::atomic<std::size_t> samples_{0};

@@ -1,0 +1,182 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/json.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+
+namespace rdp::obs {
+
+namespace {
+
+constexpr const char* kKindNames[] = {"arrive", "admit",   "eligible", "start",
+                                      "finish", "refetch", "failure"};
+constexpr std::size_t kNumKinds = sizeof(kKindNames) / sizeof(kKindNames[0]);
+
+}  // namespace
+
+const char* to_string(TimelineEventKind kind) noexcept {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < kNumKinds ? kKindNames[i] : "unknown";
+}
+
+TimelineEventKind timeline_kind_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kNumKinds; ++i) {
+    if (name == kKindNames[i]) return static_cast<TimelineEventKind>(i);
+  }
+  throw std::invalid_argument("timeline: unknown event kind '" + name + "'");
+}
+
+TimelineRecorder::TimelineRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      when_(new double[capacity_]),
+      task_(new std::uint32_t[capacity_]),
+      machine_(new std::uint32_t[capacity_]),
+      kind_(new std::uint8_t[capacity_]) {}
+
+TimelineRecorder::Block TimelineRecorder::reserve(std::size_t count) noexcept {
+  Block block;
+  if (count == 0) return block;
+  const std::uint64_t begin =
+      next_.fetch_add(count, std::memory_order_relaxed);
+  if (begin >= capacity_) {
+    // Fully past the end: every slot is a drop (already counted by the
+    // fetch_add -- dropped() derives from the excess).
+    if (MetricsRegistry* mx = metrics()) {
+      mx->counter("timeline.events_dropped").add(count);
+    }
+    return block;
+  }
+  const std::size_t granted =
+      std::min<std::uint64_t>(count, capacity_ - begin);
+  if (granted < count) {
+    if (MetricsRegistry* mx = metrics()) {
+      mx->counter("timeline.events_dropped").add(count - granted);
+    }
+  }
+  block.when = when_.get() + begin;
+  block.task = task_.get() + begin;
+  block.machine = machine_.get() + begin;
+  block.kind = kind_.get() + begin;
+  block.count = granted;
+  return block;
+}
+
+void TimelineRecorder::record(double when, TimelineEventKind kind,
+                              std::uint32_t task,
+                              std::uint32_t machine) noexcept {
+  const Block block = reserve(1);
+  if (block.count == 0) return;
+  block.when[0] = when;
+  block.task[0] = task;
+  block.machine[0] = machine;
+  block.kind[0] = static_cast<std::uint8_t>(kind);
+}
+
+std::size_t TimelineRecorder::size() const noexcept {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(next_.load(std::memory_order_relaxed), capacity_));
+}
+
+std::uint64_t TimelineRecorder::dropped() const noexcept {
+  const std::uint64_t claimed = next_.load(std::memory_order_relaxed);
+  return claimed > capacity_ ? claimed - capacity_ : 0;
+}
+
+void TimelineRecorder::clear() noexcept {
+  next_.store(0, std::memory_order_relaxed);
+}
+
+TimelineEvent TimelineRecorder::event(std::size_t i) const noexcept {
+  TimelineEvent e;
+  e.when = when_[i];
+  e.task = task_[i];
+  e.machine = machine_[i];
+  e.kind = static_cast<TimelineEventKind>(kind_[i]);
+  return e;
+}
+
+void TimelineRecorder::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("TimelineRecorder::save: cannot open " + path);
+  const std::size_t count = size();
+  std::string buf;
+  buf += "{\"rdp_timeline_header\":{\"events\":" + std::to_string(count) +
+         ",\"dropped\":" + std::to_string(dropped()) +
+         ",\"capacity\":" + std::to_string(capacity_) + "}}\n";
+  for (std::size_t i = 0; i < count; ++i) {
+    // Hand-rendered rows (one allocation-free append per event) keep the
+    // export linear even for multi-million event logs; the `t` value goes
+    // through the round-trip-exact JSON number formatter.
+    buf += "{\"t\":";
+    buf += JsonValue(when_[i]).dump(-1);
+    buf += ",\"kind\":\"";
+    buf += to_string(static_cast<TimelineEventKind>(kind_[i]));
+    buf += "\"";
+    if (task_[i] != kTimelineNone) {
+      buf += ",\"task\":" + std::to_string(task_[i]);
+    }
+    if (machine_[i] != kTimelineNone) {
+      buf += ",\"machine\":" + std::to_string(machine_[i]);
+    }
+    buf += "}\n";
+    if (buf.size() >= (1u << 20)) {
+      out << buf;
+      buf.clear();
+    }
+  }
+  out << buf;
+  if (!out) {
+    throw std::runtime_error("TimelineRecorder::save: write failed for " + path);
+  }
+}
+
+std::vector<TimelineEvent> load_timeline(const std::string& path,
+                                         TimelineMeta* meta) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_timeline: cannot open " + path);
+  std::vector<TimelineEvent> events;
+  std::string line;
+  bool saw_header = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue doc;
+    try {
+      doc = parse_json(line);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("load_timeline: " + path + ":" +
+                               std::to_string(line_no) + ": " + e.what());
+    }
+    if (const JsonValue* header = doc.find("rdp_timeline_header")) {
+      saw_header = true;
+      if (meta != nullptr) {
+        meta->events = static_cast<std::uint64_t>(header->get_number("events"));
+        meta->dropped = static_cast<std::uint64_t>(header->get_number("dropped"));
+        meta->capacity =
+            static_cast<std::uint64_t>(header->get_number("capacity"));
+      }
+      continue;
+    }
+    TimelineEvent e;
+    e.when = doc.get_number("t");
+    e.kind = timeline_kind_from_name(doc.get_string("kind", ""));
+    e.task = static_cast<std::uint32_t>(
+        doc.get_number("task", static_cast<double>(kTimelineNone)));
+    e.machine = static_cast<std::uint32_t>(
+        doc.get_number("machine", static_cast<double>(kTimelineNone)));
+    events.push_back(e);
+  }
+  if (!saw_header) {
+    throw std::runtime_error("load_timeline: " + path +
+                             ": missing rdp_timeline_header line");
+  }
+  return events;
+}
+
+}  // namespace rdp::obs

@@ -1,0 +1,134 @@
+// Task-lifecycle flight recorder: a bounded, pre-allocated SoA event log
+// over *simulated* time (arrive -> admit -> eligible -> start -> finish,
+// plus refetch/failure), the per-task counterpart to obs/trace.hpp's
+// wall-clock spans. The dispatchers in serve/ and sim/ append into it
+// when one is installed (obs::timeline(), TimelineScope); the default
+// state is off, in which every emission site is a null-pointer check.
+//
+// The recording discipline matches sim/workspace.hpp: all storage is
+// allocated once at construction, and the hot paths claim slots with a
+// single relaxed fetch_add -- the serve/sim dispatch loops reserve one
+// contiguous block per run after their schedule is built, so recording
+// costs a few bulk array fills rather than per-decision bookkeeping (see
+// bench/ext_obs_overhead.cpp for the <=5% throughput budget). Once
+// capacity is reached further events are counted, never stored, so a
+// week-long instrumented serve cannot OOM the host; drops also bump the
+// `timeline.events_dropped` counter of the installed MetricsRegistry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rdp::obs {
+
+/// Lifecycle stages, in the order a healthy task passes through them.
+/// kAdmit/kEligible are distinct from kArrive only for dispatchers with
+/// an admission boundary (the streaming service admits at arrival, so it
+/// emits kArrive alone); kRefetch/kFailure come from sim/failures.
+enum class TimelineEventKind : std::uint8_t {
+  kArrive = 0,
+  kAdmit,
+  kEligible,
+  kStart,
+  kFinish,
+  kRefetch,
+  kFailure,
+};
+
+[[nodiscard]] const char* to_string(TimelineEventKind kind) noexcept;
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] TimelineEventKind timeline_kind_from_name(const std::string& name);
+
+/// Sentinel for "no task" / "no machine" in an event's id fields (a
+/// machine failure has no task; an arrival has no machine yet).
+inline constexpr std::uint32_t kTimelineNone = UINT32_MAX;
+
+/// One materialized event (AoS form, used by loaders and analysis; the
+/// recorder itself stores columns).
+struct TimelineEvent {
+  double when = 0.0;  ///< simulated time
+  std::uint32_t task = kTimelineNone;
+  std::uint32_t machine = kTimelineNone;
+  TimelineEventKind kind = TimelineEventKind::kArrive;
+};
+
+/// Header/trailer metadata of a saved timeline file.
+struct TimelineMeta {
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t capacity = 0;
+};
+
+class TimelineRecorder {
+ public:
+  /// 4M events * 17 bytes/event of column storage ~= 68 MB.
+  static constexpr std::size_t kDefaultCapacity = 1u << 22;
+
+  explicit TimelineRecorder(std::size_t capacity = kDefaultCapacity);
+  TimelineRecorder(const TimelineRecorder&) = delete;
+  TimelineRecorder& operator=(const TimelineRecorder&) = delete;
+
+  /// A claimed contiguous slice of the column arrays. The claimant owns
+  /// indices [0, count) of each pointer exclusively -- fill them with
+  /// plain stores, no synchronization needed. `count` may be smaller
+  /// than requested (capacity clamp); the shortfall is already counted
+  /// as dropped.
+  struct Block {
+    double* when = nullptr;
+    std::uint32_t* task = nullptr;
+    std::uint32_t* machine = nullptr;
+    std::uint8_t* kind = nullptr;
+    std::size_t count = 0;
+  };
+
+  /// Claims up to `count` slots in one fetch_add -- the bulk path the
+  /// dispatchers use (one reserve per run, then tight array fills).
+  [[nodiscard]] Block reserve(std::size_t count) noexcept;
+
+  /// Single-event form for low-rate sources (failures, refetches).
+  void record(double when, TimelineEventKind kind,
+              std::uint32_t task = kTimelineNone,
+              std::uint32_t machine = kTimelineNone) noexcept;
+
+  /// Events actually stored (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Events discarded because the buffer was full. Deterministic for a
+  /// deterministic event stream: reserve() truncates exactly at capacity.
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  /// Forgets every event (drop counter included); storage is retained.
+  void clear() noexcept;
+
+  /// Row `i` of the column store as an AoS event (i < size()).
+  [[nodiscard]] TimelineEvent event(std::size_t i) const noexcept;
+
+  /// JSONL export: first line is a header object
+  /// {"rdp_timeline_header":{"events":N,"dropped":D,"capacity":C}}, then
+  /// one {"t":..,"kind":"..","task":..,"machine":..} object per event in
+  /// record order (task/machine omitted when they are the none
+  /// sentinel). Throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::size_t capacity_;
+  // next_ counts every claim attempt; slots at/past capacity_ were
+  // dropped, so size = min(next_, capacity) and dropped = excess. One
+  // atomic serves both bulk and single-event claims.
+  std::atomic<std::uint64_t> next_{0};
+  std::unique_ptr<double[]> when_;
+  std::unique_ptr<std::uint32_t[]> task_;
+  std::unique_ptr<std::uint32_t[]> machine_;
+  std::unique_ptr<std::uint8_t[]> kind_;
+};
+
+/// Parses a file written by TimelineRecorder::save. Events come back in
+/// file order; `meta`, when non-null, receives the header. Throws
+/// std::runtime_error on I/O or schema errors.
+[[nodiscard]] std::vector<TimelineEvent> load_timeline(const std::string& path,
+                                                       TimelineMeta* meta = nullptr);
+
+}  // namespace rdp::obs

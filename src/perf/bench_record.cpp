@@ -408,6 +408,38 @@ BenchRecord normalize_adapt(const JsonValue& doc, const std::string& source) {
   return record;
 }
 
+/// ext_obs_overhead: serve_stream with the timeline recorder off vs on.
+/// The ratio is the acceptance criterion (<= 5% overhead) and gates as
+/// timing with a small absolute slack so run-to-run jitter around 1.0
+/// does not flake; the event/drop accounting is deterministic (the bench
+/// hard-fails on any mismatch) and gates "exact".
+BenchRecord normalize_obs_overhead(const JsonValue& doc,
+                                   const std::string& source) {
+  BenchRecord record;
+  record.name = "obs_overhead";
+  record.source = source;
+  JsonObject params;
+  for (const char* key : {"tasks", "machines", "groups", "reps", "rate",
+                          "capacity", "drop_capacity"}) {
+    params[key] = doc.get_number(key);
+  }
+  record.params_json = JsonValue(std::move(params)).dump(-1);
+  record.params_hash = fnv1a_hex(record.params_json);
+  for (const char* key : {"off_seconds", "on_seconds"}) {
+    add_metric(record, key, doc.get_number(key), "lower", "timing");
+  }
+  for (const char* key : {"off_events_per_sec", "on_events_per_sec"}) {
+    add_metric(record, key, doc.get_number(key), "higher", "timing");
+  }
+  add_metric(record, "overhead_ratio", doc.get_number("overhead_ratio"),
+             "lower", "timing", /*abs_slack=*/0.05);
+  for (const char* key : {"events_recorded", "events_dropped",
+                          "drop_recorded", "drop_dropped"}) {
+    add_metric(record, key, doc.get_number(key), "none", "exact");
+  }
+  return record;
+}
+
 BenchRecord normalize_bench_json(const JsonValue& doc, const std::string& source) {
   if (!doc.is_object()) {
     throw std::runtime_error("perf: " + source + ": not a JSON object");
@@ -431,6 +463,9 @@ BenchRecord normalize_bench_json(const JsonValue& doc, const std::string& source
   } else if (doc.find("adaptive_sweep") != nullptr &&
              doc.find("adaptive_fuzz") != nullptr) {
     record = normalize_adapt(doc, source);
+  } else if (doc.find("overhead_ratio") != nullptr &&
+             doc.find("events_recorded") != nullptr) {
+    record = normalize_obs_overhead(doc, source);
   } else if (doc.find("counters") != nullptr &&
              doc.find("histograms") != nullptr) {
     record = normalize_snapshot(doc, source);
@@ -439,8 +474,8 @@ BenchRecord normalize_bench_json(const JsonValue& doc, const std::string& source
         "perf: " + source +
         ": unrecognized benchmark JSON shape (expected a BenchRecord, "
         "ext_certify_speedup, ext_check_overhead, ext_sim_throughput, "
-        "ext_serve_throughput, ext_certify_scale, ext_adapt, or metrics "
-        "snapshot)");
+        "ext_serve_throughput, ext_certify_scale, ext_adapt, "
+        "ext_obs_overhead, or metrics snapshot)");
   }
   for (auto& [key, m] : record.metrics) finalize_metric(m);
   return record;

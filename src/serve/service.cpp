@@ -43,6 +43,7 @@ ServeReport run_serve(const Instance& instance, const Placement& placement,
       seconds > 0 ? static_cast<double>(report.tasks) / seconds : 0.0;
   report.stats = compute_serve_stats(result.schedule, arrivals);
   report.horizon = report.stats.last_finish;
+  report.schedule = std::move(result.schedule);
   return report;
 }
 

@@ -27,6 +27,9 @@ struct ServeReport {
   double dispatched_per_sec = 0; ///< tasks / wall_seconds
   Time horizon = 0;              ///< simulated time: last finish
   ServeStats stats;              ///< response / queue-wait / service
+  Schedule schedule;             ///< the timed schedule itself (moved out of
+                                 ///< the dispatch result; SLO evaluation and
+                                 ///< timeline consumers need per-task times)
 };
 
 /// Tiles a base instance's task mix out to `count` tasks (task j is a

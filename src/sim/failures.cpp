@@ -11,6 +11,7 @@
 #include "core/realization.hpp"
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "sim/workspace.hpp"
 
@@ -84,6 +85,7 @@ void dispatch_with_failures(const Instance& instance, const Placement& placement
 
   obs::MetricsRegistry* const mx = obs::metrics();
   obs::Tracer* const tr = obs::tracer();
+  obs::TimelineRecorder* const tl = obs::timeline();
   obs::ScopedSpan span(tr, "dispatch_with_failures", "sim");
 
   // SoA hot fields, all arena-backed.
@@ -201,6 +203,8 @@ void dispatch_with_failures(const Instance& instance, const Placement& placement
           tr->instant("machine_failure", "sim",
                       "{\"machine\":" + std::to_string(i) + "}");
         }
+        if (tl) tl->record(e.when, obs::TimelineEventKind::kFailure,
+                           obs::kTimelineNone, i);
         // Kill the running attempt, if any.
         TaskId restarted = kNoTask;
         if (running_on[i] != kNoTask) {
@@ -222,6 +226,7 @@ void dispatch_with_failures(const Instance& instance, const Placement& placement
           if (--alive_replicas[j] == 0 && status[j] == kWaiting && !refetch[j]) {
             refetch[j] = 1;
             ++out.refetches;
+            if (tl) tl->record(e.when, obs::TimelineEventKind::kRefetch, j);
             push_everywhere(j);
           }
         }
@@ -295,6 +300,30 @@ void dispatch_with_failures(const Instance& instance, const Placement& placement
     mx->counter("sim.failures.tasks").add(n);
     mx->counter("sim.failures.restarts").add(out.restarts);
     mx->counter("sim.failures.refetches").add(out.refetches);
+  }
+
+  // Flight recorder: failures/refetches were recorded inline at their
+  // event times (low-rate); the surviving attempt of every task comes
+  // from the final schedule in one bulk block. Killed attempts appear in
+  // out.trace but not here -- the timeline answers "when did task j
+  // actually run", the kFailure markers explain the gaps.
+  if (tl != nullptr) {
+    const auto block = tl->reserve(2 * static_cast<std::size_t>(n));
+    std::size_t cursor = 0;
+    for (TaskId j = 0; j < n && cursor < block.count; ++j, ++cursor) {
+      block.when[cursor] = out.schedule.start[j];
+      block.task[cursor] = j;
+      block.machine[cursor] = out.schedule.assignment.machine_of[j];
+      block.kind[cursor] =
+          static_cast<std::uint8_t>(obs::TimelineEventKind::kStart);
+    }
+    for (TaskId j = 0; j < n && cursor < block.count; ++j, ++cursor) {
+      block.when[cursor] = out.schedule.finish[j];
+      block.task[cursor] = j;
+      block.machine[cursor] = out.schedule.assignment.machine_of[j];
+      block.kind[cursor] =
+          static_cast<std::uint8_t>(obs::TimelineEventKind::kFinish);
+    }
   }
 }
 

@@ -9,6 +9,7 @@
 #include "core/realization.hpp"
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "sim/ready_heap.hpp"
 #include "sim/workspace.hpp"
@@ -240,6 +241,30 @@ void dispatch_online(const Instance& instance, const Placement& placement,
     const Time makespan = out.schedule.makespan();
     obs::Histogram& idle_hist = mx->histogram("sim.dispatch.machine_idle_time");
     for (MachineId i = 0; i < m; ++i) idle_hist.observe(makespan - busy[i]);
+  }
+
+  // Flight recorder: one bulk reserve, starts and finishes in dispatch
+  // order. One-shot dispatch has no arrival process -- every task is
+  // eligible at t = 0, so kStart/kFinish are the whole lifecycle.
+  if (obs::TimelineRecorder* const tl = obs::timeline(); tl != nullptr) {
+    const auto block = tl->reserve(2 * static_cast<std::size_t>(n));
+    std::size_t cursor = 0;
+    for (const DispatchEvent& e : out.trace.events) {
+      if (cursor >= block.count) break;
+      block.when[cursor] = e.when;
+      block.task[cursor] = e.task;
+      block.machine[cursor] = e.machine;
+      block.kind[cursor++] =
+          static_cast<std::uint8_t>(obs::TimelineEventKind::kStart);
+    }
+    for (const DispatchEvent& e : out.trace.events) {
+      if (cursor >= block.count) break;
+      block.when[cursor] = e.when + e.actual;
+      block.task[cursor] = e.task;
+      block.machine[cursor] = e.machine;
+      block.kind[cursor++] =
+          static_cast<std::uint8_t>(obs::TimelineEventKind::kFinish);
+    }
   }
 }
 

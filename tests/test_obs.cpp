@@ -219,6 +219,87 @@ TEST(HistogramSum, CompensatedSumMatchesExactWithinOneUlp) {
               1e-12 * std::abs(s.mean));
 }
 
+// --- Histogram::merge (satellite: the WindowedHistogram rollup primitive) --
+
+TEST(HistogramMerge, MergedQuantilesMatchExactOrderStatistics) {
+  // Two disjoint regimes recorded into separate histograms; the merge
+  // must summarize the union within the same documented quantile bound
+  // as a single histogram fed the concatenated stream.
+  std::mt19937_64 rng(77);
+  std::lognormal_distribution<double> fast(0.0, 0.5);
+  std::lognormal_distribution<double> slow(2.0, 0.5);
+  obs::Histogram a;
+  obs::Histogram b;
+  std::vector<double> all;
+  for (int i = 0; i < 6000; ++i) {
+    const double v = fast(rng);
+    a.observe(v);
+    all.push_back(v);
+  }
+  for (int i = 0; i < 4000; ++i) {
+    const double v = slow(rng);
+    b.observe(v);
+    all.push_back(v);
+  }
+  a.merge(b);
+  const obs::Histogram::Summary s = a.summary();
+  ASSERT_EQ(s.count, all.size());
+  const double quantiles[] = {0.50, 0.90, 0.99};
+  const double reported[] = {s.p50, s.p90, s.p99};
+  for (int i = 0; i < 3; ++i) {
+    const double exact = exact_quantile(all, quantiles[i]);
+    const double tolerance =
+        std::abs(exact) / (2.0 * obs::Histogram::kSubBuckets) + 1e-12;
+    EXPECT_NEAR(reported[i], exact, tolerance) << "q=" << quantiles[i];
+  }
+  // Moments and extremes of the union, not just buckets.
+  Welford reference;
+  long double exact_sum = 0.0L;
+  double lo = all[0];
+  double hi = all[0];
+  for (double v : all) {
+    reference.add(v);
+    exact_sum += static_cast<long double>(v);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_NEAR(s.mean, reference.mean(), 1e-9 * std::abs(reference.mean()));
+  EXPECT_NEAR(s.stddev, reference.stddev(), 1e-9 * reference.stddev());
+  EXPECT_DOUBLE_EQ(s.min, lo);
+  EXPECT_DOUBLE_EQ(s.max, hi);
+  EXPECT_NEAR(s.sum, static_cast<double>(exact_sum),
+              1e-12 * std::abs(static_cast<double>(exact_sum)));
+}
+
+TEST(HistogramMerge, EmptyOperandsAreIdentity) {
+  obs::Histogram a;
+  obs::Histogram empty;
+  for (double v : {1.0, 2.0, 3.0}) a.observe(v);
+  const obs::Histogram::Summary before = a.summary();
+  a.merge(empty);
+  EXPECT_EQ(a.summary().count, before.count);
+  EXPECT_DOUBLE_EQ(a.summary().mean, before.mean);
+  empty.merge(a);  // merging into an empty histogram copies the stream
+  const obs::Histogram::Summary copied = empty.summary();
+  EXPECT_EQ(copied.count, before.count);
+  EXPECT_DOUBLE_EQ(copied.mean, before.mean);
+  EXPECT_DOUBLE_EQ(copied.min, before.min);
+  EXPECT_DOUBLE_EQ(copied.max, before.max);
+}
+
+TEST(HistogramMerge, ResetForgetsSamplesButStaysUsable) {
+  obs::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  h.reset();
+  EXPECT_EQ(h.summary().count, 0u);
+  EXPECT_DOUBLE_EQ(h.summary().sum, 0.0);
+  h.observe(5.0);
+  const obs::Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
 TEST(Metrics, ReferencesAreStableAcrossLookups) {
   obs::MetricsRegistry registry;
   obs::Counter& first = registry.counter("same");
@@ -449,6 +530,51 @@ TEST(Sampler, UnopenablePathThrowsAndRestoresGlobal) {
   options.path = "/nonexistent_rdp_dir/sub/never.jsonl";
   EXPECT_THROW({ obs::RunSampler sampler(nullptr, options); }, std::runtime_error);
   EXPECT_EQ(obs::sampler(), nullptr);
+}
+
+// Satellite: every sample carries a "deltas" section -- per-counter
+// increments since the previous sample (the first sample's deltas equal
+// the absolute values). Rates fall out of a JSONL scan without
+// differencing cumulative counters by hand.
+TEST(Sampler, DeltasFieldCarriesPerSampleIncrements) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "rdp_test_sampler_deltas.jsonl";
+  fs::remove(path);
+  obs::MetricsRegistry registry;
+  {
+    obs::ObservabilityScope scope(&registry, nullptr);
+    obs::RunSamplerOptions options;
+    options.path = path.string();
+    options.period = std::chrono::milliseconds(10);
+    obs::RunSampler sampler(nullptr, options);
+    registry.counter("work.done").add(5);
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    registry.counter("work.done").add(2);
+    sampler.stop();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::uint64_t delta_total = 0;
+  double last_absolute = 0.0;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const JsonValue v = parse_json(line);
+    const JsonValue* deltas = v.find("deltas");
+    ASSERT_NE(deltas, nullptr) << "sample " << lines;
+    if (const JsonValue* d = deltas->find("work.done")) {
+      const double inc = d->as_number();
+      EXPECT_GE(inc, 0.0) << "counters are monotone; deltas cannot go negative";
+      delta_total += static_cast<std::uint64_t>(inc);
+    }
+    last_absolute = v.find("counters")->get_number("work.done");
+  }
+  ASSERT_GE(lines, 1u);
+  // Deltas telescope back to the final cumulative value.
+  EXPECT_EQ(delta_total, 7u);
+  EXPECT_DOUBLE_EQ(last_absolute, 7.0);
+  fs::remove(path);
 }
 
 // --- Instrumented code paths ----------------------------------------------

@@ -16,6 +16,8 @@
 #include "core/placement.hpp"
 #include "core/realization.hpp"
 #include "perturb/stochastic.hpp"
+#include "obs/hooks.hpp"
+#include "obs/timeline.hpp"
 #include "serve/arrivals.hpp"
 #include "serve/service.hpp"
 #include "serve/streaming_dispatcher.hpp"
@@ -548,6 +550,67 @@ TEST(ServeService, CycleInstanceTilesTaskMix) {
   }
   EXPECT_THROW((void)cycle_instance(Instance{}, 4),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder integration (obs/timeline.hpp)
+
+TEST(ServeTimeline, StreamEmitsFullLifecycleAndStaysBitIdentical) {
+  const ServeFixture fx = poisson_fixture(300, 6, 3, 40.0, 19);
+  const std::size_t n = fx.instance.num_tasks();
+
+  const StreamingDispatchResult plain = serve_stream(
+      fx.instance, fx.placement, fx.actual, fx.priority, fx.arrivals);
+
+  obs::TimelineRecorder recorder(4 * n);
+  StreamingDispatchResult observed;
+  {
+    obs::TimelineScope scope(&recorder);
+    observed = serve_stream(fx.instance, fx.placement, fx.actual, fx.priority,
+                            fx.arrivals);
+  }
+  // Recording may not perturb dispatch (ARCHITECTURE.md §5).
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_EQ(plain.schedule.assignment.machine_of[j],
+              observed.schedule.assignment.machine_of[j]);
+    EXPECT_EQ(plain.schedule.start[j], observed.schedule.start[j]);
+    EXPECT_EQ(plain.schedule.finish[j], observed.schedule.finish[j]);
+  }
+
+  // Exactly arrive + start + finish per task, nothing dropped.
+  ASSERT_EQ(recorder.size(), 3 * n);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  std::vector<int> arrives(n, 0);
+  std::vector<int> starts(n, 0);
+  std::vector<int> finishes(n, 0);
+  for (std::size_t i = 0; i < recorder.size(); ++i) {
+    const obs::TimelineEvent e = recorder.event(i);
+    ASSERT_LT(e.task, n);
+    switch (e.kind) {
+      case obs::TimelineEventKind::kArrive:
+        EXPECT_DOUBLE_EQ(e.when, fx.arrivals[e.task]);
+        EXPECT_EQ(e.machine, obs::kTimelineNone);
+        ++arrives[e.task];
+        break;
+      case obs::TimelineEventKind::kStart:
+        EXPECT_DOUBLE_EQ(e.when, observed.schedule.start[e.task]);
+        EXPECT_EQ(e.machine, observed.schedule.assignment.machine_of[e.task]);
+        ++starts[e.task];
+        break;
+      case obs::TimelineEventKind::kFinish:
+        EXPECT_DOUBLE_EQ(e.when, observed.schedule.finish[e.task]);
+        EXPECT_EQ(e.machine, observed.schedule.assignment.machine_of[e.task]);
+        ++finishes[e.task];
+        break;
+      default:
+        FAIL() << "unexpected event kind " << obs::to_string(e.kind);
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_EQ(arrives[j], 1) << "task " << j;
+    EXPECT_EQ(starts[j], 1) << "task " << j;
+    EXPECT_EQ(finishes[j], 1) << "task " << j;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,467 @@
+// Tests for the task-lifecycle flight recorder (obs/timeline.hpp), the
+// sliding-window telemetry primitives (obs/window.hpp), and the windowed
+// SLO engine (serve/slo.hpp). The windowed-quantile suite checks the
+// headline property against an exact order-statistic oracle: after the
+// ring rotates past a load change, the window summary reflects only the
+// new regime -- a cumulative histogram cannot forget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/window.hpp"
+#include "serve/slo.hpp"
+
+namespace rdp {
+namespace {
+
+using obs::TimelineEvent;
+using obs::TimelineEventKind;
+using obs::TimelineRecorder;
+
+// --- TimelineRecorder ------------------------------------------------------
+
+TEST(Timeline, KindNamesRoundTrip) {
+  for (int k = 0; k <= static_cast<int>(TimelineEventKind::kFailure); ++k) {
+    const auto kind = static_cast<TimelineEventKind>(k);
+    EXPECT_EQ(obs::timeline_kind_from_name(obs::to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)obs::timeline_kind_from_name("bogus"), std::invalid_argument);
+}
+
+TEST(Timeline, RecordStoresColumnsInOrder) {
+  TimelineRecorder recorder(8);
+  recorder.record(1.0, TimelineEventKind::kArrive, 7);
+  recorder.record(2.5, TimelineEventKind::kStart, 7, 3);
+  ASSERT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  const TimelineEvent first = recorder.event(0);
+  EXPECT_DOUBLE_EQ(first.when, 1.0);
+  EXPECT_EQ(first.task, 7u);
+  EXPECT_EQ(first.machine, obs::kTimelineNone);
+  EXPECT_EQ(first.kind, TimelineEventKind::kArrive);
+  const TimelineEvent second = recorder.event(1);
+  EXPECT_EQ(second.machine, 3u);
+  EXPECT_EQ(second.kind, TimelineEventKind::kStart);
+}
+
+TEST(Timeline, ReserveClampsAtCapacityAndCountsDrops) {
+  obs::MetricsRegistry registry;
+  obs::ObservabilityScope scope(&registry, nullptr);
+  TimelineRecorder recorder(10);
+  const TimelineRecorder::Block a = recorder.reserve(6);
+  ASSERT_EQ(a.count, 6u);
+  for (std::size_t i = 0; i < a.count; ++i) {
+    a.when[i] = static_cast<double>(i);
+    a.task[i] = static_cast<std::uint32_t>(i);
+    a.machine[i] = 0;
+    a.kind[i] = static_cast<std::uint8_t>(TimelineEventKind::kStart);
+  }
+  // Straddles the boundary: 4 slots granted, 3 counted as dropped.
+  const TimelineRecorder::Block b = recorder.reserve(7);
+  EXPECT_EQ(b.count, 4u);
+  // Entirely past capacity: no slots, null pointers, drops only.
+  const TimelineRecorder::Block c = recorder.reserve(5);
+  EXPECT_EQ(c.count, 0u);
+  EXPECT_EQ(c.when, nullptr);
+  recorder.record(99.0, TimelineEventKind::kFailure);  // also dropped
+
+  EXPECT_EQ(recorder.size(), 10u);
+  EXPECT_EQ(recorder.dropped(), 9u);
+  EXPECT_EQ(registry.counter("timeline.events_dropped").value(), 9u);
+
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(recorder.capacity(), 10u);
+}
+
+TEST(Timeline, ConcurrentReservesNeverOverlapOrOverflow) {
+  TimelineRecorder recorder(1000);
+  constexpr int kThreads = 4;
+  constexpr int kClaims = 100;  // 4 * 100 * 3 = 1200 slots vs 1000 capacity
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kClaims; ++i) {
+        const TimelineRecorder::Block block = recorder.reserve(3);
+        for (std::size_t s = 0; s < block.count; ++s) {
+          block.when[s] = 0.0;
+          block.task[s] = static_cast<std::uint32_t>(t);
+          block.machine[s] = obs::kTimelineNone;
+          block.kind[s] = static_cast<std::uint8_t>(TimelineEventKind::kArrive);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(recorder.size(), 1000u);
+  EXPECT_EQ(recorder.dropped(), 200u);
+  // Every stored slot was filled by exactly one thread.
+  std::size_t per_thread[kThreads] = {};
+  for (std::size_t i = 0; i < recorder.size(); ++i) {
+    const std::uint32_t owner = recorder.event(i).task;
+    ASSERT_LT(owner, static_cast<std::uint32_t>(kThreads));
+    ++per_thread[owner];
+  }
+  std::size_t total = 0;
+  for (std::size_t c : per_thread) total += c;
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(Timeline, SaveLoadRoundTripsEventsAndMeta) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "rdp_test_timeline.jsonl";
+  fs::remove(path);
+
+  TimelineRecorder recorder(3);
+  recorder.record(0.5, TimelineEventKind::kArrive, 4);
+  recorder.record(1.25, TimelineEventKind::kStart, 4, 2);
+  recorder.record(3.75, TimelineEventKind::kFailure, obs::kTimelineNone, 2);
+  recorder.record(4.0, TimelineEventKind::kFinish, 4, 2);  // dropped
+  recorder.save(path.string());
+
+  obs::TimelineMeta meta;
+  const std::vector<TimelineEvent> events = obs::load_timeline(path.string(), &meta);
+  EXPECT_EQ(meta.events, 3u);
+  EXPECT_EQ(meta.dropped, 1u);
+  EXPECT_EQ(meta.capacity, 3u);
+  ASSERT_EQ(events.size(), 3u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TimelineEvent expected = recorder.event(i);
+    EXPECT_DOUBLE_EQ(events[i].when, expected.when) << "event " << i;
+    EXPECT_EQ(events[i].task, expected.task) << "event " << i;
+    EXPECT_EQ(events[i].machine, expected.machine) << "event " << i;
+    EXPECT_EQ(events[i].kind, expected.kind) << "event " << i;
+  }
+  fs::remove(path);
+}
+
+TEST(Timeline, LoadRejectsMissingHeader) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "rdp_test_timeline_bad.jsonl";
+  {
+    std::ofstream out(path);
+    out << "{\"t\":1.0,\"kind\":\"start\",\"task\":0,\"machine\":0}\n";
+  }
+  EXPECT_THROW((void)obs::load_timeline(path.string()), std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(Timeline, ScopeInstallsAndRestores) {
+  EXPECT_EQ(obs::timeline(), nullptr);
+  TimelineRecorder recorder(4);
+  {
+    obs::TimelineScope scope(&recorder);
+    EXPECT_EQ(obs::timeline(), &recorder);
+    {
+      obs::TimelineScope mask(nullptr);  // adaptive serve masks sub-runs
+      EXPECT_EQ(obs::timeline(), nullptr);
+    }
+    EXPECT_EQ(obs::timeline(), &recorder);
+  }
+  EXPECT_EQ(obs::timeline(), nullptr);
+}
+
+// --- WindowedHistogram -----------------------------------------------------
+
+double exact_quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  rank = std::min(std::max<std::size_t>(rank, 1), n);
+  return xs[rank - 1];
+}
+
+// Documented histogram bound: 1/(2*kSubBuckets) relative error.
+double quantile_tolerance(double exact) {
+  return std::abs(exact) / (2.0 * obs::Histogram::kSubBuckets) + 1e-12;
+}
+
+TEST(WindowedHistogram, RejectsBadGeometry) {
+  EXPECT_THROW(obs::WindowedHistogram(0.0, 4), std::invalid_argument);
+  EXPECT_THROW(obs::WindowedHistogram(-1.0, 4), std::invalid_argument);
+  EXPECT_THROW(obs::WindowedHistogram(1.0, 0), std::invalid_argument);
+}
+
+TEST(WindowedHistogram, RotationForgetsOldRegime) {
+  // Step change at t=40: latency jumps from ~1 to ~10. Once the 4x10s
+  // ring has rotated fully past the step, the window quantiles must
+  // match an exact oracle fed only post-step samples.
+  obs::WindowedHistogram window(10.0, 4);
+  std::mt19937_64 rng(21);
+  std::uniform_real_distribution<double> low(0.5, 1.5);
+  std::uniform_real_distribution<double> high(8.0, 12.0);
+  for (int i = 0; i < 4000; ++i) {
+    window.observe(40.0 * i / 4000.0, low(rng));
+  }
+  std::vector<double> post;
+  for (int i = 0; i < 4000; ++i) {
+    const double t = 40.0 + 40.0 * i / 4000.0;
+    const double v = high(rng);
+    window.observe(t, v);
+    if (t >= 50.0) post.push_back(v);  // the live window at t=89.99
+  }
+  const obs::Histogram::Summary s = window.window_summary(89.99);
+  EXPECT_EQ(s.count, post.size());
+  for (const double q : {0.50, 0.90, 0.99}) {
+    const double exact = exact_quantile(post, q);
+    const double reported = q == 0.50 ? s.p50 : (q == 0.90 ? s.p90 : s.p99);
+    EXPECT_NEAR(reported, exact, quantile_tolerance(exact)) << "q=" << q;
+  }
+  // No sample below 8 survives in the rolled-up window.
+  EXPECT_GE(s.min, 8.0);
+}
+
+TEST(WindowedHistogram, WindowSummaryMatchesExactOracleUnderRotation) {
+  // Continuous lognormal stream, window queried mid-run: the rollup must
+  // agree with the exact order statistics of precisely the samples whose
+  // intervals are live at the query time. The window merges *whole*
+  // intervals -- samples later in the query's own interval than the
+  // query instant are still included.
+  const double interval = 1.0;
+  const std::size_t slots = 5;
+  obs::WindowedHistogram window(interval, slots);
+  std::mt19937_64 rng(9);
+  std::lognormal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> times;
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = 20.0 * i / 20000.0;
+    const double v = dist(rng);
+    window.observe(t, v);
+    times.push_back(t);
+    values.push_back(v);
+  }
+  const double query = 19.5;
+  const obs::Histogram::Summary s = window.window_summary(query);
+  std::vector<double> live;
+  const auto idx = static_cast<long long>(std::floor(query / interval));
+  const long long lo_idx = idx - static_cast<long long>(slots) + 1;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const auto slot = static_cast<long long>(std::floor(times[i] / interval));
+    if (slot >= lo_idx && slot <= idx) live.push_back(values[i]);
+  }
+  ASSERT_EQ(s.count, live.size());
+  for (const double q : {0.50, 0.90, 0.99}) {
+    const double exact = exact_quantile(live, q);
+    const double reported = q == 0.50 ? s.p50 : (q == 0.90 ? s.p90 : s.p99);
+    EXPECT_NEAR(reported, exact, quantile_tolerance(exact)) << "q=" << q;
+  }
+}
+
+TEST(WindowedHistogram, IntervalSummaryIsolatesOneInterval) {
+  obs::WindowedHistogram window(2.0, 3);
+  window.observe(0.5, 1.0);
+  window.observe(2.5, 10.0);
+  window.observe(3.9, 20.0);
+  const obs::Histogram::Summary first = window.interval_summary(1.0);
+  EXPECT_EQ(first.count, 1u);
+  EXPECT_DOUBLE_EQ(first.max, 1.0);
+  const obs::Histogram::Summary second = window.interval_summary(2.0);
+  EXPECT_EQ(second.count, 2u);
+  EXPECT_DOUBLE_EQ(second.min, 10.0);
+  EXPECT_DOUBLE_EQ(second.max, 20.0);
+  // An interval the window has rotated past (or never reached) is empty.
+  EXPECT_EQ(window.interval_summary(100.0).count, 0u);
+}
+
+TEST(WindowedHistogram, LateSamplesBehindTrailingEdgeAreCountedNotStored) {
+  obs::WindowedHistogram window(1.0, 2);
+  window.observe(10.0, 5.0);   // newest interval: 10
+  window.observe(9.5, 4.0);    // still live (window is {9, 10})
+  EXPECT_EQ(window.late_dropped(), 0u);
+  window.observe(8.5, 3.0);    // behind the trailing edge -> dropped
+  window.observe(0.0, 1.0);    // far behind -> dropped
+  EXPECT_EQ(window.late_dropped(), 2u);
+  const obs::Histogram::Summary s = window.window_summary(10.0);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+}
+
+TEST(WindowedHistogram, LargeTimeJumpClearsEverything) {
+  obs::WindowedHistogram window(1.0, 4);
+  for (int i = 0; i < 100; ++i) window.observe(0.01 * i, 1.0);
+  // Jump of a million intervals: the reset walk must be O(ring), not
+  // O(gap), and the window must come back empty except the new sample.
+  window.observe(1e6, 42.0);
+  const obs::Histogram::Summary s = window.window_summary(1e6);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+}
+
+TEST(WindowedMax, TracksPerIntervalWatermarks) {
+  obs::WindowedMax window(1.0, 3);
+  window.observe(0.5, 3.0);
+  window.observe(0.7, 7.0);
+  window.observe(1.5, 2.0);
+  EXPECT_DOUBLE_EQ(window.interval_max(0.9), 7.0);
+  EXPECT_DOUBLE_EQ(window.interval_max(1.1), 2.0);
+  EXPECT_DOUBLE_EQ(window.interval_max(2.5, -1.0), -1.0);  // unseen interval
+  EXPECT_DOUBLE_EQ(window.window_max(1.9), 7.0);
+  // Rotating past interval 0 forgets the 7.0 peak.
+  EXPECT_DOUBLE_EQ(window.window_max(3.5), 2.0);
+  // Rotating past everything leaves only the fallback.
+  EXPECT_DOUBLE_EQ(window.window_max(100.0, 0.0), 0.0);
+}
+
+// --- SLO spec parsing ------------------------------------------------------
+
+TEST(SloSpec, ParsesTargetsAndGeometry) {
+  const SloSpec spec = parse_slo_spec("p99=4.5,backlog=200,window=0.5,sustain=5");
+  EXPECT_DOUBLE_EQ(spec.p99, 4.5);
+  EXPECT_DOUBLE_EQ(spec.backlog, 200.0);
+  EXPECT_DOUBLE_EQ(spec.window_seconds, 0.5);
+  EXPECT_EQ(spec.sustain, 5u);
+  EXPECT_EQ(spec.p50, kNoSloTarget);
+  EXPECT_EQ(spec.p90, kNoSloTarget);
+  EXPECT_TRUE(spec.any());
+}
+
+TEST(SloSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_slo_spec(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_slo_spec("p98=1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_slo_spec("p99"), std::invalid_argument);
+  EXPECT_THROW((void)parse_slo_spec("p99=abc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_slo_spec("p99=1,window=0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_slo_spec("p99=1,sustain=0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_slo_spec("window=2,sustain=3"), std::invalid_argument)
+      << "geometry alone is not an SLO";
+}
+
+// --- SLO evaluation --------------------------------------------------------
+
+// One task per second arriving on a 1s grid, each starting immediately
+// and running for `service` seconds on machine 0.
+Schedule uniform_schedule(std::size_t n, double service,
+                          std::vector<Time>* arrivals) {
+  Schedule schedule;
+  schedule.assignment.machine_of.assign(n, 0);
+  schedule.start.resize(n);
+  schedule.finish.resize(n);
+  arrivals->resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double t = static_cast<double>(j);
+    (*arrivals)[j] = t;
+    schedule.start[j] = t;
+    schedule.finish[j] = t + service;
+  }
+  return schedule;
+}
+
+TEST(SloEvaluate, CleanRunHasNoViolations) {
+  std::vector<Time> arrivals;
+  const Schedule schedule = uniform_schedule(50, 0.5, &arrivals);
+  SloSpec spec;
+  spec.p99 = 1.0;
+  spec.backlog = 5.0;
+  const SloReport report = evaluate_slo(schedule, arrivals, spec);
+  EXPECT_FALSE(report.windows.empty());
+  EXPECT_EQ(report.violating_windows, 0u);
+  EXPECT_EQ(report.max_consecutive_violations, 0u);
+  EXPECT_DOUBLE_EQ(report.burn_rate, 0.0);
+  EXPECT_FALSE(report.sustained_violation);
+}
+
+TEST(SloEvaluate, SustainedOverrunTripsTheVerdict) {
+  // Every response is 2.0s against a p99 ceiling of 1.0s: every window
+  // with any finished task violates, consecutively, so the sustained
+  // verdict fires. (The first finish lands at t=2.0, so the leading
+  // windows are empty and cannot violate a quantile target.)
+  std::vector<Time> arrivals;
+  const Schedule schedule = uniform_schedule(50, 2.0, &arrivals);
+  SloSpec spec;
+  spec.p99 = 1.0;
+  spec.sustain = 3;
+  const SloReport report = evaluate_slo(schedule, arrivals, spec);
+  EXPECT_GE(report.violating_windows + 2, report.windows.size());
+  EXPECT_GE(report.max_consecutive_violations, spec.sustain);
+  EXPECT_GT(report.burn_rate, 0.9);
+  EXPECT_TRUE(report.sustained_violation);
+}
+
+TEST(SloEvaluate, ShortBurstIsNotedButDoesNotPage) {
+  // 30 tasks respond in 0.5s except a 2-task burst whose slow finishes
+  // both land in interval 15. One bad interval smears across at most
+  // sustain-1 consecutive windows (the sliding-window depth), so
+  // violating_windows > 0 but the sustained verdict stays off.
+  std::vector<Time> arrivals;
+  Schedule schedule = uniform_schedule(30, 0.5, &arrivals);
+  schedule.finish[10] = arrivals[10] + 5.0;  // finishes at t=15.0
+  schedule.finish[11] = arrivals[11] + 4.2;  // finishes at t=15.2
+  SloSpec spec;
+  spec.p99 = 1.0;
+  spec.sustain = 10;
+  const SloReport report = evaluate_slo(schedule, arrivals, spec);
+  EXPECT_GT(report.violating_windows, 0u);
+  EXPECT_LT(report.max_consecutive_violations, spec.sustain);
+  EXPECT_FALSE(report.sustained_violation);
+}
+
+TEST(SloEvaluate, BacklogWatermarkCatchesQueueGrowth) {
+  // 20 tasks all arrive at t=0 but start one per second: the backlog
+  // watermark in the first window is 20, decaying by one per window.
+  const std::size_t n = 20;
+  Schedule schedule;
+  std::vector<Time> arrivals(n, 0.0);
+  schedule.assignment.machine_of.assign(n, 0);
+  schedule.start.resize(n);
+  schedule.finish.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    schedule.start[j] = static_cast<double>(j);
+    schedule.finish[j] = static_cast<double>(j) + 0.5;
+  }
+  SloSpec spec;
+  spec.backlog = 10.0;
+  spec.sustain = 2;
+  const SloReport report = evaluate_slo(schedule, arrivals, spec);
+  ASSERT_GT(report.windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.windows[0].backlog_watermark, 20.0);
+  EXPECT_TRUE(report.windows[0].violated);
+  EXPECT_TRUE(report.sustained_violation);
+  // Late windows have drained below the ceiling.
+  EXPECT_FALSE(report.windows.back().violated);
+}
+
+TEST(SloEvaluate, PublishesWindowGaugesWhenRegistryInstalled) {
+  std::vector<Time> arrivals;
+  const Schedule schedule = uniform_schedule(20, 0.5, &arrivals);
+  SloSpec spec;
+  spec.p99 = 1.0;
+  obs::MetricsRegistry registry;
+  {
+    obs::ObservabilityScope scope(&registry, nullptr);
+    (void)evaluate_slo(schedule, arrivals, spec);
+  }
+  EXPECT_NEAR(registry.gauge("serve.window.response_p99").value(), 0.5,
+              0.5 / obs::Histogram::kSubBuckets);
+  EXPECT_DOUBLE_EQ(registry.gauge("serve.window.burn_rate").value(), 0.0);
+}
+
+TEST(SloEvaluate, RejectsMismatchedOrUnassignedInput) {
+  std::vector<Time> arrivals;
+  Schedule schedule = uniform_schedule(5, 0.5, &arrivals);
+  SloSpec spec;
+  spec.p99 = 1.0;
+  std::vector<Time> short_arrivals(arrivals.begin(), arrivals.end() - 1);
+  EXPECT_THROW((void)evaluate_slo(schedule, short_arrivals, spec),
+               std::invalid_argument);
+  schedule.assignment.machine_of[2] = kNoMachine;
+  EXPECT_THROW((void)evaluate_slo(schedule, arrivals, spec),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rdp

@@ -29,6 +29,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -48,7 +49,7 @@ constexpr int kExitUsage = 2;
 int usage(const char* program) {
   std::cerr
       << "usage: " << program
-      << " <generate|realize|run|serve|evaluate|sweep|bounds|repro|fuzz|perf>"
+      << " <generate|realize|run|serve|obs|evaluate|sweep|bounds|repro|fuzz|perf>"
          " [--flags]\n\n"
          "  generate --kind=uniform|heavy-tailed|bimodal|lognormal|"
          "correlated|anti-correlated|independent|unit|profile:NAME\n"
@@ -63,11 +64,21 @@ int usage(const char* program) {
          "           [--burst-boost=B --burst-on=T --burst-off=T]\n"
          "           [--trace=FILE] [--json=FILE]\n"
          "           [--adaptive [--epoch=N] [--drift=D] [--classes=C]]\n"
+         "           [--slo=p99=X,backlog=Y[,p50=][,p90=][,window=SEC]\n"
+         "                  [,sustain=K]]\n"
          "           (streaming dispatch under continuous arrivals;\n"
          "            reports response-time p50/p90/p99, queueing-delay\n"
          "            decomposition, and dispatched tasks/sec; --adaptive\n"
          "            estimates alpha online and re-places unadmitted\n"
-         "            tasks when the estimate drifts past --drift)\n"
+         "            tasks when the estimate drifts past --drift;\n"
+         "            --slo evaluates windowed burn rates and exits 1 on\n"
+         "            a sustained violation)\n"
+         "  obs      --timeline=FILE [--json=FILE] [--chrome=FILE]\n"
+         "           [--jobs=N]\n"
+         "           (post-process a --timeline-out flight recording into\n"
+         "            per-task latency attribution (queue-wait vs service),\n"
+         "            a per-machine utilization/stall report, and a\n"
+         "            per-machine-lane Chrome trace)\n"
          "  evaluate --instance=FILE [--scenarios=K] [--seed=S]\n"
          "           [--scenario-kind=mixed|drifting|misreported]\n"
          "           [--alpha-to=A] [--true-alpha=A]\n"
@@ -100,6 +111,9 @@ int usage(const char* program) {
          "         --trace-out=FILE   (Chrome trace_event; .jsonl for JSONL)\n"
          "         --sample-out=FILE  (JSONL metrics time series, one line\n"
          "                             per --sample-period=MS, default 1000)\n"
+         "         --timeline-out=FILE (task-lifecycle flight recording,\n"
+         "                             JSONL; cap with --timeline-capacity=N,\n"
+         "                             default 4194304 events)\n"
          "         --debug-checks     (re-validate every dispatched schedule\n"
          "                             in experiment paths; also via\n"
          "                             RDP_DEBUG_CHECKS=1)\n\n"
@@ -399,12 +413,80 @@ std::size_t serve_count_flag(const Args& args, const std::string& key,
   return static_cast<std::size_t>(value);
 }
 
+/// Prints the SLO verdict: a totals table plus one row per violating
+/// window (capped -- a badly overloaded run can violate thousands).
+void print_slo_report(const SloSpec& spec, const SloReport& report) {
+  TextTable table({"slo quantity", "value"});
+  table.add_row({"window (sim s)", fmt(spec.window_seconds, 3)});
+  table.add_row({"sustain threshold", std::to_string(spec.sustain)});
+  table.add_row({"windows", std::to_string(report.windows.size())});
+  table.add_row({"violating windows", std::to_string(report.violating_windows)});
+  table.add_row(
+      {"max consecutive", std::to_string(report.max_consecutive_violations)});
+  table.add_row({"burn rate", fmt(report.burn_rate, 4)});
+  table.add_row(
+      {"sustained violation", report.sustained_violation ? "YES" : "no"});
+  std::cout << table.render();
+
+  constexpr std::size_t kMaxPrinted = 10;
+  std::size_t printed = 0;
+  for (const SloWindow& win : report.windows) {
+    if (!win.violated) continue;
+    if (printed++ >= kMaxPrinted) {
+      std::cout << "  ... " << (report.violating_windows - kMaxPrinted)
+                << " more violating window(s)\n";
+      break;
+    }
+    std::cout << "  violated [" << fmt(win.t0, 3) << ", " << fmt(win.t1, 3)
+              << "): response p50/p90/p99 = " << fmt(win.response.p50, 4)
+              << " / " << fmt(win.response.p90, 4) << " / "
+              << fmt(win.response.p99, 4)
+              << ", backlog watermark = " << fmt(win.backlog_watermark, 0)
+              << "\n";
+  }
+}
+
+JsonValue slo_report_json(const SloSpec& spec, const SloReport& report) {
+  JsonObject obj;
+  JsonObject targets;
+  if (spec.p50 != kNoSloTarget) targets["p50"] = JsonValue(spec.p50);
+  if (spec.p90 != kNoSloTarget) targets["p90"] = JsonValue(spec.p90);
+  if (spec.p99 != kNoSloTarget) targets["p99"] = JsonValue(spec.p99);
+  if (spec.backlog != kNoSloTarget) targets["backlog"] = JsonValue(spec.backlog);
+  obj["targets"] = JsonValue(std::move(targets));
+  obj["window_seconds"] = JsonValue(spec.window_seconds);
+  obj["sustain"] = JsonValue(static_cast<unsigned long long>(spec.sustain));
+  obj["violating_windows"] =
+      JsonValue(static_cast<unsigned long long>(report.violating_windows));
+  obj["max_consecutive_violations"] = JsonValue(
+      static_cast<unsigned long long>(report.max_consecutive_violations));
+  obj["burn_rate"] = JsonValue(report.burn_rate);
+  obj["sustained_violation"] = JsonValue(report.sustained_violation);
+  JsonArray windows;
+  for (const SloWindow& win : report.windows) {
+    JsonObject w;
+    w["t0"] = JsonValue(win.t0);
+    w["t1"] = JsonValue(win.t1);
+    w["response"] = obs::histogram_summary_json(win.response);
+    w["queue_wait"] = obs::histogram_summary_json(win.queue_wait);
+    w["backlog_watermark"] = JsonValue(win.backlog_watermark);
+    w["violated"] = JsonValue(win.violated);
+    windows.emplace_back(std::move(w));
+  }
+  obj["windows"] = JsonValue(std::move(windows));
+  return JsonValue(std::move(obj));
+}
+
 int cmd_serve(const Args& args) {
   const ArrivalModel model =
       arrival_model_from_name(args.get("arrivals", std::string("poisson")));
   const TwoPhaseStrategy strategy =
       strategy_from_spec(args.get("strategy", std::string("ls-group:2")));
   const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{1}));
+  // Parsed before any work so a malformed spec is a usage error (exit 2)
+  // rather than a wasted run.
+  std::optional<SloSpec> slo;
+  if (args.has("slo")) slo = parse_slo_spec(args.get("slo", std::string("")));
 
   std::vector<Time> arrivals;
   std::optional<Instance> inst;
@@ -508,6 +590,12 @@ int cmd_serve(const Args& args) {
     table.add_row({"wall seconds", fmt(wall_seconds, 4)});
     std::cout << table.render();
 
+    std::optional<SloReport> slo_report;
+    if (slo) {
+      slo_report = evaluate_slo(result.schedule, arrivals, *slo);
+      print_slo_report(*slo, *slo_report);
+    }
+
     const std::string json_path = args.get("json", std::string(""));
     if (!json_path.empty()) {
       JsonObject obj;
@@ -533,14 +621,22 @@ int cmd_serve(const Args& args) {
       adaptive["max_degree"] =
           JsonValue(static_cast<unsigned long long>(max_degree));
       obj["adaptive"] = JsonValue(std::move(adaptive));
-      JsonObject response;
-      response["mean"] = JsonValue(stats.response.mean);
-      response["p50"] = JsonValue(stats.response.p50);
-      response["p90"] = JsonValue(stats.response.p90);
-      response["p99"] = JsonValue(stats.response.p99);
-      obj["response"] = JsonValue(std::move(response));
+      // Full histogram summaries (count/mean/stddev/min/max/sum plus the
+      // quantiles) -- the hand-picked four-field objects predating
+      // histogram_summary_json dropped everything downstream dashboards
+      // needed for weighting and rollups.
+      obj["response"] = obs::histogram_summary_json(stats.response);
+      obj["queue_wait"] = obs::histogram_summary_json(stats.queue_wait);
+      obj["service"] = obs::histogram_summary_json(stats.service);
+      if (slo_report) obj["slo"] = slo_report_json(*slo, *slo_report);
       write_text_file(json_path, JsonValue(std::move(obj)).dump(2) + "\n");
       std::cout << "JSON written to " << json_path << "\n";
+    }
+    if (slo_report && slo_report->sustained_violation) {
+      std::cout << "slo: sustained violation ("
+                << slo_report->max_consecutive_violations
+                << " consecutive windows)\n";
+      return EXIT_FAILURE;
     }
     return EXIT_SUCCESS;
   }
@@ -578,6 +674,12 @@ int cmd_serve(const Args& args) {
   table.add_row({"dispatched tasks/sec (wall)", fmt(report.dispatched_per_sec, 0)});
   std::cout << table.render();
 
+  std::optional<SloReport> slo_report;
+  if (slo) {
+    slo_report = evaluate_slo(report.schedule, arrivals, *slo);
+    print_slo_report(*slo, *slo_report);
+  }
+
   const std::string json_path = args.get("json", std::string(""));
   if (!json_path.empty()) {
     JsonObject obj;
@@ -591,24 +693,264 @@ int cmd_serve(const Args& args) {
     obj["offered_rate"] = JsonValue(offered);
     obj["wall_seconds"] = JsonValue(report.wall_seconds);
     obj["dispatched_per_sec"] = JsonValue(report.dispatched_per_sec);
-    JsonObject response;
-    response["mean"] = JsonValue(report.stats.response.mean);
-    response["p50"] = JsonValue(report.stats.response.p50);
-    response["p90"] = JsonValue(report.stats.response.p90);
-    response["p99"] = JsonValue(report.stats.response.p99);
-    obj["response"] = JsonValue(std::move(response));
-    JsonObject queue_wait;
-    queue_wait["mean"] = JsonValue(report.stats.queue_wait.mean);
-    queue_wait["p50"] = JsonValue(report.stats.queue_wait.p50);
-    queue_wait["p90"] = JsonValue(report.stats.queue_wait.p90);
-    queue_wait["p99"] = JsonValue(report.stats.queue_wait.p99);
-    obj["queue_wait"] = JsonValue(std::move(queue_wait));
-    JsonObject service;
-    service["mean"] = JsonValue(report.stats.service.mean);
-    service["p99"] = JsonValue(report.stats.service.p99);
-    obj["service"] = JsonValue(std::move(service));
+    // Full summaries for every distribution (see the adaptive branch):
+    // the old hand-built objects omitted count/stddev/min/max/sum and,
+    // for service, even p50/p90.
+    obj["response"] = obs::histogram_summary_json(report.stats.response);
+    obj["queue_wait"] = obs::histogram_summary_json(report.stats.queue_wait);
+    obj["service"] = obs::histogram_summary_json(report.stats.service);
+    if (slo_report) obj["slo"] = slo_report_json(*slo, *slo_report);
     write_text_file(json_path, JsonValue(std::move(obj)).dump(2) + "\n");
     std::cout << "JSON written to " << json_path << "\n";
+  }
+  if (slo_report && slo_report->sustained_violation) {
+    std::cout << "slo: sustained violation ("
+              << slo_report->max_consecutive_violations
+              << " consecutive windows)\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}
+
+/// `rdp_cli obs`: post-process a flight recording (--timeline-out) into
+/// per-task latency attribution, a per-machine utilization/stall report,
+/// and optionally a per-machine-lane Chrome trace.
+///
+/// Bit-deterministic across --jobs by construction: the per-task
+/// reduction and the attribution histograms run sequentially in task-id
+/// order, and the parallel per-machine pass only writes its own machine's
+/// index-addressed slots over a CSR built sequentially -- no accumulation
+/// order depends on thread count (pinned by ctest obs_determinism).
+int cmd_obs(const Args& args) {
+  const std::string timeline_path = args.get("timeline", std::string(""));
+  if (timeline_path.empty()) {
+    throw std::invalid_argument("obs: --timeline=FILE is required");
+  }
+  const auto jobs = static_cast<std::size_t>(args.get("jobs", std::int64_t{0}));
+
+  obs::TimelineMeta meta;
+  const std::vector<obs::TimelineEvent> events =
+      obs::load_timeline(timeline_path, &meta);
+
+  // Pass 1 (sequential): fold the event stream into per-task columns.
+  // Later events win, matching "the surviving attempt" semantics of the
+  // failure dispatcher's re-emission.
+  std::size_t n = 0;
+  MachineId m = 0;
+  for (const obs::TimelineEvent& e : events) {
+    if (e.task != obs::kTimelineNone) {
+      n = std::max(n, static_cast<std::size_t>(e.task) + 1);
+    }
+    if (e.machine != obs::kTimelineNone) {
+      m = std::max(m, static_cast<MachineId>(e.machine + 1));
+    }
+  }
+  constexpr double kUnset = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> arrive(n, kUnset), eligible(n, kUnset);
+  std::vector<double> start(n, kUnset), finish(n, kUnset);
+  std::vector<MachineId> machine_of(n, kNoMachine);
+  std::vector<std::uint32_t> refetches(n, 0);
+  std::uint64_t failures = 0;
+  double horizon = 0.0;
+  for (const obs::TimelineEvent& e : events) {
+    horizon = std::max(horizon, e.when);
+    const TaskId j = e.task;
+    switch (e.kind) {
+      case obs::TimelineEventKind::kArrive:
+      case obs::TimelineEventKind::kAdmit:
+        if (j != obs::kTimelineNone) arrive[j] = e.when;
+        break;
+      case obs::TimelineEventKind::kEligible:
+        if (j != obs::kTimelineNone) eligible[j] = e.when;
+        break;
+      case obs::TimelineEventKind::kStart:
+        if (j != obs::kTimelineNone) {
+          start[j] = e.when;
+          if (e.machine != obs::kTimelineNone) machine_of[j] = e.machine;
+        }
+        break;
+      case obs::TimelineEventKind::kFinish:
+        if (j != obs::kTimelineNone) finish[j] = e.when;
+        break;
+      case obs::TimelineEventKind::kRefetch:
+        if (j != obs::kTimelineNone) ++refetches[j];
+        break;
+      case obs::TimelineEventKind::kFailure:
+        ++failures;
+        break;
+    }
+  }
+
+  // Pass 2 (sequential, task-id order): latency attribution. Transfer is
+  // the arrive -> eligible gap (data movement before the task could run;
+  // only dispatchers with an admission boundary emit it), queue-wait the
+  // remainder up to start, service the time on the machine.
+  obs::Histogram response_hist, queue_wait_hist, service_hist, transfer_hist;
+  std::uint64_t attributed = 0, refetched_tasks = 0;
+  for (TaskId j = 0; j < n; ++j) {
+    if (refetches[j] > 0) ++refetched_tasks;
+    if (std::isnan(start[j]) || std::isnan(finish[j])) continue;
+    service_hist.observe(finish[j] - start[j]);
+    if (std::isnan(arrive[j])) continue;
+    ++attributed;
+    response_hist.observe(finish[j] - arrive[j]);
+    const double ready = std::isnan(eligible[j]) ? arrive[j] : eligible[j];
+    queue_wait_hist.observe(start[j] - ready);
+    if (!std::isnan(eligible[j])) transfer_hist.observe(eligible[j] - arrive[j]);
+  }
+
+  // Pass 3 (parallel over machines): per-machine busy/stall via a CSR of
+  // tasks grouped by machine. Each index writes only its own slots.
+  std::vector<std::uint32_t> deg(m + 1, 0);
+  for (TaskId j = 0; j < n; ++j) {
+    if (machine_of[j] != kNoMachine && !std::isnan(start[j]) &&
+        !std::isnan(finish[j])) {
+      ++deg[machine_of[j] + 1];
+    }
+  }
+  for (MachineId i = 0; i < m; ++i) deg[i + 1] += deg[i];
+  std::vector<TaskId> csr(deg[m]);
+  {
+    std::vector<std::uint32_t> fill(deg.begin(), deg.end() - 1);
+    for (TaskId j = 0; j < n; ++j) {
+      if (machine_of[j] != kNoMachine && !std::isnan(start[j]) &&
+          !std::isnan(finish[j])) {
+        csr[fill[machine_of[j]]++] = j;
+      }
+    }
+  }
+  std::vector<double> busy(m, 0.0);
+  std::vector<std::uint64_t> tasks_on(m, 0);
+  ThreadPool pool(jobs);
+  parallel_for_each_index(pool, m, [&](std::size_t i) {
+    double total = 0.0;
+    for (std::uint32_t k = deg[i]; k < deg[i + 1]; ++k) {
+      const TaskId j = csr[k];
+      total += finish[j] - start[j];
+    }
+    busy[i] = total;
+    tasks_on[i] = deg[i + 1] - deg[i];
+  });
+
+  TextTable table({"quantity", "value"});
+  table.add_row({"timeline", timeline_path});
+  table.add_row({"events", std::to_string(events.size())});
+  table.add_row({"dropped", std::to_string(meta.dropped)});
+  table.add_row({"tasks", std::to_string(n)});
+  table.add_row({"machines", std::to_string(m)});
+  table.add_row({"horizon (sim s)", fmt(horizon, 3)});
+  table.add_row({"attributed tasks", std::to_string(attributed)});
+  const obs::Histogram::Summary response = response_hist.summary();
+  const obs::Histogram::Summary queue_wait = queue_wait_hist.summary();
+  const obs::Histogram::Summary service = service_hist.summary();
+  const obs::Histogram::Summary transfer = transfer_hist.summary();
+  table.add_row({"response p50/p90/p99", fmt(response.p50, 4) + " / " +
+                                             fmt(response.p90, 4) + " / " +
+                                             fmt(response.p99, 4)});
+  table.add_row({"queue wait p50/p90/p99", fmt(queue_wait.p50, 4) + " / " +
+                                               fmt(queue_wait.p90, 4) + " / " +
+                                               fmt(queue_wait.p99, 4)});
+  table.add_row({"service p50/p90/p99", fmt(service.p50, 4) + " / " +
+                                            fmt(service.p90, 4) + " / " +
+                                            fmt(service.p99, 4)});
+  if (transfer.count > 0) {
+    table.add_row({"transfer p50/p90/p99", fmt(transfer.p50, 4) + " / " +
+                                               fmt(transfer.p90, 4) + " / " +
+                                               fmt(transfer.p99, 4)});
+  }
+  table.add_row({"refetched tasks", std::to_string(refetched_tasks)});
+  table.add_row({"machine failures", std::to_string(failures)});
+  std::cout << table.render();
+
+  TextTable machines({"machine", "tasks", "busy", "stall", "utilization"});
+  for (MachineId i = 0; i < m; ++i) {
+    const double stall = horizon - busy[i];
+    machines.add_row({std::to_string(i), std::to_string(tasks_on[i]),
+                      fmt(busy[i], 3), fmt(stall, 3),
+                      fmt(horizon > 0 ? busy[i] / horizon : 0.0, 4)});
+  }
+  std::cout << machines.render();
+
+  const std::string json_path = args.get("json", std::string(""));
+  if (!json_path.empty()) {
+    JsonObject obj;
+    obj["timeline"] = JsonValue(timeline_path);
+    obj["events"] = JsonValue(static_cast<unsigned long long>(events.size()));
+    obj["dropped"] = JsonValue(static_cast<unsigned long long>(meta.dropped));
+    obj["tasks"] = JsonValue(static_cast<unsigned long long>(n));
+    obj["machines"] = JsonValue(static_cast<unsigned long long>(m));
+    obj["horizon"] = JsonValue(horizon);
+    obj["attributed_tasks"] =
+        JsonValue(static_cast<unsigned long long>(attributed));
+    obj["refetched_tasks"] =
+        JsonValue(static_cast<unsigned long long>(refetched_tasks));
+    obj["machine_failures"] =
+        JsonValue(static_cast<unsigned long long>(failures));
+    obj["response"] = obs::histogram_summary_json(response);
+    obj["queue_wait"] = obs::histogram_summary_json(queue_wait);
+    obj["service"] = obs::histogram_summary_json(service);
+    obj["transfer"] = obs::histogram_summary_json(transfer);
+    JsonArray machine_rows;
+    for (MachineId i = 0; i < m; ++i) {
+      JsonObject row;
+      row["machine"] = JsonValue(static_cast<unsigned long long>(i));
+      row["tasks"] = JsonValue(static_cast<unsigned long long>(tasks_on[i]));
+      row["busy"] = JsonValue(busy[i]);
+      row["stall"] = JsonValue(horizon - busy[i]);
+      row["utilization"] = JsonValue(horizon > 0 ? busy[i] / horizon : 0.0);
+      machine_rows.emplace_back(std::move(row));
+    }
+    obj["per_machine"] = JsonValue(std::move(machine_rows));
+    write_text_file(json_path, JsonValue(std::move(obj)).dump(2) + "\n");
+    std::cout << "JSON written to " << json_path << "\n";
+  }
+
+  const std::string chrome_path = args.get("chrome", std::string(""));
+  if (!chrome_path.empty()) {
+    // Per-machine-lane Chrome trace over *simulated* time: tid = machine,
+    // one 'X' span per task (ts/dur in microseconds of sim time), 'i'
+    // instants for failures (machine lane) and refetches (the task's
+    // eventual machine, lane 0 when it never ran).
+    std::string buf = "{\"traceEvents\":[";
+    bool first = true;
+    auto comma = [&] {
+      if (!first) buf += ",\n";
+      first = false;
+    };
+    for (TaskId j = 0; j < n; ++j) {
+      if (machine_of[j] == kNoMachine || std::isnan(start[j]) ||
+          std::isnan(finish[j])) {
+        continue;
+      }
+      comma();
+      buf += "{\"name\":\"task " + std::to_string(j) +
+             "\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":" +
+             JsonValue(start[j] * 1e6).dump(-1) + ",\"dur\":" +
+             JsonValue((finish[j] - start[j]) * 1e6).dump(-1) +
+             ",\"pid\":1,\"tid\":" + std::to_string(machine_of[j]) +
+             ",\"args\":{\"task\":" + std::to_string(j) + "}}";
+    }
+    for (const obs::TimelineEvent& e : events) {
+      if (e.kind == obs::TimelineEventKind::kFailure) {
+        comma();
+        const std::uint32_t lane = e.machine == obs::kTimelineNone ? 0 : e.machine;
+        buf += "{\"name\":\"failure\",\"cat\":\"failure\",\"ph\":\"i\",\"ts\":" +
+               JsonValue(e.when * 1e6).dump(-1) + ",\"pid\":1,\"tid\":" +
+               std::to_string(lane) + ",\"s\":\"t\"}";
+      } else if (e.kind == obs::TimelineEventKind::kRefetch) {
+        comma();
+        const MachineId lane =
+            e.task != obs::kTimelineNone && machine_of[e.task] != kNoMachine
+                ? machine_of[e.task]
+                : 0;
+        buf += "{\"name\":\"refetch\",\"cat\":\"refetch\",\"ph\":\"i\",\"ts\":" +
+               JsonValue(e.when * 1e6).dump(-1) + ",\"pid\":1,\"tid\":" +
+               std::to_string(lane) + ",\"s\":\"t\"}";
+      }
+    }
+    buf += "],\"displayTimeUnit\":\"ms\"}\n";
+    write_text_file(chrome_path, buf);
+    std::cout << "Chrome trace written to " << chrome_path << "\n";
   }
   return EXIT_SUCCESS;
 }
@@ -952,13 +1294,22 @@ int main(int argc, char** argv) {
     const std::string metrics_path = args.get("metrics-out", std::string(""));
     const std::string trace_path = args.get("trace-out", std::string(""));
     const std::string sample_path = args.get("sample-out", std::string(""));
+    const std::string timeline_path = args.get("timeline-out", std::string(""));
     std::unique_ptr<obs::MetricsRegistry> registry;
     std::unique_ptr<obs::Tracer> tracer;
     if (!metrics_path.empty() || !sample_path.empty()) {
       registry = std::make_unique<obs::MetricsRegistry>();
     }
     if (!trace_path.empty()) tracer = std::make_unique<obs::Tracer>();
+    std::unique_ptr<obs::TimelineRecorder> timeline;
+    if (!timeline_path.empty()) {
+      const auto capacity = static_cast<std::size_t>(args.get(
+          "timeline-capacity",
+          static_cast<std::int64_t>(obs::TimelineRecorder::kDefaultCapacity)));
+      timeline = std::make_unique<obs::TimelineRecorder>(capacity);
+    }
     obs::ObservabilityScope scope(registry.get(), tracer.get());
+    obs::TimelineScope timeline_scope(timeline.get());
     // Constructed after the scope so it samples the installed registry and
     // is stopped (final sample + flush) before the scope unwinds.
     std::unique_ptr<obs::RunSampler> sampler;
@@ -980,6 +1331,8 @@ int main(int argc, char** argv) {
       status = cmd_run(args);
     } else if (command == "serve") {
       status = cmd_serve(args);
+    } else if (command == "obs") {
+      status = cmd_obs(args);
     } else if (command == "evaluate") {
       status = cmd_evaluate(args);
     } else if (command == "sweep") {
@@ -1001,6 +1354,16 @@ int main(int argc, char** argv) {
       sampler->stop();
       std::cout << sampler->samples() << " sample(s) written to "
                 << sample_path << "\n";
+    }
+    if (timeline) {
+      timeline->save(timeline_path);
+      std::cout << timeline->size() << " timeline event(s) written to "
+                << timeline_path;
+      if (timeline->dropped() > 0) {
+        std::cout << " (" << timeline->dropped() << " dropped at capacity "
+                  << timeline->capacity() << ")";
+      }
+      std::cout << "\n";
     }
     if (registry && !metrics_path.empty()) {
       registry->save_json(metrics_path);
